@@ -1,0 +1,50 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Every file in this directory regenerates one table or figure from the
+paper (see DESIGN.md's per-experiment index).  Benchmarks run each
+experiment exactly once through ``benchmark.pedantic`` — the interesting
+output is the printed paper-style table plus the *shape* assertions
+(who wins, where curves saturate), not the wall-clock time.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import ArtifactCache, ExperimentConfig
+
+#: Scale used by the benchmark harness.  Larger than the test suite's
+#: (richer learning signal), smaller than the paper's 1B-instruction
+#: SimPoints (laptop runtime).
+BENCH_CONFIG = ExperimentConfig(
+    trace_length=50_000,
+    lstm_embedding=32,
+    lstm_hidden=32,
+    lstm_history=20,
+    lstm_epochs=4,
+)
+
+#: Subset used by the LSTM-heavy experiments (Figures 4-6, 9, 14, 15);
+#: the paper's offline section also uses a 6-benchmark subset (Table 2).
+OFFLINE_SUBSET = ("mcf", "omnetpp", "soplex", "sphinx3", "astar", "lbm")
+
+#: Smaller subset for the most expensive sweeps.
+SWEEP_SUBSET = ("omnetpp", "mcf")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def artifacts() -> ArtifactCache:
+    """Session-wide cache: traces/streams/labels are built once."""
+    return ArtifactCache(BENCH_CONFIG)
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

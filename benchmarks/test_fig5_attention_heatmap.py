@@ -1,0 +1,47 @@
+"""Figure 5: attention-weight matrices of consecutive memory accesses.
+
+Paper finding: with a large scaling factor, each target access places
+dominant weight on just a few source accesses, and the same source
+dominates consecutive targets (oblique lines in the heatmap).
+Reproduced shape: a large fraction of targets concentrate their
+attention mass on one source offset.
+"""
+
+import numpy as np
+
+from repro.eval import attention_heatmap
+
+from .conftest import run_once
+
+
+def test_fig5_attention_heatmap(benchmark, artifacts, bench_config):
+    def experiment():
+        return attention_heatmap(
+            bench_config,
+            benchmark="omnetpp",
+            scale=5.0,
+            num_targets=100,
+            cache=artifacts,
+        )
+
+    heatmap = run_once(benchmark, experiment)
+    matrix = heatmap.matrix
+    print()
+    print(f"heatmap: {matrix.shape[0]} targets x {matrix.shape[1]} offsets")
+    top_mass = matrix.max(axis=1)
+    top2_mass = np.sort(matrix, axis=1)[:, -2:].sum(axis=1)
+    print(f"mean top-1 source weight: {top_mass.mean():.3f}")
+    print(f"mean top-2 source weight: {top2_mass.mean():.3f}")
+    print(f"targets with a >=30% dominant source: {heatmap.sparsity(0.3):.0%}")
+
+    # ASCII rendition of the first 10 targets (the Figure 5(b) panel).
+    for t in range(min(10, matrix.shape[0])):
+        row = "".join(
+            "#" if w > 0.3 else ("+" if w > 0.1 else ".") for w in matrix[t]
+        )
+        print(f"target {t:2d} |{row}|")
+
+    # Shape: attention is concentrated, not uniform.
+    uniform_level = 1.0 / matrix.shape[1]
+    assert top_mass.mean() > 3 * uniform_level
+    assert heatmap.sparsity(0.2) > 0.3

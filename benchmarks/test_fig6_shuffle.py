@@ -1,0 +1,33 @@
+"""Figure 6: accuracy on original versus randomly shuffled sequences.
+
+Paper finding (Observation 3): shuffling the source history costs only a
+marginal amount of accuracy — order barely matters, presence does.
+Reproduced shape: the average degradation from shuffling is small
+relative to the model's margin over chance.
+"""
+
+from repro.eval import format_table, shuffle_experiment
+
+from .conftest import OFFLINE_SUBSET, run_once
+
+
+def test_fig6_shuffled_history(benchmark, artifacts, bench_config):
+    def experiment():
+        return shuffle_experiment(
+            bench_config, benchmarks=OFFLINE_SUBSET[:4], cache=artifacts
+        )
+
+    results = run_once(benchmark, experiment)
+    print()
+    print(format_table([r.as_row() for r in results], "Figure 6 (reproduced)"))
+
+    average = results[-1]
+    assert average.benchmark == "average"
+    # Shape: shuffling costs far less than the model's margin over
+    # chance.  The paper reports a 1-3 point gap with a 128-dim LSTM
+    # trained to convergence; our 32-dim, few-epoch model leans more on
+    # recency, so the reproduced bound is looser (recorded in
+    # EXPERIMENTS.md) — but the shuffled model must stay well above
+    # chance, i.e. most of what it learned is order-free.
+    assert average.degradation < 0.20
+    assert average.shuffled_accuracy > 0.55

@@ -1,0 +1,34 @@
+"""Table 3: model size and computational cost per sample.
+
+Paper values: LSTM ~5x10^3 KB / ~2.4x10^3 train ops / ~0.12x10^3 test
+ops; Glider 62 KB / 8 / 8; Perceptron 29 KB / 9 / 9; Hawkeye 32 KB /
+1 / 1.  Sizes here are computed from the actual model objects.
+"""
+
+from repro.eval import format_table, model_cost_table
+
+from .conftest import run_once
+
+
+def test_table3_model_costs(benchmark):
+    def experiment():
+        return model_cost_table()
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table([r.as_row() for r in rows], "Table 3 (reproduced)"))
+
+    costs = {r.model: r for r in rows}
+    lstm = costs["LSTM (predictor only)"]
+    glider = costs["Glider"]
+    hawkeye = costs["Hawkeye"]
+    perceptron = costs["Perceptron"]
+
+    # Shape 1: the LSTM is orders of magnitude larger and slower.
+    assert lstm.size_kb > 20 * glider.size_kb
+    assert lstm.test_ops > 1000 * glider.test_ops
+    # Shape 2: Glider's budget is ~62 KB (Section 5.4: 61.6 KB).
+    assert abs(glider.size_kb - 61.6) < 2.0
+    # Shape 3: hardware-model op ordering: Hawkeye < Glider ~ Perceptron.
+    assert hawkeye.test_ops < glider.test_ops
+    assert abs(glider.test_ops - perceptron.test_ops) <= 2

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare every registered replacement policy across several workloads.
+
+Sweeps the full policy zoo (classic heuristics, learning-based CRC2
+contenders, Glider, and the MIN bound) over a mixed set of workloads and
+prints a miss-rate matrix plus average miss reduction over LRU — a
+miniature of the paper's Figure 11 with *all* policies included.
+
+Run:  python examples/compare_policies.py [--length N] [--benchmarks a,b,c]
+"""
+
+import argparse
+
+from repro.cache import filter_to_llc_stream, scaled_hierarchy, simulate_llc
+from repro.eval import format_table
+from repro.policies import BeladyPolicy, available_policies, make_policy
+from repro.traces import get_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=50_000,
+                        help="accesses per workload trace")
+    parser.add_argument(
+        "--benchmarks",
+        default="mcf,omnetpp,libquantum,astar,gcc,bfs",
+        help="comma-separated workload names",
+    )
+    args = parser.parse_args()
+    benchmarks = args.benchmarks.split(",")
+    config = scaled_hierarchy(scale=32)
+
+    rows = []
+    reductions: dict[str, list[float]] = {}
+    for benchmark in benchmarks:
+        trace = get_trace(benchmark, length=args.length, llc_lines=config.llc.num_lines)
+        stream = filter_to_llc_stream(trace, config)
+        row = {"workload": benchmark}
+        lru_rate = simulate_llc(stream, make_policy("lru"), config).demand_miss_rate
+        row["lru"] = lru_rate
+        for name in available_policies():
+            if name == "lru":
+                continue
+            rate = simulate_llc(stream, make_policy(name), config).demand_miss_rate
+            row[name] = rate
+            if lru_rate > 0:
+                reductions.setdefault(name, []).append(
+                    100 * (lru_rate - rate) / lru_rate
+                )
+        row["MIN"] = simulate_llc(
+            stream, BeladyPolicy.from_stream(stream), config
+        ).demand_miss_rate
+        rows.append(row)
+        print(f"done: {benchmark} ({len(stream)} LLC accesses)")
+
+    print()
+    print(format_table(rows, "Demand miss rate per policy"))
+    print()
+    summary = [
+        {"policy": name, "avg miss reduction vs LRU %": sum(v) / len(v)}
+        for name, v in sorted(
+            reductions.items(), key=lambda item: -sum(item[1]) / len(item[1])
+        )
+    ]
+    print(format_table(summary, "Average across workloads"))
+
+
+if __name__ == "__main__":
+    main()

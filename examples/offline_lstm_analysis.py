@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Train the offline attention LSTM and interpret its attention weights.
+
+Reproduces the paper's Section 4 pipeline end to end on one workload:
+
+1. generate the workload and label its LLC stream with Belady's MIN;
+2. train the attention-based LSTM (NumPy implementation) and the three
+   offline comparators (Hawkeye counters, ordered-history SVM, ISVM);
+3. sweep the attention scaling factor f and report weight sparsity
+   (Figure 4) and the per-target dominant sources (Figure 5);
+4. verify the anchor-PC story on the call-context workload (Table 4).
+
+Run:  python examples/offline_lstm_analysis.py  (takes a few minutes)
+"""
+
+from repro.eval import (
+    ArtifactCache,
+    ExperimentConfig,
+    anchor_pc_analysis,
+    attention_cdf,
+    attention_heatmap,
+    format_table,
+)
+from repro.ml import (
+    OfflineHawkeye,
+    OfflineISVM,
+    OrderedHistorySVM,
+    train_linear_model,
+    train_lstm,
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        trace_length=40_000,
+        lstm_embedding=24,
+        lstm_hidden=24,
+        lstm_history=16,
+        lstm_epochs=4,
+    )
+    cache = ArtifactCache(config)
+    benchmark = "omnetpp"
+    labelled = cache.labelled(benchmark)
+    print(f"{benchmark}: {len(labelled)} LLC accesses, "
+          f"{labelled.vocab_size} PCs, "
+          f"{labelled.labels.mean():.1%} cache-friendly under MIN\n")
+
+    # -- offline model comparison (Figure 9, one benchmark) ---------------
+    rows = []
+    for name, model, epochs in (
+        ("Hawkeye counters", OfflineHawkeye(), 5),
+        ("Perceptron (ordered)", OrderedHistorySVM(history_length=3), 5),
+        ("Offline ISVM", OfflineISVM(k=5), 5),
+    ):
+        result = train_linear_model(model, labelled, epochs=epochs)
+        rows.append({"model": name, "test accuracy %": 100 * result.test_accuracy})
+    lstm_model, lstm_result = train_lstm(
+        labelled, config.lstm_config(labelled.vocab_size), epochs=config.lstm_epochs
+    )
+    rows.append(
+        {"model": "Attention LSTM", "test accuracy %": 100 * lstm_result.test_accuracy}
+    )
+    print(format_table(rows, "Offline accuracy (Figure 9, one workload)"))
+
+    # -- attention sparsity sweep (Figure 4) ------------------------------
+    print("\nAttention scaling sweep (Figure 4):")
+    cdf = attention_cdf(config, benchmark=benchmark, scales=(1.0, 3.0, 5.0), cache=cache)
+    print(format_table([r.as_row() for r in cdf]))
+    print("-> accuracy stays flat while the weight mass concentrates.")
+
+    # -- dominant sources (Figure 5) ---------------------------------------
+    heatmap = attention_heatmap(
+        config, benchmark=benchmark, scale=5.0, num_targets=60, cache=cache
+    )
+    print(f"\nFigure 5: {heatmap.matrix.shape[0]} targets; "
+          f"{heatmap.sparsity(0.3):.0%} of targets put >=30% of their "
+          "attention on a single source access.")
+
+    # -- anchor-PC semantics (Table 4) ---------------------------------------
+    print("\nAnchor-PC analysis (Table 4):")
+    results = anchor_pc_analysis(config, benchmark=benchmark, cache=cache)
+    print(format_table([r.as_row() for r in results]))
+
+
+if __name__ == "__main__":
+    main()

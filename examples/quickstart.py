@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate Glider against LRU on one workload.
+
+Builds a synthetic mcf-like trace, filters it through L1/L2 to obtain the
+LLC access stream, and replays that stream against LRU, Hawkeye, Glider
+and Belady's optimal bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cache import filter_to_llc_stream, scaled_hierarchy, simulate_llc
+from repro.core import GliderPolicy
+from repro.policies import BeladyPolicy, make_policy
+from repro.traces import get_trace
+
+
+def main() -> None:
+    config = scaled_hierarchy(scale=32)  # Table 1, scaled for laptop runs
+    trace = get_trace("mcf", length=60_000, llc_lines=config.llc.num_lines)
+    print(f"workload: {trace.name} — {trace.num_accesses} accesses, "
+          f"{len(trace.unique_pcs())} PCs, {len(trace.unique_lines())} lines")
+
+    stream = filter_to_llc_stream(trace, config)
+    print(f"LLC stream: {len(stream)} accesses "
+          f"(L1 hits {stream.l1_hits}, L2 hits {stream.l2_hits})\n")
+
+    results = {}
+    for name in ("lru", "hawkeye", "glider"):
+        stats = simulate_llc(stream, make_policy(name), config)
+        results[name] = stats.demand_miss_rate
+    results["belady (MIN)"] = simulate_llc(
+        stream, BeladyPolicy.from_stream(stream), config
+    ).demand_miss_rate
+
+    lru = results["lru"]
+    print(f"{'policy':<14} {'miss rate':>9} {'vs LRU':>8}")
+    for name, rate in sorted(results.items(), key=lambda item: item[1]):
+        reduction = 100 * (lru - rate) / lru if lru else 0.0
+        print(f"{name:<14} {rate:>9.4f} {reduction:>+7.1f}%")
+
+    glider = GliderPolicy()
+    simulate_llc(stream, glider, config)
+    print(f"\nGlider online predictor accuracy: {glider.online_accuracy:.1%} "
+          f"({glider.prediction_checks} labelled samples)")
+    print(f"Glider ISVM table storage: {glider.predictor_storage_bytes() / 1024:.1f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel; in fully offline environments
+without the wheel package, use `python setup.py develop` instead.
+"""
+
+from setuptools import setup
+
+setup()

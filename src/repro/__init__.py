@@ -1,0 +1,41 @@
+"""repro — a full reproduction of *Applying Deep Learning to the Cache
+Replacement Problem* (Glider), MICRO 2019.
+
+Subpackages:
+
+* :mod:`repro.traces`  — workload models and access-trace substrate.
+* :mod:`repro.cache`   — set-associative caches and the 3-level hierarchy.
+* :mod:`repro.optgen`  — Belady's MIN and the OPTgen streaming oracle.
+* :mod:`repro.policies`— baseline replacement policies (LRU … Hawkeye).
+* :mod:`repro.core`    — **Glider**, the paper's contribution.
+* :mod:`repro.ml`      — NumPy LSTM+attention and the offline linear models.
+* :mod:`repro.cpu`     — core/DRAM timing, IPC and weighted speedup.
+* :mod:`repro.eval`    — one experiment per paper table/figure.
+
+Quick start::
+
+    from repro.traces import get_trace
+    from repro.cache import filter_to_llc_stream, simulate_llc
+    from repro.core import GliderPolicy
+
+    trace = get_trace("omnetpp", length=100_000)
+    stream = filter_to_llc_stream(trace)
+    stats = simulate_llc(stream, GliderPolicy())
+    print(stats.summary())
+"""
+
+__version__ = "1.0.0"
+
+from . import cache, core, cpu, eval, ml, optgen, policies, traces  # noqa: F401
+
+__all__ = [
+    "cache",
+    "core",
+    "cpu",
+    "eval",
+    "ml",
+    "optgen",
+    "policies",
+    "traces",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Cache-simulator substrate: configs, cache structures, hierarchy."""
+
+from .block import AccessResult, AccessType, CacheLine, CacheRequest
+from .cache import SetAssociativeCache
+from .config import (
+    CacheConfig,
+    DramConfig,
+    HierarchyConfig,
+    paper_hierarchy,
+    scaled_hierarchy,
+)
+from .hierarchy import (
+    CacheHierarchy,
+    LLCStream,
+    filter_to_llc_stream,
+    simulate_llc,
+)
+from .policy import BYPASS, ReplacementPolicy
+from .stats import CacheStats
+
+__all__ = [
+    "AccessResult",
+    "AccessType",
+    "BYPASS",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheRequest",
+    "CacheStats",
+    "DramConfig",
+    "HierarchyConfig",
+    "LLCStream",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "filter_to_llc_stream",
+    "paper_hierarchy",
+    "scaled_hierarchy",
+    "simulate_llc",
+]

@@ -1,0 +1,84 @@
+"""Cache-line metadata and access records shared across the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AccessType(Enum):
+    """Kind of request arriving at a cache level."""
+
+    LOAD = "load"
+    STORE = "store"  # demand store (RFO)
+    WRITEBACK = "writeback"  # dirty eviction from the level above
+
+    @property
+    def is_demand(self) -> bool:
+        """Demand accesses train predictors; writebacks usually do not."""
+        return self is not AccessType.WRITEBACK
+
+
+@dataclass
+class CacheLine:
+    """One way of one set.
+
+    Replacement policies may stash arbitrary per-line state in
+    ``policy_state`` (e.g. an RRPV counter, a SHiP signature, Hawkeye's
+    predicted class); the cache core never touches it.
+    """
+
+    valid: bool = False
+    tag: int = -1
+    dirty: bool = False
+    pc: int = 0  # PC that inserted the line (for writeback attribution)
+    core: int = 0
+    last_touch: int = 0  # access counter at last touch (LRU bookkeeping)
+    insert_time: int = 0
+    policy_state: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Invalidate the line and clear all metadata."""
+        self.valid = False
+        self.tag = -1
+        self.dirty = False
+        self.pc = 0
+        self.core = 0
+        self.last_touch = 0
+        self.insert_time = 0
+        self.policy_state = {}
+
+
+@dataclass(slots=True)
+class CacheRequest:
+    """A request presented to a cache level.
+
+    ``address`` is a byte address; the cache derives line/set/tag.
+    ``access_index`` is a monotonically increasing per-simulation counter
+    used by offline-oracle policies (Belady) to look up future reuse.
+
+    (Slotted, non-frozen dataclass: requests are created once per access
+    on the simulator's hottest path.)
+    """
+
+    pc: int
+    address: int
+    access_type: AccessType = AccessType.LOAD
+    core: int = 0
+    access_index: int = 0
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one cache-level access."""
+
+    hit: bool
+    bypassed: bool = False
+    evicted_tag: int = -1
+    evicted_dirty: bool = False
+    evicted_pc: int = 0
+    evicted_core: int = 0
+
+    @property
+    def caused_writeback(self) -> bool:
+        return self.evicted_dirty and self.evicted_tag >= 0

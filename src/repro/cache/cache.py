@@ -1,0 +1,151 @@
+"""Set-associative cache with pluggable replacement policy."""
+
+from __future__ import annotations
+
+from .block import AccessResult, AccessType, CacheLine, CacheRequest
+from .config import CacheConfig
+from .policy import BYPASS, ReplacementPolicy
+from .stats import CacheStats
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache.
+
+    The cache is a pure hit/miss structure: it tracks tags and dirty
+    bits, delegates replacement to a :class:`ReplacementPolicy`, and
+    reports evictions so an enclosing hierarchy can propagate
+    writebacks.  It has no timing of its own.
+    """
+
+    def __init__(self, config: CacheConfig, policy: ReplacementPolicy) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.line_size = config.line_size
+        self._set_shift = (config.line_size - 1).bit_length()
+        self._set_mask = self.num_sets - 1
+        self.sets: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(self.associativity)]
+            for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats(name=config.name)
+        self._access_counter = 0
+        self.policy = policy
+        policy.attach(self)
+
+    # -- address mapping ---------------------------------------------------
+    def line_number(self, address: int) -> int:
+        return address >> self._set_shift
+
+    def set_index(self, address: int) -> int:
+        return self.line_number(address) & self._set_mask
+
+    def tag(self, address: int) -> int:
+        return self.line_number(address) >> self._set_mask.bit_length() if self._set_mask else self.line_number(address)
+
+    def _split(self, address: int) -> tuple[int, int]:
+        line = address >> self._set_shift
+        return line & self._set_mask, line >> (self._set_mask.bit_length())
+
+    def line_address(self, set_index: int, tag: int) -> int:
+        """Reconstruct the byte address of a cached line."""
+        line = (tag << self._set_mask.bit_length()) | set_index
+        return line << self._set_shift
+
+    # -- queries ------------------------------------------------------------
+    def probe(self, address: int) -> bool:
+        """Non-intrusive lookup: True if the line is present (no side effects)."""
+        set_index, tag = self._split(address)
+        return any(l.valid and l.tag == tag for l in self.sets[set_index])
+
+    def find_way(self, address: int) -> int | None:
+        set_index, tag = self._split(address)
+        for way, line in enumerate(self.sets[set_index]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    # -- the access path ------------------------------------------------------
+    def access(self, request: CacheRequest) -> AccessResult:
+        """Perform one access; returns hit/miss and any eviction."""
+        self._access_counter += 1
+        set_index, tag = self._split(request.address)
+        ways = self.sets[set_index]
+        is_demand = request.access_type.is_demand
+        if is_demand:
+            self.policy.on_access(set_index, request)
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                line.last_touch = self._access_counter
+                if request.access_type is not AccessType.LOAD:
+                    line.dirty = True
+                # on_hit fires for writeback hits too: policies that do
+                # not want writeback promotion check the access type
+                # themselves, while bookkeeping policies (e.g. Belady's
+                # stored next-use) must observe every touch or their
+                # per-line state goes stale.
+                self.policy.on_hit(set_index, way, request)
+                self.stats.record(True, is_demand, request.core)
+                return AccessResult(hit=True)
+        # Miss path.
+        self.stats.record(False, is_demand, request.core)
+        victim_way = self.policy.victim(set_index, request, ways)
+        if victim_way == BYPASS:
+            self.stats.bypasses += 1
+            return AccessResult(hit=False, bypassed=True)
+        if not 0 <= victim_way < self.associativity:
+            raise ValueError(
+                f"{self.policy.name}: victim way {victim_way} out of range "
+                f"0..{self.associativity - 1}"
+            )
+        line = ways[victim_way]
+        result_kwargs: dict = {}
+        if line.valid:
+            self.policy.on_evict(set_index, victim_way, line, request)
+            self.stats.evictions += 1
+            if line.dirty:
+                self.stats.dirty_evictions += 1
+            result_kwargs = {
+                "evicted_tag": line.tag,
+                "evicted_dirty": line.dirty,
+                "evicted_pc": line.pc,
+                "evicted_core": line.core,
+            }
+        line.valid = True
+        line.tag = tag
+        line.dirty = request.access_type is not AccessType.LOAD
+        line.pc = request.pc
+        line.core = request.core
+        line.last_touch = self._access_counter
+        line.insert_time = self._access_counter
+        line.policy_state = {}
+        self.policy.on_fill(set_index, victim_way, request)
+        return AccessResult(hit=False, **result_kwargs)
+
+    def evicted_line_address(self, set_index: int, result: AccessResult) -> int:
+        """Byte address of the line evicted in ``result`` (if any)."""
+        if result.evicted_tag < 0:
+            raise ValueError("access did not evict a valid line")
+        return self.line_address(set_index, result.evicted_tag)
+
+    def invalidate(self, address: int) -> bool:
+        """Remove a line if present; returns whether it was there."""
+        set_index, tag = self._split(address)
+        for line in self.sets[set_index]:
+            if line.valid and line.tag == tag:
+                line.reset()
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Invalidate everything and reset the policy's learned state."""
+        for ways in self.sets:
+            for line in ways:
+                line.reset()
+        self.policy.reset()
+        self._access_counter = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(1 for ways in self.sets for line in ways if line.valid)

@@ -1,0 +1,110 @@
+"""Cache and hierarchy configuration (paper Table 1).
+
+Two stock configurations are provided:
+
+* :func:`paper_hierarchy` — the exact Table 1 parameters (32 KB L1,
+  256 KB L2, 2 MB/core 16-way LLC, CRC2 latencies).
+* :func:`scaled_hierarchy` — the same shape scaled down so that the
+  synthetic traces (10^5–10^6 accesses) exercise the same capacity
+  pressure a 1-billion-instruction SimPoint exerts on a 2 MB LLC.  All
+  experiments default to this configuration; the scale factor is the only
+  difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    latency: int = 4  # hit latency, cycles
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+        if self.size_bytes % (self.line_size * self.associativity):
+            raise ValueError(
+                f"{self.name}: size must be a multiple of line_size * associativity"
+            )
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """First-order DRAM model parameters (Table 1's bottom row).
+
+    ``latency`` is the flat access latency in core cycles (row timing
+    folded in); ``bandwidth_bytes_per_cycle`` throttles multi-core runs.
+    """
+
+    latency: int = 150
+    bandwidth_bytes_per_cycle: float = 3.2  # single-core: 3.2 GB/s at 1 GHz
+    line_size: int = 64
+
+    def cycles_per_line(self) -> float:
+        """Cycles of bus occupancy per cache-line transfer."""
+        return self.line_size / self.bandwidth_bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A three-level hierarchy plus DRAM, per core."""
+
+    l1: CacheConfig
+    l2: CacheConfig
+    llc: CacheConfig
+    dram: DramConfig = field(default_factory=DramConfig)
+    cores: int = 1
+
+    @property
+    def llc_lines(self) -> int:
+        return self.llc.num_lines
+
+
+def paper_hierarchy(cores: int = 1) -> HierarchyConfig:
+    """Exact Table 1 configuration: 2 MB 16-way LLC per core."""
+    return HierarchyConfig(
+        l1=CacheConfig("L1D", 32 * 1024, 8, latency=4),
+        l2=CacheConfig("L2", 256 * 1024, 8, latency=12),
+        llc=CacheConfig("LLC", cores * 2 * 1024 * 1024, 16, latency=26),
+        dram=DramConfig(
+            latency=150,
+            bandwidth_bytes_per_cycle=3.2 * cores if cores > 1 else 3.2,
+        ),
+        cores=cores,
+    )
+
+
+def scaled_hierarchy(cores: int = 1, scale: int = 8) -> HierarchyConfig:
+    """Table 1 scaled down by ``scale`` for laptop-scale traces.
+
+    With the default ``scale=8`` the LLC is 256 KB/core (4096 lines for a
+    single core), matching the working-set sizes the synthetic workload
+    models are built against (``DEFAULT_LLC_LINES``).
+    """
+    return HierarchyConfig(
+        l1=CacheConfig("L1D", 32 * 1024 // scale, 8, latency=4),
+        l2=CacheConfig("L2", 256 * 1024 // scale, 8, latency=12),
+        llc=CacheConfig("LLC", cores * 2 * 1024 * 1024 // scale, 16, latency=26),
+        dram=DramConfig(
+            latency=150,
+            bandwidth_bytes_per_cycle=3.2 * cores if cores > 1 else 3.2,
+        ),
+        cores=cores,
+    )

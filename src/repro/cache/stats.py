@@ -1,0 +1,93 @@
+"""Per-level cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache level.
+
+    Demand and writeback traffic are counted separately because the
+    paper's miss-rate metrics (Figure 11) are over demand accesses only.
+    """
+
+    name: str = "cache"
+    demand_hits: int = 0
+    demand_misses: int = 0
+    writeback_hits: int = 0
+    writeback_misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    per_core_hits: dict[int, int] = field(default_factory=dict)
+    per_core_misses: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.demand_accesses + self.writeback_hits + self.writeback_misses
+
+    @property
+    def hits(self) -> int:
+        return self.demand_hits + self.writeback_hits
+
+    @property
+    def misses(self) -> int:
+        return self.demand_misses + self.writeback_misses
+
+    @property
+    def demand_miss_rate(self) -> float:
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        total = self.demand_accesses
+        return self.demand_hits / total if total else 0.0
+
+    def record(self, hit: bool, is_demand: bool, core: int = 0) -> None:
+        if is_demand:
+            if hit:
+                self.demand_hits += 1
+                self.per_core_hits[core] = self.per_core_hits.get(core, 0) + 1
+            else:
+                self.demand_misses += 1
+                self.per_core_misses[core] = self.per_core_misses.get(core, 0) + 1
+        else:
+            if hit:
+                self.writeback_hits += 1
+            else:
+                self.writeback_misses += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new CacheStats with the counters of both."""
+        merged = CacheStats(name=self.name)
+        for attr in (
+            "demand_hits",
+            "demand_misses",
+            "writeback_hits",
+            "writeback_misses",
+            "bypasses",
+            "evictions",
+            "dirty_evictions",
+        ):
+            setattr(merged, attr, getattr(self, attr) + getattr(other, attr))
+        for src in (self.per_core_hits, other.per_core_hits):
+            for core, n in src.items():
+                merged.per_core_hits[core] = merged.per_core_hits.get(core, 0) + n
+        for src in (self.per_core_misses, other.per_core_misses):
+            for core, n in src.items():
+                merged.per_core_misses[core] = merged.per_core_misses.get(core, 0) + n
+        return merged
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.demand_accesses} demand accesses, "
+            f"{self.demand_hits} hits, {self.demand_misses} misses "
+            f"(miss rate {self.demand_miss_rate:.3f})"
+        )

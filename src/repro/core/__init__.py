@@ -1,0 +1,42 @@
+"""Glider — the paper's primary contribution.
+
+* :class:`~repro.core.glider.GliderPolicy` / ``GliderConfig`` — the
+  online replacement policy (ISVM + PCHR over Hawkeye's machinery).
+* :class:`~repro.core.isvm.ISVMTable` — the Integer SVM predictor.
+* :class:`~repro.core.features.PCHistoryRegister` and the k-sparse
+  feature helpers.
+"""
+
+from .features import (
+    PCHistoryRegister,
+    hash_pc,
+    k_sparse_history,
+    k_sparse_vector,
+)
+from .glider import DEFAULT_K, GliderConfig, GliderPolicy
+from .isvm import (
+    AVERSE_SUM,
+    HIGH_CONFIDENCE_SUM,
+    ISVM,
+    Confidence,
+    ISVMTable,
+    Prediction,
+    THRESHOLD_CANDIDATES,
+)
+
+__all__ = [
+    "AVERSE_SUM",
+    "Confidence",
+    "DEFAULT_K",
+    "GliderConfig",
+    "GliderPolicy",
+    "HIGH_CONFIDENCE_SUM",
+    "ISVM",
+    "ISVMTable",
+    "PCHistoryRegister",
+    "Prediction",
+    "THRESHOLD_CANDIDATES",
+    "hash_pc",
+    "k_sparse_history",
+    "k_sparse_vector",
+]

@@ -1,0 +1,99 @@
+"""Glider's input feature: the PC History Register and k-sparse encoding.
+
+Section 4.3: Glider replaces the LSTM's ordered PC sequence with a
+*k-sparse binary feature* — an unordered set of the last ``k`` unique
+PCs.  Removing duplicates lets 5 history elements cover an effective
+ordered history of ~30 PCs, and dropping order information is justified
+by the attention analysis (Observations 2 and 3).
+
+Section 4.4: the hardware holds this feature in a PC History Register
+(PCHR), "a small LRU cache that tracks the 5 most recent PCs".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class PCHistoryRegister:
+    """LRU register of the last ``k`` *unique* PCs seen by one core.
+
+    Inserting a PC already present refreshes its recency but does not
+    change the set; inserting a new PC evicts the least-recently-seen
+    one once ``k`` entries are held.  Iteration order is most-recent
+    first, but consumers must not rely on order — the whole point of the
+    feature is that order does not matter.
+    """
+
+    def __init__(self, capacity: int = 5) -> None:
+        if capacity <= 0:
+            raise ValueError("PCHR capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[int] = []  # most recent first
+
+    def insert(self, pc: int) -> None:
+        try:
+            self._entries.remove(pc)
+        except ValueError:
+            pass
+        self._entries.insert(0, pc)
+        if len(self._entries) > self.capacity:
+            self._entries.pop()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of the current contents (most recent first)."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def k_sparse_history(pcs: Iterable[int], k: int) -> tuple[int, ...]:
+    """Last ``k`` unique PCs of an (oldest-to-newest) PC sequence.
+
+    This is the offline equivalent of replaying the sequence through a
+    :class:`PCHistoryRegister`: duplicates collapse to their most recent
+    occurrence.  Returned most-recent-first; order is informational only.
+    """
+    seen: list[int] = []
+    for pc in reversed(list(pcs)):
+        if pc not in seen:
+            seen.append(pc)
+            if len(seen) == k:
+                break
+    return tuple(seen)
+
+
+def k_sparse_vector(pcs: Iterable[int], vocabulary_size: int, k: int) -> np.ndarray:
+    """Materialise the paper's k-sparse binary feature vector x ∈ {0,1}^u.
+
+    ``pcs`` must already be dense indices in ``[0, vocabulary_size)``.
+    Exactly ``min(k, #unique)`` entries are 1.  Mostly used by tests and
+    the offline ISVM; the online hardware path never materialises it.
+    """
+    vec = np.zeros(vocabulary_size, dtype=np.int8)
+    for pc in k_sparse_history(pcs, k):
+        if not 0 <= pc < vocabulary_size:
+            raise ValueError(f"PC index {pc} outside vocabulary of {vocabulary_size}")
+        vec[pc] = 1
+    return vec
+
+
+def hash_pc(pc: int, bits: int) -> int:
+    """The 4-bit (by default) per-PC hash used to index ISVM weights."""
+    x = pc & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x45D9F3B) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 16
+    return x & ((1 << bits) - 1)

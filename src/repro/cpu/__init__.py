@@ -1,0 +1,13 @@
+"""Core/DRAM timing substrate: IPC and weighted-speedup simulation."""
+
+from .system import MultiCoreSystem, SingleCoreSystem, SystemResult
+from .timing import CoreTimingState, DramBus, level_latency
+
+__all__ = [
+    "CoreTimingState",
+    "DramBus",
+    "MultiCoreSystem",
+    "SingleCoreSystem",
+    "SystemResult",
+    "level_latency",
+]

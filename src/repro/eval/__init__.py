@@ -1,0 +1,86 @@
+"""Experiment harness: one module per paper table/figure.
+
+See DESIGN.md's per-experiment index for the mapping:
+
+* Figure 4/5 -> `attention_analysis`
+* Figure 6 -> `shuffle`
+* Figure 9/10 -> `accuracy`
+* Figure 11 -> `missrate`
+* Figure 12 -> `speedup`
+* Figure 13 -> `multicore`
+* Figure 14 -> `seqlen`
+* Figure 15 -> `convergence`
+* Table 2 -> `repro.traces.stats`
+* Table 3 -> `cost`
+* Table 4 -> `semantics`
+"""
+
+from .accuracy import (
+    OfflineAccuracyResult,
+    OnlineAccuracyResult,
+    offline_accuracy,
+    online_accuracy,
+)
+from .attention_analysis import (
+    AttentionCDFResult,
+    AttentionHeatmap,
+    attention_cdf,
+    attention_heatmap,
+)
+from .convergence import ConvergenceCurves, convergence_curves
+from .cost import ModelCost, model_cost_table
+from .plots import ascii_plot, s_curve
+from .missrate import (
+    CONTENDERS,
+    MissRateResult,
+    miss_rate_reduction,
+    summarize_by_group,
+)
+from .multicore import MixResult, summarize_mixes, weighted_speedup_sweep
+from .runner import DEFAULT, QUICK, ArtifactCache, ExperimentConfig
+from .semantics import TargetPCResult, anchor_pc_analysis, shares_anchor
+from .seqlen import SequenceLengthCurves, sequence_length_sweep
+from .shuffle import ShuffleResult, shuffle_experiment
+from .speedup import SpeedupResult, single_core_speedup, summarize_speedups
+from .tables import arithmetic_mean, format_table, geometric_mean
+
+__all__ = [
+    "ArtifactCache",
+    "AttentionCDFResult",
+    "AttentionHeatmap",
+    "CONTENDERS",
+    "ConvergenceCurves",
+    "DEFAULT",
+    "ExperimentConfig",
+    "MissRateResult",
+    "MixResult",
+    "ModelCost",
+    "OfflineAccuracyResult",
+    "OnlineAccuracyResult",
+    "QUICK",
+    "SequenceLengthCurves",
+    "ShuffleResult",
+    "SpeedupResult",
+    "TargetPCResult",
+    "anchor_pc_analysis",
+    "arithmetic_mean",
+    "ascii_plot",
+    "attention_cdf",
+    "attention_heatmap",
+    "convergence_curves",
+    "format_table",
+    "geometric_mean",
+    "miss_rate_reduction",
+    "model_cost_table",
+    "offline_accuracy",
+    "online_accuracy",
+    "s_curve",
+    "sequence_length_sweep",
+    "shares_anchor",
+    "shuffle_experiment",
+    "single_core_speedup",
+    "summarize_by_group",
+    "summarize_mixes",
+    "summarize_speedups",
+    "weighted_speedup_sweep",
+]

@@ -1,0 +1,110 @@
+"""Command-line experiment runner.
+
+Run any paper experiment directly::
+
+    python -m repro.eval fig11 --length 60000
+    python -m repro.eval fig10 --benchmarks mcf,omnetpp
+    python -m repro.eval table3
+    python -m repro.eval fig14 --no-lstm
+
+Each subcommand prints the same table its benchmark counterpart prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .accuracy import offline_accuracy, online_accuracy
+from .attention_analysis import attention_cdf, attention_heatmap
+from .convergence import convergence_curves
+from .cost import model_cost_table
+from .missrate import miss_rate_reduction, summarize_by_group
+from .multicore import summarize_mixes, weighted_speedup_sweep
+from .runner import ArtifactCache, ExperimentConfig
+from .semantics import anchor_pc_analysis
+from .seqlen import sequence_length_sweep
+from .shuffle import shuffle_experiment
+from .speedup import single_core_speedup, summarize_speedups
+from .tables import format_table
+
+
+def _benchmarks(args) -> tuple[str, ...] | None:
+    return tuple(args.benchmarks.split(",")) if args.benchmarks else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "table3", "table4",
+        ],
+    )
+    parser.add_argument("--length", type=int, default=60_000, help="trace length")
+    parser.add_argument("--benchmarks", default=None, help="comma-separated subset")
+    parser.add_argument("--epochs", type=int, default=None, help="LSTM epochs")
+    parser.add_argument("--mixes", type=int, default=8, help="fig13 mix count")
+    parser.add_argument("--no-lstm", action="store_true", help="skip LSTM curves")
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        trace_length=args.length,
+        lstm_embedding=32,
+        lstm_hidden=32,
+        lstm_history=20,
+        lstm_epochs=args.epochs or 6,
+    )
+    cache = ArtifactCache(config)
+    subset = _benchmarks(args)
+
+    if args.experiment == "fig4":
+        rows = attention_cdf(config, cache=cache)
+        print(format_table([r.as_row() for r in rows], "Figure 4"))
+    elif args.experiment == "fig5":
+        heatmap = attention_heatmap(config, cache=cache)
+        print(f"targets={heatmap.matrix.shape[0]} sparsity@0.3={heatmap.sparsity(0.3):.2f}")
+    elif args.experiment == "fig6":
+        rows = shuffle_experiment(config, benchmarks=subset, cache=cache)
+        print(format_table([r.as_row() for r in rows], "Figure 6"))
+    elif args.experiment == "fig9":
+        rows = offline_accuracy(config, benchmarks=subset, cache=cache)
+        print(format_table([r.as_row() for r in rows], "Figure 9"))
+    elif args.experiment == "fig10":
+        rows = online_accuracy(config, benchmarks=subset, cache=cache)
+        print(format_table([r.as_row() for r in rows], "Figure 10"))
+    elif args.experiment == "fig11":
+        results = miss_rate_reduction(
+            config, benchmarks=subset, include_belady=True, cache=cache
+        )
+        print(format_table([r.as_row() for r in results], "Figure 11"))
+        print(format_table(summarize_by_group(results)))
+    elif args.experiment == "fig12":
+        results = single_core_speedup(config, benchmarks=subset, cache=cache)
+        print(format_table([r.as_row() for r in results], "Figure 12"))
+        print(format_table(summarize_speedups(results)))
+    elif args.experiment == "fig13":
+        results = weighted_speedup_sweep(config, num_mixes=args.mixes, cache=cache)
+        print(format_table([r.as_row() for r in results], "Figure 13"))
+        print(summarize_mixes(results))
+    elif args.experiment == "fig14":
+        curves = sequence_length_sweep(
+            config, benchmarks=subset, cache=cache, include_lstm=not args.no_lstm
+        )
+        print(format_table(curves.rows(), "Figure 14"))
+    elif args.experiment == "fig15":
+        curves = convergence_curves(
+            config, benchmarks=subset, cache=cache, include_lstm=not args.no_lstm
+        )
+        print(format_table(curves.rows(), "Figure 15"))
+    elif args.experiment == "table3":
+        rows = model_cost_table()
+        print(format_table([r.as_row() for r in rows], "Table 3"))
+    elif args.experiment == "table4":
+        rows = anchor_pc_analysis(config, cache=cache)
+        print(format_table([r.as_row() for r in rows], "Table 4"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

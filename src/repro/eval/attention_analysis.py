@@ -1,0 +1,155 @@
+"""Figures 4 and 5: interpreting the attention layer.
+
+* Figure 4: the cumulative distribution of attention weights for
+  scaling factors f in {1..5}, with per-f test accuracy — showing that
+  larger f forces sparsity at no accuracy cost.
+* Figure 5: attention-weight matrices over consecutive accesses,
+  exposing the few dominant source PCs (the oblique lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.dataset import SequenceDataset
+from ..ml.training import train_lstm
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+
+
+@dataclass
+class AttentionCDFResult:
+    """One Figure 4 curve: weight distribution stats for one scale f."""
+
+    scale: float
+    accuracy: float
+    weights: np.ndarray  # flattened nonzero attention weights
+    quantiles: dict[float, float]
+    max_weight_mean: float  # mean (over targets) of the max source weight
+
+    def as_row(self) -> dict:
+        return {
+            "scale": self.scale,
+            "accuracy %": 100 * self.accuracy,
+            "p50 weight": self.quantiles[0.5],
+            "p90 weight": self.quantiles[0.9],
+            "p99 weight": self.quantiles[0.99],
+            "mean max weight": self.max_weight_mean,
+        }
+
+
+def _collect_weights(model, dataset: SequenceDataset, max_batches: int = 4) -> np.ndarray:
+    """Gather attention weights over labelled (second-half) positions."""
+    collected: list[np.ndarray] = []
+    for i, batch in enumerate(dataset.batches(model.config.batch_size)):
+        if i >= max_batches:
+            break
+        weights = model.attention_weights(batch.inputs)  # (B, T, T)
+        history = dataset.history
+        # Only target rows in the prediction half carry meaning.
+        collected.append(weights[:, history:, :].reshape(-1, weights.shape[-1]))
+    return np.concatenate(collected, axis=0) if collected else np.zeros((0, 1))
+
+
+def attention_cdf(
+    config: ExperimentConfig = DEFAULT,
+    benchmark: str = "omnetpp",
+    scales: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    cache: ArtifactCache | None = None,
+) -> list[AttentionCDFResult]:
+    """Reproduce Figure 4: train one model per scaling factor f."""
+    cache = cache or ArtifactCache(config)
+    labelled = cache.labelled(benchmark)
+    _, test = labelled.split()
+    test_set = SequenceDataset.from_labelled(test, config.lstm_history)
+    results: list[AttentionCDFResult] = []
+    for scale in scales:
+        model, run = train_lstm(
+            labelled,
+            config.lstm_config(labelled.vocab_size, attention_scale=scale),
+            epochs=config.lstm_epochs,
+        )
+        rows = _collect_weights(model, test_set)
+        nonzero = rows[rows > 1e-9]
+        quantiles = {
+            q: float(np.quantile(nonzero, q)) if nonzero.size else 0.0
+            for q in (0.5, 0.9, 0.99)
+        }
+        max_mean = float(np.mean(rows.max(axis=1))) if rows.size else 0.0
+        results.append(
+            AttentionCDFResult(
+                scale=scale,
+                accuracy=run.test_accuracy,
+                weights=nonzero,
+                quantiles=quantiles,
+                max_weight_mean=max_mean,
+            )
+        )
+    return results
+
+
+@dataclass
+class AttentionHeatmap:
+    """One Figure 5 panel: attention weights of consecutive targets.
+
+    ``matrix[t, s]`` is the weight target ``t`` places on the source at
+    *offset* ``s - window`` relative to it (columns ordered oldest ->
+    most recent, as in the paper's x-axis).
+    """
+
+    benchmark: str
+    matrix: np.ndarray
+    window: int
+
+    def dominant_offsets(self, top: int = 1) -> np.ndarray:
+        """Per-target offsets (relative, negative) of the top sources."""
+        order = np.argsort(-self.matrix, axis=1)[:, :top]
+        return order - self.window
+
+    def sparsity(self, threshold: float = 0.5) -> float:
+        """Fraction of targets whose single best source holds >= threshold."""
+        if not self.matrix.size:
+            return 0.0
+        return float(np.mean(self.matrix.max(axis=1) >= threshold))
+
+
+def attention_heatmap(
+    config: ExperimentConfig = DEFAULT,
+    benchmark: str = "omnetpp",
+    scale: float = 5.0,
+    num_targets: int = 100,
+    cache: ArtifactCache | None = None,
+    model=None,
+) -> AttentionHeatmap:
+    """Reproduce Figure 5: per-target attention over relative offsets."""
+    cache = cache or ArtifactCache(config)
+    labelled = cache.labelled(benchmark)
+    if model is None:
+        model, _ = train_lstm(
+            labelled,
+            config.lstm_config(labelled.vocab_size, attention_scale=scale),
+            epochs=config.lstm_epochs,
+        )
+    _, test = labelled.split()
+    window = config.lstm_history
+    test_set = SequenceDataset.from_labelled(test, window)
+    rows: list[np.ndarray] = []
+    for batch in test_set.batches(model.config.batch_size):
+        weights = model.attention_weights(batch.inputs)  # (B, T, T)
+        for b in range(weights.shape[0]):
+            for t in range(window, 2 * window):
+                # Re-index absolute source position to offset from target.
+                row = np.zeros(window)
+                sources = weights[b, t, :t]
+                take = min(window, len(sources))
+                row[window - take :] = sources[len(sources) - take :]
+                rows.append(row)
+                if len(rows) >= num_targets:
+                    break
+            if len(rows) >= num_targets:
+                break
+        if len(rows) >= num_targets:
+            break
+    matrix = np.vstack(rows) if rows else np.zeros((0, window))
+    return AttentionHeatmap(benchmark=benchmark, matrix=matrix, window=window)

@@ -1,0 +1,81 @@
+"""Figure 15: convergence rate of the four offline models.
+
+Test accuracy as a function of the number of iterations over the
+training set: the offline ISVM converges in ~1 iteration, Hawkeye and
+Perceptron converge fast but plateau lower, and the LSTM needs 10-15
+iterations (the paper's core practicality argument in Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.svm import OfflineHawkeye, OfflineISVM, OrderedHistorySVM
+from ..ml.training import train_linear_model, train_lstm
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+from .tables import arithmetic_mean
+
+
+@dataclass
+class ConvergenceCurves:
+    """Per-model test-accuracy-per-epoch curves (averaged over benchmarks)."""
+
+    epochs: int
+    curves: dict[str, list[float]] = field(default_factory=dict)
+
+    def iterations_to_converge(self, model: str, tolerance: float = 0.01) -> int:
+        curve = self.curves[model]
+        final = curve[-1]
+        for i, acc in enumerate(curve):
+            if acc >= final - tolerance:
+                return i + 1
+        return len(curve)
+
+    def rows(self) -> list[dict]:
+        rows = []
+        for epoch in range(self.epochs):
+            row: dict = {"iteration": epoch + 1}
+            for model, curve in self.curves.items():
+                row[model] = 100 * curve[epoch] if epoch < len(curve) else float("nan")
+            rows.append(row)
+        return rows
+
+
+def convergence_curves(
+    config: ExperimentConfig = DEFAULT,
+    benchmarks: tuple[str, ...] | None = None,
+    epochs: int = 12,
+    cache: ArtifactCache | None = None,
+    include_lstm: bool = True,
+) -> ConvergenceCurves:
+    """Reproduce Figure 15."""
+    cache = cache or ArtifactCache(config)
+    benchmarks = benchmarks or config.offline_benchmarks[:3]
+    labelled_traces = [cache.labelled(b) for b in benchmarks]
+    result = ConvergenceCurves(epochs=epochs)
+    linear_models = {
+        "Offline ISVM": lambda: OfflineISVM(k=5),
+        "Perceptron": lambda: OrderedHistorySVM(history_length=3),
+        "Hawkeye": lambda: OfflineHawkeye(),
+    }
+    for name, factory in linear_models.items():
+        per_bench: list[list[float]] = []
+        for lt in labelled_traces:
+            run = train_linear_model(factory(), lt, epochs=epochs)
+            per_bench.append(run.epoch_accuracies)
+        result.curves[name] = [
+            arithmetic_mean([c[e] for c in per_bench]) for e in range(epochs)
+        ]
+    if include_lstm:
+        per_bench = []
+        for lt in labelled_traces:
+            _, run = train_lstm(
+                lt, config.lstm_config(lt.vocab_size), epochs=epochs
+            )
+            per_bench.append(run.epoch_accuracies)
+        result.curves["Attention LSTM"] = [
+            arithmetic_mean([c[e] for c in per_bench]) for e in range(epochs)
+        ]
+    return result

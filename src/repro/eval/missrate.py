@@ -1,0 +1,110 @@
+"""Figure 11: single-core LLC miss-rate reduction over LRU.
+
+For every suite benchmark, the recorded LLC stream is replayed against
+LRU, Hawkeye, MPPPB, SHiP++ and Glider (plus optionally MIN), and the
+reduction in demand miss rate relative to LRU is reported — the paper's
+headline single-core metric (Glider 8.9% vs Hawkeye 7.1%, MPPPB 6.5%,
+SHiP++ 7.5% on their traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cache.hierarchy import simulate_llc
+from ..policies.belady_policy import BeladyPolicy
+from ..policies.registry import make_policy
+from ..traces.suite import suite_group
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+from .tables import arithmetic_mean
+
+#: The Figure 11 contender set (LRU is the baseline, MIN the bound).
+CONTENDERS = ("hawkeye", "mpppb", "ship++", "glider")
+
+
+@dataclass
+class MissRateResult:
+    """Per-benchmark miss rates and reductions over LRU."""
+
+    benchmark: str
+    group: str
+    lru_miss_rate: float
+    miss_rates: dict[str, float]
+    belady_miss_rate: float | None = None
+    # Total (demand + writeback) hits — the quantity MIN provably
+    # maximises; demand-only rates can be traded against writeback hits.
+    total_hits: dict[str, int] = field(default_factory=dict)
+    belady_total_hits: int | None = None
+
+    def reduction(self, policy: str) -> float:
+        """Relative miss reduction over LRU, in percent."""
+        if self.lru_miss_rate <= 0:
+            return 0.0
+        return 100.0 * (self.lru_miss_rate - self.miss_rates[policy]) / self.lru_miss_rate
+
+    def as_row(self) -> dict:
+        row = {"benchmark": self.benchmark, "group": self.group}
+        for policy in self.miss_rates:
+            row[policy] = self.reduction(policy)
+        return row
+
+
+def miss_rate_reduction(
+    config: ExperimentConfig = DEFAULT,
+    benchmarks: tuple[str, ...] | None = None,
+    policies: tuple[str, ...] = CONTENDERS,
+    include_belady: bool = False,
+    cache: ArtifactCache | None = None,
+) -> list[MissRateResult]:
+    """Reproduce Figure 11 rows; group averages appended at the end."""
+    cache = cache or ArtifactCache(config)
+    benchmarks = benchmarks or config.suite
+    hierarchy = config.hierarchy()
+    results: list[MissRateResult] = []
+    for benchmark in benchmarks:
+        stream = cache.llc_stream(benchmark)
+        lru_stats = simulate_llc(stream, make_policy("lru"), hierarchy)
+        rates: dict[str, float] = {}
+        hits: dict[str, int] = {"lru": lru_stats.hits}
+        for policy in policies:
+            stats = simulate_llc(stream, make_policy(policy), hierarchy)
+            rates[policy] = stats.demand_miss_rate
+            hits[policy] = stats.hits
+        belady_rate = None
+        belady_hits = None
+        if include_belady:
+            stats = simulate_llc(stream, BeladyPolicy.from_stream(stream), hierarchy)
+            belady_rate = stats.demand_miss_rate
+            belady_hits = stats.hits
+        try:
+            group = suite_group(benchmark)
+        except KeyError:
+            group = "other"
+        results.append(
+            MissRateResult(
+                benchmark=benchmark,
+                group=group,
+                lru_miss_rate=lru_stats.demand_miss_rate,
+                miss_rates=rates,
+                belady_miss_rate=belady_rate,
+                total_hits=hits,
+                belady_total_hits=belady_hits,
+            )
+        )
+    return results
+
+
+def summarize_by_group(results: list[MissRateResult]) -> list[dict]:
+    """The SPEC17/SPEC06/GAP/ALL average bars at the right of Figure 11."""
+    policies = list(results[0].miss_rates) if results else []
+    rows: list[dict] = []
+    groups = sorted({r.group for r in results}) + ["ALL"]
+    for group in groups:
+        member = [r for r in results if group == "ALL" or r.group == group]
+        if not member:
+            continue
+        row: dict = {"group": group, "n": len(member)}
+        for policy in policies:
+            row[policy] = arithmetic_mean([r.reduction(policy) for r in member])
+        rows.append(row)
+    return rows

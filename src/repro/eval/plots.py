@@ -1,0 +1,62 @@
+"""ASCII line plots for benchmark-harness output.
+
+The paper's figures are line/bar charts; the harness prints their data
+as tables plus, where the shape matters (S-curves, saturation curves),
+a terminal-friendly ASCII rendition from this module.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def ascii_plot(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more (x -> y) series as an ASCII chart.
+
+    Each series gets a marker character; x positions are scaled to the
+    union of all x values, y to the union of all y values.
+    """
+    markers = "ox+*#@%&"
+    points: list[tuple[float, float, str]] = []
+    for i, (name, curve) in enumerate(series.items()):
+        marker = markers[i % len(markers)]
+        for x, y in curve.items():
+            points.append((float(x), float(y), marker))
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+        grid[row][col] = marker
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:>10.3f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10.3g}" + " " * max(0, width - 20) + f"{x_max:>10.3g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def s_curve(values: Sequence[float], label: str = "") -> dict[str, dict[float, float]]:
+    """Sort values ascending into an S-curve series (Figure 13 style)."""
+    ordered = sorted(values)
+    return {label or "series": {float(i): v for i, v in enumerate(ordered)}}

@@ -1,0 +1,120 @@
+"""Shared experiment configuration and cached intermediate artefacts.
+
+Every table/figure experiment draws from the same pipeline:
+
+    trace -> (L1/L2 filter) -> LLC stream -> {policy replay | Belady labels}
+
+Streams and labelled traces are cached per (benchmark, config) so a full
+benchmark run touches each expensive stage once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..cache.config import HierarchyConfig, scaled_hierarchy
+from ..cache.hierarchy import LLCStream, filter_to_llc_stream
+from ..ml.dataset import LabelledTrace, label_trace
+from ..ml.model import LSTMConfig
+from ..traces.suite import FULL_SUITE, OFFLINE_BENCHMARKS, get_trace
+from ..traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments (laptop-scale defaults).
+
+    The paper runs 1B-instruction SimPoints on a full-size hierarchy; we
+    run ~10^5-access synthetic traces on the scaled hierarchy.  All
+    relative comparisons (the shape of each figure) are preserved; see
+    EXPERIMENTS.md for the absolute-number deltas.
+    """
+
+    trace_length: int = 100_000
+    seed: int = 0
+    # Table 1 scaled 32x down (64 KB LLC): small enough that every
+    # capacity-driven pattern in a ~10^5-access trace cycles many times,
+    # giving MIN real headroom over LRU (the regime the paper studies).
+    hierarchy_scale: int = 32
+    offline_benchmarks: tuple[str, ...] = OFFLINE_BENCHMARKS
+    suite: tuple[str, ...] = FULL_SUITE
+    # Offline-model knobs (scaled from Table 5 for runtime; the paper's
+    # values are embedding=hidden=128, 15+ epochs).
+    lstm_embedding: int = 32
+    lstm_hidden: int = 32
+    lstm_history: int = 30
+    lstm_epochs: int = 8
+    lstm_batch: int = 32
+
+    def hierarchy(self, cores: int = 1) -> HierarchyConfig:
+        return scaled_hierarchy(cores=cores, scale=self.hierarchy_scale)
+
+    def lstm_config(self, vocab_size: int, **overrides) -> LSTMConfig:
+        values = dict(
+            vocab_size=vocab_size,
+            embedding_dim=self.lstm_embedding,
+            hidden_dim=self.lstm_hidden,
+            history=self.lstm_history,
+            batch_size=self.lstm_batch,
+            seed=self.seed,
+        )
+        values.update(overrides)
+        return LSTMConfig(**values)
+
+    def with_length(self, trace_length: int) -> "ExperimentConfig":
+        return replace(self, trace_length=trace_length)
+
+
+#: A fast configuration for unit tests and quick benchmark smoke runs.
+QUICK = ExperimentConfig(
+    trace_length=30_000,
+    lstm_embedding=24,
+    lstm_hidden=24,
+    lstm_history=20,
+    lstm_epochs=5,
+)
+
+#: The default used by the `benchmarks/` harness.
+DEFAULT = ExperimentConfig()
+
+
+class ArtifactCache:
+    """Per-process cache of traces, LLC streams, and Belady labels."""
+
+    def __init__(self, config: ExperimentConfig = DEFAULT) -> None:
+        self.config = config
+        self._streams: dict[str, LLCStream] = {}
+        self._labelled: dict[str, LabelledTrace] = {}
+
+    def trace(self, benchmark: str) -> Trace:
+        return get_trace(
+            benchmark,
+            length=self.config.trace_length,
+            llc_lines=self.config.hierarchy().llc.num_lines,
+            seed=self.config.seed,
+        )
+
+    def llc_stream(self, benchmark: str) -> LLCStream:
+        if benchmark not in self._streams:
+            self._streams[benchmark] = filter_to_llc_stream(
+                self.trace(benchmark), self.config.hierarchy()
+            )
+        return self._streams[benchmark]
+
+    def labelled(self, benchmark: str) -> LabelledTrace:
+        """Belady-labelled LLC stream of a benchmark (offline training data)."""
+        if benchmark not in self._labelled:
+            stream = self.llc_stream(benchmark)
+            hierarchy = self.config.hierarchy()
+            llc_trace = stream.to_trace()
+            llc_trace.metadata.update(stream.metadata)
+            labelled = label_trace(
+                llc_trace, hierarchy.llc.num_sets, hierarchy.llc.associativity
+            )
+            labelled.metadata.update(stream.metadata)
+            self._labelled[benchmark] = labelled
+        return self._labelled[benchmark]
+
+    def clear(self) -> None:
+        self._streams.clear()
+        self._labelled.clear()

@@ -1,0 +1,149 @@
+"""Table 4 / Section 5.5: learning high-level program semantics.
+
+The call-context workload plants the paper's scheduleAt() structure:
+shared target PCs whose caching behaviour is decided by which caller
+(anchor PC) invoked them.  This experiment reports, per target PC:
+
+* Hawkeye's (PC-only) accuracy — capped by the majority class, and
+* the attention LSTM's accuracy — able to condition on the anchor, plus
+* the *source PC with the highest attention weight* for that target,
+  which should be the friendly caller's anchor PC for every target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.dataset import LabelledTrace, SequenceDataset
+from ..ml.model import AttentionLSTM
+from ..ml.svm import OfflineHawkeye
+from ..ml.training import train_linear_model, train_lstm
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+
+
+@dataclass
+class TargetPCResult:
+    """One Table 4 row."""
+
+    target_pc: int
+    attended_source_pc: int
+    hawkeye_accuracy: float
+    lstm_accuracy: float
+    samples: int
+
+    def as_row(self) -> dict:
+        return {
+            "Target PC": hex(self.target_pc),
+            "Source PC": hex(self.attended_source_pc),
+            "Hawkeye %": 100 * self.hawkeye_accuracy,
+            "LSTM %": 100 * self.lstm_accuracy,
+            "n": self.samples,
+        }
+
+
+def _per_pc_accuracy_hawkeye(
+    model: OfflineHawkeye, test: LabelledTrace, dense_pc: int
+) -> tuple[float, int]:
+    mask = test.pcs == dense_pc
+    total = int(np.sum(mask))
+    if not total:
+        return 0.0, 0
+    prediction = model.predict(dense_pc)
+    correct = int(np.sum(test.labels[mask] == prediction))
+    return correct / total, total
+
+
+def _per_pc_lstm_stats(
+    model: AttentionLSTM,
+    dataset: SequenceDataset,
+    dense_targets: list[int],
+) -> dict[int, dict]:
+    """Accuracy and attention-by-source-PC for each dense target id."""
+    stats = {
+        t: {"correct": 0, "total": 0, "attention": {}} for t in dense_targets
+    }
+    history = dataset.history
+    for batch in dataset.batches(model.config.batch_size):
+        logits, _ = model.forward(batch.inputs)
+        weights = model.attention_weights(batch.inputs)
+        predictions = logits >= 0.0
+        truth = batch.targets > 0.5
+        for b in range(batch.inputs.shape[0]):
+            for t in range(history, batch.inputs.shape[1]):
+                pc = int(batch.inputs[b, t])
+                if pc not in stats:
+                    continue
+                entry = stats[pc]
+                entry["total"] += 1
+                entry["correct"] += int(predictions[b, t] == truth[b, t])
+                for s in range(t):
+                    source_pc = int(batch.inputs[b, s])
+                    if source_pc == pc:
+                        continue  # self-attention to the same static PC
+                    w = float(weights[b, t, s])
+                    entry["attention"][source_pc] = (
+                        entry["attention"].get(source_pc, 0.0) + w
+                    )
+    return stats
+
+
+def anchor_pc_analysis(
+    config: ExperimentConfig = DEFAULT,
+    benchmark: str = "omnetpp",
+    cache: ArtifactCache | None = None,
+    hawkeye_epochs: int = 5,
+) -> list[TargetPCResult]:
+    """Reproduce Table 4 on the call-context workload."""
+    cache = cache or ArtifactCache(config)
+    labelled = cache.labelled(benchmark)
+    target_pcs = labelled.metadata.get("target_pcs")
+    if not target_pcs:
+        raise ValueError(
+            f"benchmark {benchmark!r} carries no target_pcs metadata; use the "
+            "call-context workloads (omnetpp / 620.omnetpp)"
+        )
+    dense_targets = []
+    for pc in target_pcs:
+        try:
+            dense_targets.append(labelled.dense_id(pc))
+        except KeyError:
+            continue  # target never reached the LLC stream
+    train, test = labelled.split()
+    hawkeye = OfflineHawkeye()
+    train_linear_model(hawkeye, labelled, epochs=hawkeye_epochs)
+    model, _ = train_lstm(
+        labelled,
+        config.lstm_config(labelled.vocab_size, attention_scale=3.0),
+        epochs=config.lstm_epochs,
+    )
+    test_set = SequenceDataset.from_labelled(test, config.lstm_history)
+    lstm_stats = _per_pc_lstm_stats(model, test_set, dense_targets)
+    results: list[TargetPCResult] = []
+    for dense_pc in dense_targets:
+        hawkeye_acc, _ = _per_pc_accuracy_hawkeye(hawkeye, test, dense_pc)
+        entry = lstm_stats[dense_pc]
+        lstm_acc = entry["correct"] / max(1, entry["total"])
+        attention = entry["attention"]
+        if attention:
+            best_source = max(attention, key=lambda s: attention[s])
+            source_pc = int(labelled.vocabulary[best_source])
+        else:
+            source_pc = 0
+        results.append(
+            TargetPCResult(
+                target_pc=int(labelled.vocabulary[dense_pc]),
+                attended_source_pc=source_pc,
+                hawkeye_accuracy=hawkeye_acc,
+                lstm_accuracy=lstm_acc,
+                samples=entry["total"],
+            )
+        )
+    return results
+
+
+def shares_anchor(results: list[TargetPCResult]) -> bool:
+    """Do all targets attend to the same source PC (the paper's finding)?"""
+    sources = {r.attended_source_pc for r in results if r.samples > 0}
+    return len(sources) <= 1 and bool(results)

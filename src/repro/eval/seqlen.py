@@ -1,0 +1,97 @@
+"""Figure 14: accuracy versus history length.
+
+Three curves, matched to the paper's axes:
+
+* attention LSTM with sequence length N from 10 to 100 (saturates ~30);
+* offline ISVM with k (unique PCs) from 1 to 10 (saturates ~5-6);
+* ordered-history SVM ("Perceptron") with history length 1 to 10
+  (saturates ~4, below the ISVM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ml.svm import OfflineISVM, OrderedHistorySVM
+from ..ml.training import train_linear_model, train_lstm
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+from .tables import arithmetic_mean
+
+
+@dataclass
+class SequenceLengthCurves:
+    """The three Figure 14 curves, averaged over benchmarks.
+
+    Keys are the x-axis values: sequence length N for the LSTM, number
+    of unique PCs (k) for the ISVM, ordered history length for the SVM.
+    """
+
+    lstm: dict[int, float] = field(default_factory=dict)
+    isvm: dict[int, float] = field(default_factory=dict)
+    perceptron: dict[int, float] = field(default_factory=dict)
+
+    def saturation_point(self, curve: str, tolerance: float = 0.01) -> int:
+        """Smallest x within ``tolerance`` of the curve's maximum."""
+        data = getattr(self, curve)
+        if not data:
+            return 0
+        best = max(data.values())
+        for x in sorted(data):
+            if data[x] >= best - tolerance:
+                return x
+        return max(data)
+
+    def rows(self) -> list[dict]:
+        xs = sorted(set(self.lstm) | set(self.isvm) | set(self.perceptron))
+        rows = []
+        for x in xs:
+            rows.append(
+                {
+                    "history": x,
+                    "Attention LSTM %": 100 * self.lstm.get(x, float("nan")),
+                    "Offline ISVM %": 100 * self.isvm.get(x, float("nan")),
+                    "Perceptron %": 100 * self.perceptron.get(x, float("nan")),
+                }
+            )
+        return rows
+
+
+def sequence_length_sweep(
+    config: ExperimentConfig = DEFAULT,
+    benchmarks: tuple[str, ...] | None = None,
+    lstm_lengths: tuple[int, ...] = (10, 20, 30, 40, 50),
+    linear_ks: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    linear_epochs: int = 8,
+    cache: ArtifactCache | None = None,
+    include_lstm: bool = True,
+) -> SequenceLengthCurves:
+    """Reproduce Figure 14 (averaged over ``benchmarks``)."""
+    cache = cache or ArtifactCache(config)
+    benchmarks = benchmarks or config.offline_benchmarks[:3]
+    curves = SequenceLengthCurves()
+    labelled_traces = [cache.labelled(b) for b in benchmarks]
+    for k in linear_ks:
+        isvm_acc = [
+            train_linear_model(OfflineISVM(k=k), lt, epochs=linear_epochs).test_accuracy
+            for lt in labelled_traces
+        ]
+        perc_acc = [
+            train_linear_model(
+                OrderedHistorySVM(history_length=k), lt, epochs=linear_epochs
+            ).test_accuracy
+            for lt in labelled_traces
+        ]
+        curves.isvm[k] = arithmetic_mean(isvm_acc)
+        curves.perceptron[k] = arithmetic_mean(perc_acc)
+    if include_lstm:
+        for n in lstm_lengths:
+            accs = []
+            for lt in labelled_traces:
+                _, run = train_lstm(
+                    lt,
+                    config.lstm_config(lt.vocab_size, history=n),
+                    epochs=config.lstm_epochs,
+                )
+                accs.append(run.test_accuracy)
+            curves.lstm[n] = arithmetic_mean(accs)
+    return curves

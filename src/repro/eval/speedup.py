@@ -1,0 +1,80 @@
+"""Figure 12: single-core speedup over LRU (full timing simulation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.system import SingleCoreSystem
+from ..policies.registry import make_policy
+from ..traces.suite import suite_group
+from .missrate import CONTENDERS
+from .runner import DEFAULT, ArtifactCache, ExperimentConfig
+from .tables import arithmetic_mean, geometric_mean
+
+
+@dataclass
+class SpeedupResult:
+    """Per-benchmark IPC for every policy, with LRU as the baseline."""
+
+    benchmark: str
+    group: str
+    lru_ipc: float
+    ipcs: dict[str, float]
+
+    def speedup_percent(self, policy: str) -> float:
+        if self.lru_ipc <= 0:
+            return 0.0
+        return 100.0 * (self.ipcs[policy] / self.lru_ipc - 1.0)
+
+    def as_row(self) -> dict:
+        row = {"benchmark": self.benchmark, "group": self.group}
+        for policy in self.ipcs:
+            row[policy] = self.speedup_percent(policy)
+        return row
+
+
+def single_core_speedup(
+    config: ExperimentConfig = DEFAULT,
+    benchmarks: tuple[str, ...] | None = None,
+    policies: tuple[str, ...] = CONTENDERS,
+    cache: ArtifactCache | None = None,
+) -> list[SpeedupResult]:
+    """Reproduce Figure 12: full-hierarchy timing runs per policy."""
+    cache = cache or ArtifactCache(config)
+    benchmarks = benchmarks or config.suite
+    results: list[SpeedupResult] = []
+    for benchmark in benchmarks:
+        trace = cache.trace(benchmark)
+        lru = SingleCoreSystem(config.hierarchy(), make_policy("lru")).run(trace)
+        ipcs: dict[str, float] = {}
+        for policy in policies:
+            result = SingleCoreSystem(config.hierarchy(), make_policy(policy)).run(trace)
+            ipcs[policy] = result.ipc
+        try:
+            group = suite_group(benchmark)
+        except KeyError:
+            group = "other"
+        results.append(
+            SpeedupResult(
+                benchmark=benchmark, group=group, lru_ipc=lru.ipc, ipcs=ipcs
+            )
+        )
+    return results
+
+
+def summarize_speedups(results: list[SpeedupResult]) -> list[dict]:
+    """Group-average speedup rows (SPEC17 / SPEC06 / GAP / All)."""
+    policies = list(results[0].ipcs) if results else []
+    rows: list[dict] = []
+    groups = sorted({r.group for r in results}) + ["ALL"]
+    for group in groups:
+        member = [r for r in results if group == "ALL" or r.group == group]
+        if not member:
+            continue
+        row: dict = {"group": group, "n": len(member)}
+        for policy in policies:
+            # Geometric mean of the ratios, reported as a percentage gain.
+            ratios = [1.0 + r.speedup_percent(policy) / 100.0 for r in member]
+            row[policy] = 100.0 * (geometric_mean(ratios) - 1.0)
+        rows.append(row)
+    return rows

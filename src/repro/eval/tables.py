@@ -1,0 +1,50 @@
+"""Plain-text result tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str | None = None) -> str:
+    """Render a list of row-dicts as an aligned text table.
+
+    Column order follows the first row's key order; floats print with 3
+    decimals; all figure/table benches use this for their paper-style
+    output.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, tolerant of an empty sequence."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(1e-12, v)
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

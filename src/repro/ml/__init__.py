@@ -1,0 +1,75 @@
+"""Offline machine-learning substrate (pure NumPy).
+
+* `ops` / `optim` / `layers` — the from-scratch deep-learning stack
+  (stable softmax/sigmoid, Adam, embedding, LSTM with BPTT, scaled
+  dot-product attention with backward).
+* `model` — :class:`AttentionLSTM`, the paper's offline caching model.
+* `svm` — the offline ISVM, the ordered-history SVM ("Perceptron"),
+  and the offline Hawkeye counter baseline.
+* `dataset` / `training` — Belady labelling, 2N-window slicing, 75/25
+  splits, and training loops with convergence telemetry.
+"""
+
+from .dataset import (
+    LabelledTrace,
+    SequenceBatch,
+    SequenceDataset,
+    label_trace,
+)
+from .layers import Embedding, Linear, LSTMLayer, ScaledDotAttention
+from .model import AttentionLSTM, EpochResult, LSTMConfig
+from .ops import (
+    binary_cross_entropy_with_logits,
+    clip_gradients,
+    one_hot,
+    sigmoid,
+    softmax,
+    softmax_backward,
+    tanh,
+)
+from .optim import SGD, Adam
+from .svm import (
+    LinearEpochResult,
+    OfflineHawkeye,
+    OfflineISVM,
+    OrderedHistorySVM,
+)
+from .training import (
+    OfflineRunResult,
+    labelled_llc_trace,
+    make_offline_model,
+    train_linear_model,
+    train_lstm,
+)
+
+__all__ = [
+    "Adam",
+    "AttentionLSTM",
+    "Embedding",
+    "EpochResult",
+    "LSTMConfig",
+    "LSTMLayer",
+    "LabelledTrace",
+    "Linear",
+    "LinearEpochResult",
+    "OfflineHawkeye",
+    "OfflineISVM",
+    "OfflineRunResult",
+    "OrderedHistorySVM",
+    "SGD",
+    "ScaledDotAttention",
+    "SequenceBatch",
+    "SequenceDataset",
+    "binary_cross_entropy_with_logits",
+    "clip_gradients",
+    "label_trace",
+    "labelled_llc_trace",
+    "make_offline_model",
+    "one_hot",
+    "sigmoid",
+    "softmax",
+    "softmax_backward",
+    "tanh",
+    "train_linear_model",
+    "train_lstm",
+]

@@ -1,0 +1,155 @@
+"""Sequence-labelling dataset construction (Section 4.1's preprocessing).
+
+The paper slices the (PC, optimal-decision) trace into fixed-length
+sequences of length 2N, overlapping consecutive sequences by N: the
+first half of every sequence is warm-up context, and only the second
+half's outputs are trained/evaluated.  Offline evaluation uses the first
+75% of the trace for training and the last 25% for testing (Section 5.1,
+"Settings for Offline Evaluation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..optgen.belady import simulate_belady
+from ..traces.trace import Trace
+
+
+@dataclass
+class LabelledTrace:
+    """A trace reduced to (dense PC id, optimal label) pairs.
+
+    ``pcs`` are dense indices into ``vocabulary`` (original PC values),
+    which is what the embedding layer and the offline linear models
+    consume.
+    """
+
+    name: str
+    pcs: np.ndarray  # int32 dense ids
+    labels: np.ndarray  # bool
+    vocabulary: np.ndarray  # dense id -> original PC
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    def split(self, train_fraction: float = 0.75) -> tuple["LabelledTrace", "LabelledTrace"]:
+        cut = int(len(self.pcs) * train_fraction)
+        head = LabelledTrace(
+            self.name, self.pcs[:cut], self.labels[:cut], self.vocabulary,
+            dict(self.metadata),
+        )
+        tail = LabelledTrace(
+            self.name, self.pcs[cut:], self.labels[cut:], self.vocabulary,
+            dict(self.metadata),
+        )
+        return head, tail
+
+    def dense_id(self, original_pc: int) -> int:
+        """Dense index of an original PC value (raises if absent)."""
+        idx = int(np.searchsorted(self.vocabulary, original_pc))
+        if idx >= len(self.vocabulary) or self.vocabulary[idx] != original_pc:
+            raise KeyError(f"PC {original_pc:#x} not in vocabulary")
+        return idx
+
+
+def label_trace(
+    trace: Trace, num_sets: int, associativity: int
+) -> LabelledTrace:
+    """Run Belady's MIN over the trace and attach the optimal labels."""
+    belady = simulate_belady(trace.lines().astype(np.int64), num_sets, associativity)
+    vocabulary, dense = np.unique(trace.pcs, return_inverse=True)
+    return LabelledTrace(
+        name=trace.name,
+        pcs=dense.astype(np.int32),
+        labels=belady.labels.copy(),
+        vocabulary=vocabulary,
+        metadata=dict(trace.metadata),
+    )
+
+
+@dataclass
+class SequenceBatch:
+    """A batch of training sequences.
+
+    ``inputs``/``targets`` have shape (B, 2N); ``mask`` is 1.0 on the
+    second half (the positions whose predictions count) and 0.0 on the
+    warm-up half.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    mask: np.ndarray
+
+
+@dataclass
+class SequenceDataset:
+    """Overlapping 2N-length sequences over a labelled trace."""
+
+    pcs: np.ndarray
+    labels: np.ndarray
+    vocab_size: int
+    history: int  # N: warm-up length == prediction-window length
+    starts: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.pcs)
+        window = 2 * self.history
+        if n < window:
+            raise ValueError(
+                f"trace of {n} accesses is shorter than one 2N window ({window})"
+            )
+        self.starts = np.arange(0, n - window + 1, self.history)
+
+    @classmethod
+    def from_labelled(cls, labelled: LabelledTrace, history: int) -> "SequenceDataset":
+        return cls(
+            pcs=labelled.pcs,
+            labels=labelled.labels.astype(np.float64),
+            vocab_size=labelled.vocab_size,
+            history=history,
+        )
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def sequence(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        start = int(self.starts[index])
+        stop = start + 2 * self.history
+        return self.pcs[start:stop], self.labels[start:stop]
+
+    def batches(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ) -> Iterator[SequenceBatch]:
+        """Yield batches; shuffled when an RNG is provided."""
+        order = np.arange(len(self.starts))
+        if rng is not None:
+            rng.shuffle(order)
+        window = 2 * self.history
+        mask_row = np.concatenate(
+            [np.zeros(self.history), np.ones(self.history)]
+        )
+        for begin in range(0, len(order), batch_size):
+            chunk = order[begin : begin + batch_size]
+            inputs = np.zeros((len(chunk), window), dtype=np.int32)
+            targets = np.zeros((len(chunk), window), dtype=np.float64)
+            for row, seq_index in enumerate(chunk):
+                seq_pcs, seq_labels = self.sequence(int(seq_index))
+                inputs[row] = seq_pcs
+                targets[row] = seq_labels
+            yield SequenceBatch(
+                inputs=inputs,
+                targets=targets,
+                mask=np.tile(mask_row, (len(chunk), 1)),
+            )
+
+    def num_labelled_positions(self) -> int:
+        return len(self.starts) * self.history

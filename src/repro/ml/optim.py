@@ -1,0 +1,83 @@
+"""Optimisers for the NumPy deep-learning stack (SGD and Adam).
+
+The paper trains the attention LSTM with Adam at learning rate 0.001
+(Table 5); SGD is provided for the linear models and for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimiser over a named-parameter dictionary."""
+
+    def __init__(self, params: dict[str, np.ndarray], learning_rate: float) -> None:
+        self.params = params
+        self.learning_rate = learning_rate
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, learning_rate)
+        self.momentum = momentum
+        self._velocity = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        for key, grad in grads.items():
+            if key not in self.params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            if self.momentum:
+                v = self._velocity[key]
+                v *= self.momentum
+                v -= self.learning_rate * grad
+                self.params[key] += v
+            else:
+                self.params[key] -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam [Kingma & Ba 2015] with bias correction."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(params, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for key, grad in grads.items():
+            if key not in self.params:
+                raise KeyError(f"gradient for unknown parameter {key!r}")
+            m = self._m[key]
+            v = self._v[key]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            self.params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,24 @@
+"""Optimal-replacement oracle: exact Belady MIN and streaming OPTgen."""
+
+from .belady import (
+    INF,
+    BeladyResult,
+    belady_labels_for_trace,
+    compute_next_use,
+    simulate_belady,
+)
+from .optgen import OptGen, OptGenDecision, SetOptGen
+from .sampler import OptGenSampler, TrainingEvent
+
+__all__ = [
+    "INF",
+    "BeladyResult",
+    "OptGen",
+    "OptGenDecision",
+    "OptGenSampler",
+    "SetOptGen",
+    "TrainingEvent",
+    "belady_labels_for_trace",
+    "compute_next_use",
+    "simulate_belady",
+]

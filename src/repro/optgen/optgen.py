@@ -1,0 +1,131 @@
+"""OPTgen: Hawkeye's occupancy-vector reconstruction of MIN's decisions.
+
+OPTgen [Jain & Lin 2016] answers, *in streaming order*, the question
+"would Belady's MIN have served this reuse from the cache?" without
+looking into the future.  For each set it keeps an *occupancy vector*:
+entry ``t`` counts how many lines MIN keeps cached across time step
+``t``.  When line X, last accessed at time ``t'``, is accessed again at
+time ``t``, the reuse can be an OPT hit iff every occupancy entry in
+``[t', t)`` is below the cache's associativity; if so the interval is
+claimed (all entries incremented), otherwise the reuse is an OPT miss.
+
+This greedy interval-claiming is exact: liveness intervals end at the
+current access, so claiming earlier-ending intervals first (which
+streaming order guarantees) is the classic optimal strategy for
+interval scheduling with capacities.
+
+Two variants are provided:
+
+* :class:`OptGen` — unbounded history; exact MIN hit counts (verified
+  against :func:`~repro.optgen.belady.simulate_belady` in the tests).
+* the ``window`` parameter — bounded history as in Hawkeye's hardware,
+  where the vector covers the last ``8 x associativity`` time steps and
+  older reuses are conservatively declared misses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass
+class OptGenDecision:
+    """OPTgen's verdict for one access."""
+
+    hit: bool  # would MIN have hit?
+    first_access: bool  # cold access (no previous occurrence in window)
+
+
+class SetOptGen:
+    """Occupancy-vector OPTgen for a single cache set.
+
+    Time advances by one step per access *to this set*.  ``window``
+    bounds how far back an occupancy interval may reach; ``None`` means
+    unbounded (exact).
+    """
+
+    def __init__(self, capacity: int, window: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.window = window
+        self.time = 0
+        # occupancy[i] covers time step (base_time + i).
+        self.occupancy: deque[int] = deque()
+        self.base_time = 0
+        self.last_access: dict[int, int] = {}  # line -> time of last access
+        self.opt_hits = 0
+        self.opt_misses = 0
+
+    def _trim(self) -> None:
+        if self.window is None:
+            return
+        while len(self.occupancy) > self.window:
+            self.occupancy.popleft()
+            self.base_time += 1
+
+    def access(self, line: int) -> OptGenDecision:
+        """Process one access to ``line``; returns MIN's hit/miss verdict."""
+        now = self.time
+        prev = self.last_access.get(line)
+        first = prev is None or prev < self.base_time
+        hit = False
+        if not first:
+            # Check occupancy over [prev, now).
+            lo = prev - self.base_time
+            hi = now - self.base_time
+            interval = [self.occupancy[i] for i in range(lo, hi)]
+            if all(x < self.capacity for x in interval):
+                hit = True
+                for i in range(lo, hi):
+                    self.occupancy[i] += 1
+        if hit:
+            self.opt_hits += 1
+        else:
+            self.opt_misses += 1
+        self.last_access[line] = now
+        self.occupancy.append(0)
+        self.time += 1
+        self._trim()
+        if self.window is not None and len(self.last_access) > 4 * self.window:
+            # Garbage-collect stale last-access entries outside the window.
+            self.last_access = {
+                l: t for l, t in self.last_access.items() if t >= self.base_time
+            }
+        return OptGenDecision(hit=hit, first_access=first)
+
+    @property
+    def accesses(self) -> int:
+        return self.opt_hits + self.opt_misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.opt_hits / max(1, self.accesses)
+
+
+class OptGen:
+    """OPTgen across all sets of a cache."""
+
+    def __init__(
+        self, num_sets: int, associativity: int, window: int | None = None
+    ) -> None:
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.sets = [SetOptGen(associativity, window) for _ in range(num_sets)]
+
+    def access(self, line: int) -> OptGenDecision:
+        return self.sets[line % self.num_sets].access(line)
+
+    @property
+    def opt_hits(self) -> int:
+        return sum(s.opt_hits for s in self.sets)
+
+    @property
+    def opt_misses(self) -> int:
+        return sum(s.opt_misses for s in self.sets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.opt_hits + self.opt_misses
+        return self.opt_hits / max(1, total)

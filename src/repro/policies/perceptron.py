@@ -1,0 +1,239 @@
+"""Perceptron-based reuse prediction [Teran, Wang & Jiménez, MICRO 2016].
+
+The online perceptron predictor keeps one weight table per feature; a
+prediction sums the weights selected by hashing each feature value, and
+compares against a threshold: large positive sums predict *no reuse*
+(bypass / distant insertion).  Training follows the perceptron rule on
+sampled sets — update only on misprediction or when the magnitude of the
+sum is below the training threshold θ.
+
+As in the paper's offline comparison, the distinguishing input is an
+*ordered* history of the last three load PCs (each conditioned on its
+position), in contrast to Glider's unordered unique-PC history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cache.block import AccessType, CacheLine, CacheRequest
+from ..cache.policy import BYPASS, ReplacementPolicy
+from .rrip import RRPV_KEY, rrip_victim
+
+
+def _mix(value: int, salt: int, bits: int) -> int:
+    x = (value ^ (salt * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 12
+    x = (x * 0xD6E8FEB86659FD93) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 25
+    return x & ((1 << bits) - 1)
+
+
+@dataclass
+class PerceptronFeature:
+    """One weight table plus the recipe for extracting its index."""
+
+    name: str
+    table_bits: int
+    weights: list[int]
+    salt: int
+
+    @classmethod
+    def create(cls, name: str, table_bits: int, salt: int) -> "PerceptronFeature":
+        return cls(name, table_bits, [0] * (1 << table_bits), salt)
+
+    def index(self, value: int) -> int:
+        return _mix(value, self.salt, self.table_bits)
+
+
+class PerceptronReusePredictor:
+    """Sum-of-weights predictor over hashed features with θ-gated training."""
+
+    def __init__(
+        self,
+        history_length: int = 3,
+        table_bits: int = 12,
+        theta: int = 32,
+        weight_min: int = -32,
+        weight_max: int = 31,
+    ) -> None:
+        self.history_length = history_length
+        self.theta = theta
+        self.weight_min = weight_min
+        self.weight_max = weight_max
+        self.features = [PerceptronFeature.create("pc", table_bits, salt=101)]
+        for i in range(history_length):
+            self.features.append(
+                PerceptronFeature.create(f"pc_hist_{i + 1}", table_bits, salt=211 + i)
+            )
+        self.features.append(PerceptronFeature.create("addr", table_bits, salt=307))
+
+    def _values(self, pc: int, history: Sequence[int], address: int) -> list[int]:
+        values = [pc]
+        for i in range(self.history_length):
+            # Ordered history: position i carries the i-th most recent PC.
+            values.append(history[i] if i < len(history) else 0)
+        values.append(address >> 12)  # page number: coarse address feature
+        return values
+
+    def predict(self, pc: int, history: Sequence[int], address: int) -> int:
+        """Return the summed weight ("yout"); >0 leans *no reuse*."""
+        total = 0
+        for feature, value in zip(self.features, self._values(pc, history, address)):
+            total += feature.weights[feature.index(value)]
+        return total
+
+    def train(
+        self, pc: int, history: Sequence[int], address: int, reused: bool
+    ) -> None:
+        """Perceptron update: push the sum toward -θ (reused) or +θ (dead)."""
+        total = self.predict(pc, history, address)
+        predicted_dead = total > 0
+        actually_dead = not reused
+        if predicted_dead != actually_dead or abs(total) < self.theta:
+            delta = 1 if actually_dead else -1
+            for feature, value in zip(
+                self.features, self._values(pc, history, address)
+            ):
+                idx = feature.index(value)
+                w = feature.weights[idx] + delta
+                feature.weights[idx] = max(self.weight_min, min(self.weight_max, w))
+
+    def reset(self) -> None:
+        for feature in self.features:
+            feature.weights = [0] * len(feature.weights)
+
+
+@dataclass
+class _SamplerEntry:
+    tag: int = -1
+    pc: int = 0
+    history: tuple = ()
+    address: int = 0
+    lru: int = 0
+    valid: bool = False
+
+
+class PerceptronPolicy(ReplacementPolicy):
+    """LLC policy driven by the perceptron reuse predictor.
+
+    Predicted-dead fills insert at distant RRPV (optionally bypass);
+    predicted-live fills insert near.  A decoupled sampler provides
+    ground-truth reuse labels, as in SDBP/Perceptron hardware proposals.
+    """
+
+    name = "perceptron"
+
+    def __init__(
+        self,
+        history_length: int = 3,
+        table_bits: int = 12,
+        theta: int = 32,
+        rrpv_bits: int = 3,
+        num_sampler_sets: int = 64,
+        sampler_assoc: int = 16,
+        allow_bypass: bool = False,
+        dead_threshold: int = 8,
+    ) -> None:
+        super().__init__()
+        self.predictor = PerceptronReusePredictor(
+            history_length=history_length, table_bits=table_bits, theta=theta
+        )
+        self.max_rrpv = (1 << rrpv_bits) - 1
+        self.num_sampler_sets = num_sampler_sets
+        self.sampler_assoc = sampler_assoc
+        self.allow_bypass = allow_bypass
+        self.dead_threshold = dead_threshold
+        self.history: deque[int] = deque(maxlen=history_length)
+        # Pre-append snapshot so prediction and training share contexts.
+        self._inflight_history: tuple[int, ...] = ()
+        self._sampler: list[list[_SamplerEntry]] = []
+        self._sampled_sets: dict[int, int] = {}
+        self._clock = 0
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        count = min(self.num_sampler_sets, cache.num_sets)
+        stride = max(1, cache.num_sets // count)
+        self._sampled_sets = {i * stride: i for i in range(count)}
+        self._sampler = [
+            [_SamplerEntry() for _ in range(self.sampler_assoc)] for _ in range(count)
+        ]
+
+    # -- sampler ------------------------------------------------------------
+    def _sampler_access(self, sampler_index: int, request: CacheRequest) -> None:
+        self._clock += 1
+        entries = self._sampler[sampler_index]
+        tag = request.address >> 6
+        for entry in entries:
+            if entry.valid and entry.tag == tag:
+                self.predictor.train(entry.pc, entry.history, entry.address, reused=True)
+                entry.pc = request.pc
+                entry.history = self._inflight_history
+                entry.address = request.address
+                entry.lru = self._clock
+                return
+        victim = min(entries, key=lambda e: (e.valid, e.lru))
+        if victim.valid:
+            self.predictor.train(victim.pc, victim.history, victim.address, reused=False)
+        victim.valid = True
+        victim.tag = tag
+        victim.pc = request.pc
+        victim.history = self._inflight_history
+        victim.address = request.address
+        victim.lru = self._clock
+
+    # -- hooks ------------------------------------------------------------------
+    def on_access(self, set_index: int, request: CacheRequest) -> None:
+        if request.access_type is AccessType.WRITEBACK:
+            return
+        self._inflight_history = tuple(self.history)
+        sampler_index = self._sampled_sets.get(set_index)
+        if sampler_index is not None:
+            self._sampler_access(sampler_index, request)
+        self.history.appendleft(request.pc)
+
+    def _predict_dead(self, request: CacheRequest) -> bool:
+        yout = self.predictor.predict(
+            request.pc, self._inflight_history, request.address
+        )
+        return yout > self.dead_threshold
+
+    def on_hit(self, set_index: int, way: int, request: CacheRequest) -> None:
+        if request.access_type is AccessType.WRITEBACK:
+            return
+        line = self.cache.sets[set_index][way]
+        line.policy_state[RRPV_KEY] = self.max_rrpv if self._predict_dead(request) else 0
+
+    def victim(
+        self, set_index: int, request: CacheRequest, ways: Sequence[CacheLine]
+    ) -> int:
+        invalid = self.first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        if (
+            self.allow_bypass
+            and request.access_type is not AccessType.WRITEBACK
+            and self._predict_dead(request)
+        ):
+            return BYPASS
+        return rrip_victim(ways, self.max_rrpv)
+
+    def on_fill(self, set_index: int, way: int, request: CacheRequest) -> None:
+        line = self.cache.sets[set_index][way]
+        if request.access_type is AccessType.WRITEBACK:
+            line.policy_state[RRPV_KEY] = self.max_rrpv
+            return
+        line.policy_state[RRPV_KEY] = (
+            self.max_rrpv if self._predict_dead(request) else 0
+        )
+
+    def reset(self) -> None:
+        self.predictor.reset()
+        self.history.clear()
+        self._inflight_history = ()
+        if self.cache is not None:
+            self.attach(self.cache)
+        self._clock = 0

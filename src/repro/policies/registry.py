@@ -1,0 +1,67 @@
+"""Policy registry: build any registered replacement policy by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cache.policy import ReplacementPolicy
+from ..core.glider import GliderConfig, GliderPolicy
+from .hawkeye import HawkeyePolicy
+from .lru import LRUPolicy, MRUPolicy
+from .mpppb import MPPPBPolicy
+from .perceptron import PerceptronPolicy
+from .random_policy import RandomPolicy
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .sdbp import SDBPPolicy
+from .ship import SHiPPlusPlusPolicy, SHiPPolicy
+
+_FACTORIES: dict[str, Callable[[], ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "mru": MRUPolicy,
+    "random": RandomPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ship": SHiPPolicy,
+    "ship++": SHiPPlusPlusPolicy,
+    "sdbp": SDBPPolicy,
+    "perceptron": PerceptronPolicy,
+    "mpppb": MPPPBPolicy,
+    "hawkeye": HawkeyePolicy,
+    "glider": lambda: GliderPolicy(GliderConfig()),
+}
+
+#: The policies compared in the paper's online evaluation (Figures 11-13).
+PAPER_POLICIES = ("lru", "hawkeye", "mpppb", "ship++", "glider")
+
+
+def available_policies() -> list[str]:
+    """Names of all constructible policies."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Construct a fresh policy instance by registry name.
+
+    ``kwargs`` are forwarded to the policy constructor, except for the
+    parameterless registry entries (which reject them).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    if kwargs:
+        # Resolve the class to forward kwargs (lambdas wrap defaults only).
+        if name == "glider":
+            return GliderPolicy(GliderConfig(**kwargs))
+        return factory.__call__(**kwargs)  # type: ignore[call-arg]
+    return factory()
+
+
+def register_policy(name: str, factory: Callable[[], ReplacementPolicy]) -> None:
+    """Register a custom policy factory (for user extensions and tests)."""
+    if name in _FACTORIES:
+        raise ValueError(f"policy {name!r} is already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,158 @@
+"""SDBP: sampling dead block prediction [Khan, Tian & Jiménez, MICRO 2010].
+
+SDBP decouples prediction from the cache proper: a small *sampler* of
+decoupled, lower-associativity sets with its own LRU stack observes a
+subset of the access stream.  When a sampler entry is evicted without
+reuse, the PC that inserted it is trained "dead"; when a sampler entry
+hits, it is trained "live".  A skewed predictor — three tables indexed
+by different hashes of the PC — supplies dead/live predictions for all
+sets: predicted-dead fills are inserted at distant priority (or
+bypassed), and eviction prefers lines predicted dead at their last
+touch, falling back to LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cache.block import CacheLine, CacheRequest
+from ..cache.policy import BYPASS, ReplacementPolicy
+
+_DEAD = "sdbp_dead"
+
+
+def _hash(pc: int, salt: int, bits: int) -> int:
+    x = (pc ^ (salt * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 13
+    x = (x * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 7
+    return x & ((1 << bits) - 1)
+
+
+@dataclass
+class _SamplerEntry:
+    tag: int = -1
+    pc: int = 0
+    lru: int = 0
+    valid: bool = False
+    used: bool = False
+
+
+class SkewedPredictor:
+    """Three-table skewed saturating-counter predictor (majority by sum)."""
+
+    def __init__(self, table_bits: int = 12, counter_bits: int = 2, threshold: int = 8) -> None:
+        self.table_bits = table_bits
+        self.counter_max = (1 << counter_bits) - 1
+        self.threshold = threshold
+        self.tables = [[0] * (1 << table_bits) for _ in range(3)]
+
+    def _indices(self, pc: int) -> list[int]:
+        return [_hash(pc, salt, self.table_bits) for salt in (1, 2, 3)]
+
+    def train(self, pc: int, dead: bool) -> None:
+        for table, idx in zip(self.tables, self._indices(pc)):
+            if dead:
+                table[idx] = min(self.counter_max, table[idx] + 1)
+            else:
+                table[idx] = max(0, table[idx] - 1)
+
+    def confidence(self, pc: int) -> int:
+        return sum(table[idx] for table, idx in zip(self.tables, self._indices(pc)))
+
+    def predict_dead(self, pc: int) -> bool:
+        # Threshold is expressed against the summed confidence; with 2-bit
+        # counters the sum ranges 0..9, and the canonical threshold is 8.
+        return self.confidence(pc) >= min(self.threshold, 3 * self.counter_max - 1)
+
+
+class SDBPPolicy(ReplacementPolicy):
+    """Sampling dead block prediction over an LRU substrate."""
+
+    name = "sdbp"
+
+    def __init__(
+        self,
+        num_sampler_sets: int = 32,
+        sampler_assoc: int = 12,
+        table_bits: int = 12,
+        allow_bypass: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_sampler_sets = num_sampler_sets
+        self.sampler_assoc = sampler_assoc
+        self.predictor = SkewedPredictor(table_bits=table_bits)
+        self.allow_bypass = allow_bypass
+        self._sampler: list[list[_SamplerEntry]] = [
+            [_SamplerEntry() for _ in range(sampler_assoc)]
+            for _ in range(num_sampler_sets)
+        ]
+        self._sampler_clock = 0
+        self._sampled_sets: dict[int, int] = {}
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        stride = max(1, cache.num_sets // self.num_sampler_sets)
+        self._sampled_sets = {
+            i * stride: i
+            for i in range(min(self.num_sampler_sets, cache.num_sets))
+        }
+
+    # -- sampler -----------------------------------------------------------
+    def _sampler_access(self, sampler_index: int, request: CacheRequest) -> None:
+        self._sampler_clock += 1
+        entries = self._sampler[sampler_index]
+        tag = request.address >> 6  # partial-tag granularity: the line number
+        for entry in entries:
+            if entry.valid and entry.tag == tag:
+                self.predictor.train(entry.pc, dead=False)  # reuse observed
+                entry.lru = self._sampler_clock
+                entry.pc = request.pc
+                entry.used = True
+                return
+        # Miss in sampler: evict sampler-LRU entry, training it dead if unused.
+        victim = min(entries, key=lambda e: (e.valid, e.lru))
+        if victim.valid and not victim.used:
+            self.predictor.train(victim.pc, dead=True)
+        victim.valid = True
+        victim.tag = tag
+        victim.pc = request.pc
+        victim.lru = self._sampler_clock
+        victim.used = False
+
+    # -- hooks ---------------------------------------------------------------
+    def on_access(self, set_index: int, request: CacheRequest) -> None:
+        sampler_index = self._sampled_sets.get(set_index)
+        if sampler_index is not None:
+            self._sampler_access(sampler_index, request)
+
+    def on_hit(self, set_index: int, way: int, request: CacheRequest) -> None:
+        line = self.cache.sets[set_index][way]
+        line.policy_state[_DEAD] = self.predictor.predict_dead(request.pc)
+
+    def victim(
+        self, set_index: int, request: CacheRequest, ways: Sequence[CacheLine]
+    ) -> int:
+        invalid = self.first_invalid(ways)
+        if invalid is not None:
+            return invalid
+        # Bypass predicted-dead fills entirely (LLC is non-inclusive).
+        if self.allow_bypass and self.predictor.predict_dead(request.pc):
+            return BYPASS
+        for way, line in enumerate(ways):
+            if line.policy_state.get(_DEAD, False):
+                return way
+        oldest_way = min(range(len(ways)), key=lambda w: ways[w].last_touch)
+        return oldest_way
+
+    def on_fill(self, set_index: int, way: int, request: CacheRequest) -> None:
+        line = self.cache.sets[set_index][way]
+        line.policy_state[_DEAD] = self.predictor.predict_dead(request.pc)
+
+    def reset(self) -> None:
+        self.predictor = SkewedPredictor(table_bits=self.predictor.table_bits)
+        for entries in self._sampler:
+            for entry in entries:
+                entry.valid = False
+        self._sampler_clock = 0

@@ -1,0 +1,98 @@
+"""Workload and trace substrate.
+
+Public surface:
+
+* :class:`~repro.traces.trace.Trace`, :class:`~repro.traces.trace.Access`
+  — the access-stream containers every simulator and model consumes.
+* :func:`~repro.traces.suite.get_trace` and the suite constants — the
+  33-workload evaluation suite of the paper.
+* The synthetic-kernel library (`synthetic`), SPEC-like models (`spec`),
+  GAP graph kernels (`gap`), and the anchor-PC call-context workload
+  (`callctx`).
+* Multi-core mixes (`mixes`), trace statistics (`stats`), and npz/csv IO.
+"""
+
+from .callctx import CallContextProgram
+from .gap import build_gap, gap_benchmark_names, make_power_law_graph
+from .io import load_csv, load_npz, save_csv, save_npz
+from .mixes import WorkloadMix, make_mixes
+from .spec import build_spec, spec_benchmark_names
+from .stats import TraceStatistics, pc_access_counts, trace_statistics
+from .suite import (
+    DEFAULT_LLC_LINES,
+    DEFAULT_TRACE_LENGTH,
+    FULL_SUITE,
+    GAP_SUITE,
+    OFFLINE_BENCHMARKS,
+    SPEC2006_SUITE,
+    SPEC2017_SUITE,
+    all_benchmark_names,
+    clear_trace_cache,
+    get_trace,
+    suite_group,
+)
+from .synthetic import (
+    Arena,
+    HotLoopKernel,
+    Kernel,
+    Phase,
+    PcAllocator,
+    PointerChaseKernel,
+    Program,
+    Region,
+    ScanPointKernel,
+    StackKernel,
+    StencilKernel,
+    StreamKernel,
+    TraceBuilder,
+    ZipfKernel,
+    interleave,
+)
+from .trace import DEFAULT_LINE_SIZE, Access, Trace
+
+__all__ = [
+    "Access",
+    "Arena",
+    "CallContextProgram",
+    "DEFAULT_LINE_SIZE",
+    "DEFAULT_LLC_LINES",
+    "DEFAULT_TRACE_LENGTH",
+    "FULL_SUITE",
+    "GAP_SUITE",
+    "HotLoopKernel",
+    "Kernel",
+    "OFFLINE_BENCHMARKS",
+    "Phase",
+    "PcAllocator",
+    "PointerChaseKernel",
+    "Program",
+    "Region",
+    "SPEC2006_SUITE",
+    "SPEC2017_SUITE",
+    "ScanPointKernel",
+    "StackKernel",
+    "StencilKernel",
+    "StreamKernel",
+    "Trace",
+    "TraceBuilder",
+    "TraceStatistics",
+    "WorkloadMix",
+    "ZipfKernel",
+    "all_benchmark_names",
+    "build_gap",
+    "build_spec",
+    "clear_trace_cache",
+    "gap_benchmark_names",
+    "get_trace",
+    "interleave",
+    "load_csv",
+    "load_npz",
+    "make_mixes",
+    "make_power_law_graph",
+    "pc_access_counts",
+    "save_csv",
+    "save_npz",
+    "spec_benchmark_names",
+    "suite_group",
+    "trace_statistics",
+]

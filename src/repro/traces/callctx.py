@@ -1,0 +1,172 @@
+"""Call-context-dependent workload (the anchor-PC case study).
+
+Section 5.5 of the paper studies omnetpp's ``scheduleAt()`` method: four
+target load PCs inside the shared method access a message object whose
+cache behaviour depends on *which caller* passed the message —
+``scheduleEndIFGPeriod()`` passes the recycled ``endIFGMsg`` (friendly),
+while other callers pass short-lived messages (averse).  A PC-only
+predictor (Hawkeye) is forced to a single decision per target PC; a
+history-based predictor can condition on the caller's *anchor PC*.
+
+:class:`CallContextProgram` reproduces this structure synthetically:
+
+* a shared "function" with ``n_target_pcs`` load PCs that dereference the
+  message object passed by the caller;
+* several caller sites, each with its own anchor PC and its own message
+  pool — one caller's pool is a few recycled objects (cache-friendly),
+  the others draw from large arenas (cache-averse);
+* caller-local prologue accesses so the anchor PC appears in the PC
+  history *before* the target PCs fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .synthetic import Arena, PcAllocator, Region, TraceBuilder
+from .trace import Trace
+
+
+@dataclass
+class CallerSite:
+    """One call site of the shared function.
+
+    Attributes:
+        anchor_pc: PC of the caller's distinguishing load.
+        pool: Region the caller's message objects live in.
+        friendly: Whether this caller's objects are recycled (reusable).
+        weight: Relative invocation frequency.
+        prologue_pcs: Caller-local PCs executed before the call.
+        prologue_region: Caller-local scratch data.
+    """
+
+    anchor_pc: int
+    pool: Region
+    friendly: bool
+    weight: float
+    prologue_pcs: list[int]
+    prologue_region: Region
+    _cursor: int = field(default=0, repr=False)
+    _prologue_cursor: int = field(default=0, repr=False)
+
+    def next_message_line(self, rng: np.random.Generator) -> int:
+        """Pick the message object (line index in the pool) for this call."""
+        n = self.pool.num_lines()
+        if self.friendly:
+            # Recycled messages: round-robin over a handful of objects.
+            line = self._cursor % n
+            self._cursor += 1
+            return line
+        # Fresh allocation each time: sequential sweep through a pool
+        # several times the LLC, so a line only recurs after the whole
+        # pool has been traversed — genuinely cache-averse.
+        line = self._cursor % n
+        self._cursor += 1
+        return line
+
+
+class CallContextProgram:
+    """Synthetic program reproducing the scheduleAt() anchor-PC effect.
+
+    Args:
+        n_callers: Number of distinct call sites (>= 2).
+        n_target_pcs: Loads inside the shared function (paper uses 4).
+        friendly_pool_lines: Size (in lines) of the recycled message pool.
+        averse_pool_lines: Size (in lines) of each short-lived pool; make
+            this comfortably larger than the simulated LLC so the averse
+            callers' objects genuinely do not fit.
+        seed: Seed for the pool/permutation construction (not the emission
+            RNG, which is passed to :meth:`generate`).
+    """
+
+    def __init__(
+        self,
+        n_callers: int = 3,
+        n_target_pcs: int = 4,
+        friendly_pool_lines: int = 32,
+        averse_pool_lines: int = 8192,
+        prologue_len: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if n_callers < 2:
+            raise ValueError("need at least one friendly and one averse caller")
+        pc_alloc = PcAllocator()
+        arena = Arena()
+        self.target_pcs = pc_alloc.alloc(n_target_pcs)
+        self.callers: list[CallerSite] = []
+        for i in range(n_callers):
+            friendly = i == 0
+            pool_lines = friendly_pool_lines if friendly else averse_pool_lines
+            self.callers.append(
+                CallerSite(
+                    anchor_pc=pc_alloc.one(),
+                    pool=arena.region(pool_lines * 64),
+                    friendly=friendly,
+                    weight=1.0,
+                    prologue_pcs=pc_alloc.alloc(prologue_len),
+                    # Large enough that the per-call walk never re-visits
+                    # a line within the trace: prologue data is streaming.
+                    prologue_region=arena.region(4 * averse_pool_lines * 64),
+                )
+            )
+        # Event-queue bookkeeping shared by all callers (mildly friendly).
+        self.queue_pcs = pc_alloc.alloc(2)
+        self.queue_region = arena.region(64 * 64)
+        self._queue_cursor = 0
+        self._seed = seed
+
+    @property
+    def anchor_pc(self) -> int:
+        """The friendly caller's anchor PC (the paper's single source PC)."""
+        return self.callers[0].anchor_pc
+
+    def generate(self, n_accesses: int, seed: int | None = None) -> Trace:
+        """Emit at least ``n_accesses`` accesses of interleaved calls."""
+        rng = np.random.default_rng(self._seed if seed is None else seed)
+        out = TraceBuilder("callctx")
+        weights = np.array([c.weight for c in self.callers], dtype=np.float64)
+        weights /= weights.sum()
+        while len(out) < n_accesses:
+            caller = self.callers[int(rng.choice(len(self.callers), p=weights))]
+            # Caller prologue: each call walks fresh caller-private data
+            # (argument marshalling, queue nodes).  The walk is streaming,
+            # so these accesses miss L1/L2 and the anchor PC is *visible
+            # in the LLC access stream* — a context-based LLC predictor
+            # can only condition on PCs that actually reach the LLC.
+            for pc in caller.prologue_pcs:
+                out.emit(
+                    pc,
+                    caller.prologue_region.line_address(caller._prologue_cursor),
+                )
+                caller._prologue_cursor += 1
+            out.emit(
+                caller.anchor_pc,
+                caller.prologue_region.line_address(caller._prologue_cursor),
+            )
+            caller._prologue_cursor += 1
+            # Shared function body: dereference the message object fields.
+            msg_line = caller.next_message_line(rng)
+            base = caller.pool.line_address(msg_line)
+            for k, pc in enumerate(self.target_pcs):
+                out.emit(pc, base + (k % 8) * 8)  # fields within the object line
+            # Shared event-queue insert (same for all callers).
+            for pc in self.queue_pcs:
+                out.emit(
+                    pc,
+                    self.queue_region.line_address(self._queue_cursor % 64),
+                    True,
+                )
+            self._queue_cursor += 1
+        trace = out.build(instructions_per_access=5.0)
+        trace.metadata["target_pcs"] = list(self.target_pcs)
+        trace.metadata["anchor_pc"] = self.anchor_pc
+        trace.metadata["caller_anchor_pcs"] = [c.anchor_pc for c in self.callers]
+        # All caller-private PCs (anchor + prologue): any of these
+        # identifies the calling context, so attention landing on any of
+        # them demonstrates the anchor effect.
+        trace.metadata["caller_context_pcs"] = [
+            pc for c in self.callers for pc in [c.anchor_pc, *c.prologue_pcs]
+        ]
+        return trace

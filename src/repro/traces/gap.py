@@ -1,0 +1,336 @@
+"""GAP benchmark-suite workload models (bc, bfs, cc, pr, sssp, tc).
+
+Unlike the SPEC models, these are *functional*: we run the actual graph
+algorithm over a synthetic power-law graph laid out in CSR form and emit
+the memory accesses the algorithm's inner loops would perform — offset
+reads, sequential adjacency-list walks, and irregular property-array
+accesses.  This reproduces the GAP suite's signature behaviour: the edge
+array streams (cache-averse per PC), the offset array has high locality,
+and property arrays are zipf-like because power-law graphs concentrate
+traffic on high-degree vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .synthetic import Arena, PcAllocator, TraceBuilder
+from .trace import DEFAULT_LINE_SIZE, Trace
+
+_LINE = DEFAULT_LINE_SIZE
+#: Bytes per CSR entry (vertex ids and offsets are modelled as 8-byte).
+_WORD = 8
+_WORDS_PER_LINE = _LINE // _WORD
+
+#: Registered GAP builders: name -> function(trace length, graph scale, seed).
+GAP_BUILDERS: dict[str, Callable[[int, int, int], Trace]] = {}
+
+
+def _register(name: str):
+    def deco(fn):
+        GAP_BUILDERS[name] = fn
+        return fn
+
+    return deco
+
+
+@dataclass
+class GraphCSR:
+    """A directed graph in compressed-sparse-row form with address layout.
+
+    ``offsets`` has ``n + 1`` entries; the neighbours of vertex ``u`` are
+    ``neighbors[offsets[u]:offsets[u + 1]]``.  The three address bases
+    locate the CSR arrays and the per-vertex property array in the
+    synthetic address space.
+    """
+
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    offsets_base: int
+    neighbors_base: int
+    properties_base: int
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.neighbors)
+
+    def degree(self, u: int) -> int:
+        return int(self.offsets[u + 1] - self.offsets[u])
+
+    # -- address helpers -------------------------------------------------
+    def offset_addr(self, u: int) -> int:
+        return self.offsets_base + u * _WORD
+
+    def neighbor_addr(self, edge_index: int) -> int:
+        return self.neighbors_base + edge_index * _WORD
+
+    def property_addr(self, u: int, array_index: int = 0) -> int:
+        stride = (self.num_vertices * _WORD + _LINE) // _LINE * _LINE
+        return self.properties_base + array_index * stride + u * _WORD
+
+
+def make_power_law_graph(
+    num_vertices: int = 4096,
+    mean_degree: int = 12,
+    seed: int = 0,
+    arena: Arena | None = None,
+) -> GraphCSR:
+    """Generate a power-law (Barabási–Albert-like) directed graph in CSR.
+
+    Uses a preferential-attachment construction written directly with
+    NumPy so graph generation stays fast at trace-generation scale.
+    """
+    rng = np.random.default_rng(seed)
+    m = max(1, mean_degree // 2)
+    targets: list[np.ndarray] = []
+    sources: list[np.ndarray] = []
+    # Repeated-nodes list for preferential attachment.
+    repeated = list(range(m + 1))
+    for u in range(m + 1, num_vertices):
+        chosen = rng.choice(len(repeated), size=m, replace=False)
+        vs = np.array([repeated[c] for c in chosen], dtype=np.int64)
+        sources.append(np.full(m, u, dtype=np.int64))
+        targets.append(vs)
+        repeated.extend(vs.tolist())
+        repeated.extend([u] * m)
+    src = np.concatenate(sources) if sources else np.zeros(0, dtype=np.int64)
+    dst = np.concatenate(targets) if targets else np.zeros(0, dtype=np.int64)
+    # Symmetrise so every edge is walkable from both ends.
+    src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.add.at(offsets, src + 1, 1)
+    offsets = np.cumsum(offsets)
+    arena = arena or Arena()
+    offsets_region = arena.region((num_vertices + 1) * _WORD)
+    neighbors_region = arena.region(max(1, len(dst)) * _WORD)
+    properties_region = arena.region(4 * ((num_vertices * _WORD + _LINE) // _LINE * _LINE))
+    return GraphCSR(
+        offsets=offsets,
+        neighbors=dst,
+        offsets_base=offsets_region.start,
+        neighbors_base=neighbors_region.start,
+        properties_base=properties_region.start,
+    )
+
+
+class _GapEmitter:
+    """Shared emission helpers: one PC per static access site."""
+
+    def __init__(self, name: str, graph: GraphCSR) -> None:
+        self.graph = graph
+        self.out = TraceBuilder(name)
+        pcs = PcAllocator()
+        self.pc_offset = pcs.one()  # load offsets[u] / offsets[u+1]
+        self.pc_neighbor = pcs.one()  # load neighbors[e]
+        self.pc_prop_read = pcs.one()  # read property[v] (irregular)
+        self.pc_prop_write = pcs.one()  # write property[u]
+        self.pc_frontier = pcs.one()  # sequential frontier/queue traffic
+        self.pc_aux_read = pcs.one()  # second property array read
+        self.pc_aux_write = pcs.one()  # second property array write
+
+    def visit_vertex_edges(self, u: int, read_prop_of_neighbors: bool = True) -> None:
+        """Emit the CSR walk for vertex ``u``'s out-edges."""
+        g, out = self.graph, self.out
+        out.emit(self.pc_offset, g.offset_addr(u))
+        start, stop = int(g.offsets[u]), int(g.offsets[u + 1])
+        for e in range(start, stop):
+            out.emit(self.pc_neighbor, g.neighbor_addr(e))
+            if read_prop_of_neighbors:
+                out.emit(self.pc_prop_read, g.property_addr(int(g.neighbors[e])))
+
+    def build(self) -> Trace:
+        return self.out.build(instructions_per_access=3.0)
+
+
+@_register("bfs")
+def build_bfs(n_accesses: int, scale: int, seed: int) -> Trace:
+    """Breadth-first search from random roots until the budget is spent."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("bfs", g)
+    rng = np.random.default_rng(seed)
+    while len(em.out) < n_accesses:
+        root = int(rng.integers(g.num_vertices))
+        parent = np.full(g.num_vertices, -1, dtype=np.int64)
+        parent[root] = root
+        frontier = [root]
+        while frontier and len(em.out) < n_accesses:
+            next_frontier: list[int] = []
+            for u in frontier:
+                em.out.emit(em.pc_frontier, g.property_addr(u, 1))
+                em.out.emit(em.pc_offset, g.offset_addr(u))
+                for e in range(int(g.offsets[u]), int(g.offsets[u + 1])):
+                    v = int(g.neighbors[e])
+                    em.out.emit(em.pc_neighbor, g.neighbor_addr(e))
+                    em.out.emit(em.pc_prop_read, g.property_addr(v))
+                    if parent[v] < 0:
+                        parent[v] = u
+                        em.out.emit(em.pc_prop_write, g.property_addr(v), True)
+                        next_frontier.append(v)
+                if len(em.out) >= n_accesses:
+                    break
+            frontier = next_frontier
+    return em.build()
+
+
+@_register("pr")
+def build_pr(n_accesses: int, scale: int, seed: int) -> Trace:
+    """PageRank power iterations: gather ranks of neighbours, scatter own."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("pr", g)
+    while len(em.out) < n_accesses:
+        for u in range(g.num_vertices):
+            em.visit_vertex_edges(u, read_prop_of_neighbors=True)
+            em.out.emit(em.pc_prop_write, g.property_addr(u, 1), True)
+            if len(em.out) >= n_accesses:
+                break
+    return em.build()
+
+
+@_register("cc")
+def build_cc(n_accesses: int, scale: int, seed: int) -> Trace:
+    """Connected components via label propagation until convergence."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("cc", g)
+    labels = np.arange(g.num_vertices, dtype=np.int64)
+    while len(em.out) < n_accesses:
+        changed = False
+        for u in range(g.num_vertices):
+            em.out.emit(em.pc_aux_read, g.property_addr(u))
+            em.out.emit(em.pc_offset, g.offset_addr(u))
+            best = int(labels[u])
+            for e in range(int(g.offsets[u]), int(g.offsets[u + 1])):
+                v = int(g.neighbors[e])
+                em.out.emit(em.pc_neighbor, g.neighbor_addr(e))
+                em.out.emit(em.pc_prop_read, g.property_addr(v))
+                if labels[v] < best:
+                    best = int(labels[v])
+            if best < labels[u]:
+                labels[u] = best
+                changed = True
+                em.out.emit(em.pc_prop_write, g.property_addr(u), True)
+            if len(em.out) >= n_accesses:
+                break
+        if not changed:
+            labels = np.arange(g.num_vertices, dtype=np.int64)  # restart
+    return em.build()
+
+
+@_register("sssp")
+def build_sssp(n_accesses: int, scale: int, seed: int) -> Trace:
+    """Single-source shortest paths via Bellman-Ford-style relaxation."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("sssp", g)
+    rng = np.random.default_rng(seed + 1)
+    weights = rng.integers(1, 16, size=g.num_edges)
+    while len(em.out) < n_accesses:
+        root = int(rng.integers(g.num_vertices))
+        dist = np.full(g.num_vertices, 2**62, dtype=np.int64)
+        dist[root] = 0
+        for _round in range(4):
+            for u in range(g.num_vertices):
+                em.out.emit(em.pc_aux_read, g.property_addr(u))
+                if dist[u] >= 2**62:
+                    continue
+                em.out.emit(em.pc_offset, g.offset_addr(u))
+                for e in range(int(g.offsets[u]), int(g.offsets[u + 1])):
+                    v = int(g.neighbors[e])
+                    em.out.emit(em.pc_neighbor, g.neighbor_addr(e))
+                    em.out.emit(em.pc_prop_read, g.property_addr(v))
+                    nd = dist[u] + int(weights[e])
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        em.out.emit(em.pc_prop_write, g.property_addr(v), True)
+                if len(em.out) >= n_accesses:
+                    break
+            if len(em.out) >= n_accesses:
+                break
+    return em.build()
+
+
+@_register("bc")
+def build_bc(n_accesses: int, scale: int, seed: int) -> Trace:
+    """Betweenness centrality: forward BFS sweep plus backward accumulation."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("bc", g)
+    rng = np.random.default_rng(seed + 2)
+    while len(em.out) < n_accesses:
+        root = int(rng.integers(g.num_vertices))
+        depth = np.full(g.num_vertices, -1, dtype=np.int64)
+        depth[root] = 0
+        order: list[int] = [root]
+        frontier = [root]
+        while frontier and len(em.out) < n_accesses:
+            nxt: list[int] = []
+            for u in frontier:
+                em.out.emit(em.pc_offset, g.offset_addr(u))
+                for e in range(int(g.offsets[u]), int(g.offsets[u + 1])):
+                    v = int(g.neighbors[e])
+                    em.out.emit(em.pc_neighbor, g.neighbor_addr(e))
+                    em.out.emit(em.pc_prop_read, g.property_addr(v))
+                    if depth[v] < 0:
+                        depth[v] = depth[u] + 1
+                        em.out.emit(em.pc_prop_write, g.property_addr(v, 1), True)
+                        nxt.append(v)
+                        order.append(v)
+            frontier = nxt
+        # Backward pass: accumulate dependencies in reverse BFS order.
+        for u in reversed(order):
+            em.out.emit(em.pc_aux_read, g.property_addr(u, 2))
+            em.out.emit(em.pc_aux_write, g.property_addr(u, 3), True)
+            if len(em.out) >= n_accesses:
+                break
+    return em.build()
+
+
+@_register("tc")
+def build_tc(n_accesses: int, scale: int, seed: int) -> Trace:
+    """Triangle counting: adjacency-list intersections (edge-array reuse)."""
+    g = make_power_law_graph(scale, seed=seed)
+    em = _GapEmitter("tc", g)
+    while len(em.out) < n_accesses:
+        for u in range(g.num_vertices):
+            em.out.emit(em.pc_offset, g.offset_addr(u))
+            start_u, stop_u = int(g.offsets[u]), int(g.offsets[u + 1])
+            for e in range(start_u, stop_u):
+                v = int(g.neighbors[e])
+                em.out.emit(em.pc_neighbor, g.neighbor_addr(e))
+                if v <= u:
+                    continue
+                # Intersect adj(u) and adj(v): re-walk both lists.
+                em.out.emit(em.pc_aux_read, g.offset_addr(v))
+                for e2 in range(int(g.offsets[v]), min(int(g.offsets[v + 1]), int(g.offsets[v]) + 8)):
+                    em.out.emit(em.pc_prop_read, g.neighbor_addr(e2))
+                if len(em.out) >= n_accesses:
+                    break
+            if len(em.out) >= n_accesses:
+                break
+    return em.build()
+
+
+def build_gap(
+    name: str,
+    n_accesses: int = 100_000,
+    scale: int = 4096,
+    seed: int = 0,
+) -> Trace:
+    """Build the GAP workload ``name`` with roughly ``n_accesses`` accesses."""
+    try:
+        builder = GAP_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GAP benchmark {name!r}; known: {sorted(GAP_BUILDERS)}"
+        ) from None
+    return builder(n_accesses, scale, seed)
+
+
+def gap_benchmark_names() -> list[str]:
+    return sorted(GAP_BUILDERS)

@@ -1,0 +1,80 @@
+"""Trace serialisation: compact ``.npz`` binary and ``.csv`` text formats."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace
+
+
+def save_npz(trace: Trace, path: str | Path) -> Path:
+    """Save a trace to a compressed ``.npz`` file; returns the path."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        name=np.array(trace.name),
+        pcs=trace.pcs,
+        addresses=trace.addresses,
+        is_write=trace.is_write,
+        line_size=np.array(trace.line_size),
+        instructions_per_access=np.array(trace.instructions_per_access),
+    )
+    # np.savez appends .npz only when missing.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path: str | Path) -> Trace:
+    """Load a trace saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return Trace(
+            name=str(data["name"]),
+            pcs=data["pcs"],
+            addresses=data["addresses"],
+            is_write=data["is_write"],
+            line_size=int(data["line_size"]),
+            instructions_per_access=float(data["instructions_per_access"]),
+        )
+
+
+def save_csv(trace: Trace, path: str | Path) -> Path:
+    """Save a trace as ``pc,address,is_write`` CSV (hex pc/address)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["pc", "address", "is_write"])
+        for access in trace:
+            writer.writerow([hex(access.pc), hex(access.address), int(access.is_write)])
+    return path
+
+
+def load_csv(path: str | Path, name: str | None = None) -> Trace:
+    """Load a trace saved by :func:`save_csv` (or any pc,address[,w] CSV)."""
+    path = Path(path)
+    pcs: list[int] = []
+    addresses: list[int] = []
+    writes: list[bool] = []
+    with path.open() as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header and not header[0].startswith(("0x", "0X")) and not header[0].isdigit():
+            pass  # consumed the header row
+        else:  # no header: first row was data
+            if header:
+                pcs.append(int(header[0], 0))
+                addresses.append(int(header[1], 0))
+                writes.append(bool(int(header[2])) if len(header) > 2 else False)
+        for row in reader:
+            if not row:
+                continue
+            pcs.append(int(row[0], 0))
+            addresses.append(int(row[1], 0))
+            writes.append(bool(int(row[2])) if len(row) > 2 else False)
+    return Trace(
+        name=name or path.stem,
+        pcs=np.array(pcs, dtype=np.uint64),
+        addresses=np.array(addresses, dtype=np.uint64),
+        is_write=np.array(writes, dtype=bool),
+    )

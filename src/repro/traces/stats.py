@@ -1,0 +1,106 @@
+"""Trace statistics (reproduces the paper's Table 2 columns).
+
+Table 2 reports, per offline-analysis benchmark: number of accesses,
+number of distinct PCs, number of distinct addresses, average accesses
+per PC, and average accesses per address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace (one row of Table 2)."""
+
+    name: str
+    num_accesses: int
+    num_pcs: int
+    num_addresses: int
+    accesses_per_pc: float
+    accesses_per_address: float
+    num_lines: int
+    write_fraction: float
+
+    def as_row(self) -> dict:
+        return {
+            "Program": self.name,
+            "# of Accesses": self.num_accesses,
+            "# of PCs": self.num_pcs,
+            "# of Addrs": self.num_addresses,
+            "Ave. # Accesses per PC": round(self.accesses_per_pc, 1),
+            "Ave. # Accesses per Addr": round(self.accesses_per_address, 1),
+        }
+
+
+def trace_statistics(trace: Trace) -> TraceStatistics:
+    """Compute Table-2-style statistics for ``trace``."""
+    n = trace.num_accesses
+    num_pcs = len(trace.unique_pcs())
+    addresses = np.unique(trace.addresses)
+    lines = trace.unique_lines()
+    return TraceStatistics(
+        name=trace.name,
+        num_accesses=n,
+        num_pcs=num_pcs,
+        num_addresses=len(addresses),
+        accesses_per_pc=n / max(1, num_pcs),
+        accesses_per_address=n / max(1, len(addresses)),
+        num_lines=len(lines),
+        write_fraction=float(np.mean(trace.is_write)) if n else 0.0,
+    )
+
+
+def reuse_distance_histogram(trace: Trace, max_distance: int = 1 << 16) -> np.ndarray:
+    """Histogram of *line* reuse distances (unique lines between reuses).
+
+    Bucket ``i`` counts reuses with stack distance in ``[2**i, 2**(i+1))``;
+    the final bucket also absorbs cold misses (first touches).  Uses the
+    classic tree-free approximation via last-access timestamps and a
+    set-size counter, which is exact for stack distance over full traces
+    of moderate length.
+    """
+    lines = trace.lines()
+    last_seen: dict[int, int] = {}
+    # For exact stack distance we track, per access, the number of unique
+    # lines touched since the previous access to the same line.
+    n_buckets = max_distance.bit_length() + 1
+    hist = np.zeros(n_buckets, dtype=np.int64)
+    recency: list[int] = []  # lines ordered by last access (most recent last)
+    position: dict[int, int] = {}
+    for line in lines:
+        line = int(line)
+        if line in position:
+            # Stack distance = number of distinct lines more recent.
+            idx = position[line]
+            distance = 0
+            # Count live entries after idx (compaction keeps this short).
+            for other in recency[idx + 1 :]:
+                if other >= 0:
+                    distance += 1
+            bucket = min(distance.bit_length(), n_buckets - 1)
+            hist[bucket] += 1
+            recency[idx] = -1
+        else:
+            hist[n_buckets - 1] += 1
+        position[line] = len(recency)
+        recency.append(line)
+        if len(recency) > 4 * max(1, len(position)):
+            # Compact tombstones to bound the scan cost.
+            live = [(l, i) for i, l in enumerate(recency) if l >= 0]
+            recency = [l for l, _ in live]
+            position = {l: i for i, (l, _) in enumerate(live)}
+    del last_seen
+    return hist
+
+
+def pc_access_counts(trace: Trace) -> dict[int, int]:
+    """Accesses per PC, descending by count."""
+    pcs, counts = np.unique(trace.pcs, return_counts=True)
+    order = np.argsort(-counts)
+    return {int(pcs[i]): int(counts[i]) for i in order}

@@ -1,0 +1,115 @@
+"""The 33-workload evaluation suite and trace construction entry points.
+
+The paper evaluates on "the 33 memory-sensitive applications of SPEC
+CPU2006, SPEC CPU2017, and GAP" (Section 5.1).  This module assembles the
+same-named suite from our workload models and provides the single entry
+point :func:`get_trace` used by every experiment, with an in-process cache
+so repeated experiments on one workload generate its trace only once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .gap import GAP_BUILDERS, build_gap, gap_benchmark_names
+from .spec import SPEC_BUILDERS, build_spec, spec_benchmark_names
+from .trace import Trace
+
+#: Benchmarks used for the paper's offline (LSTM) analysis — Table 2.
+OFFLINE_BENCHMARKS = ("mcf", "omnetpp", "soplex", "sphinx3", "astar", "lbm")
+
+#: SPEC CPU2006 members of the evaluation suite (Figure 11's x-axis).
+SPEC2006_SUITE = (
+    "astar",
+    "bwaves",
+    "bzip2",
+    "cactusADM",
+    "calculix",
+    "gcc",
+    "GemsFDTD",
+    "lbm",
+    "leslie3d",
+    "libquantum",
+    "mcf",
+    "milc",
+    "omnetpp",
+    "soplex",
+    "sphinx3",
+    "tonto",
+    "wrf",
+    "xalancbmk",
+    "zeusmp",
+)
+
+#: SPEC CPU2017 members of the evaluation suite.
+SPEC2017_SUITE = (
+    "603.bwaves",
+    "605.mcf",
+    "619.lbm",
+    "620.omnetpp",
+    "621.wrf",
+    "627.cam4",
+    "649.fotonik3d",
+    "654.roms",
+)
+
+#: GAP members of the evaluation suite.
+GAP_SUITE = ("bc", "bfs", "cc", "tc", "pr", "sssp")
+
+#: The full 33-benchmark suite, in Figure 11's grouping order.
+FULL_SUITE = SPEC2017_SUITE + SPEC2006_SUITE + GAP_SUITE
+
+#: Default trace length for laptop-scale experiments.
+DEFAULT_TRACE_LENGTH = 100_000
+#: Default LLC size (in lines) the workload models target.
+DEFAULT_LLC_LINES = 4096
+#: Default vertex count for GAP graphs.
+DEFAULT_GRAPH_SCALE = 2048
+
+
+def suite_group(name: str) -> str:
+    """Return the suite group ("SPEC06", "SPEC17", or "GAP") of a workload."""
+    if name in SPEC2017_SUITE:
+        return "SPEC17"
+    if name in SPEC2006_SUITE:
+        return "SPEC06"
+    if name in GAP_SUITE:
+        return "GAP"
+    raise KeyError(f"{name!r} is not in the evaluation suite")
+
+
+def all_benchmark_names() -> list[str]:
+    """Every buildable workload (suite members plus extras like 657.xz)."""
+    return sorted(set(spec_benchmark_names()) | set(gap_benchmark_names()))
+
+
+@lru_cache(maxsize=64)
+def get_trace(
+    name: str,
+    length: int = DEFAULT_TRACE_LENGTH,
+    llc_lines: int = DEFAULT_LLC_LINES,
+    seed: int = 0,
+) -> Trace:
+    """Build (and cache) the trace for workload ``name``.
+
+    Args:
+        name: A workload from :func:`all_benchmark_names`.
+        length: Approximate number of accesses to generate.
+        llc_lines: LLC capacity (lines) the workload's working sets are
+            sized against.
+        seed: Seed for the workload's random structure.
+    """
+    if name in SPEC_BUILDERS:
+        return build_spec(name, llc_lines=llc_lines, seed=seed).generate(length, seed=seed)
+    if name in GAP_BUILDERS:
+        # Size the graph against the LLC: property arrays at 8 B/vertex
+        # cover llc_lines/4 lines and the CSR edge array several times
+        # the LLC, giving the GAP suite's signature capacity pressure.
+        scale = max(1024, 2 * llc_lines)
+        return build_gap(name, n_accesses=length, scale=scale, seed=seed)
+    raise KeyError(f"unknown workload {name!r}; known: {all_benchmark_names()}")
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (frees memory between large sweeps)."""
+    get_trace.cache_clear()

@@ -1,0 +1,495 @@
+"""Synthetic access-pattern kernels.
+
+The paper evaluates on SPEC2006 / SPEC2017 / GAP SimPoint traces, which we
+cannot redistribute.  Instead, each benchmark is modelled as a *program*:
+a composition of kernels, where every kernel owns a set of static load
+PCs and an address region, and emits accesses with the reuse structure of
+the code idiom it models (streaming scans, hot loops, pointer chasing,
+zipf-skewed lookups, stack discipline, ...).
+
+What matters for reproducing the paper is not the absolute miss rate of
+any benchmark but the *learnable structure*: PCs whose accesses are
+consistently cache-friendly or cache-averse, PCs whose behaviour depends
+on the calling context (the anchor-PC effect of Section 5.5), and phase
+changes over time.  The kernels below generate exactly those structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .trace import DEFAULT_LINE_SIZE, Trace
+
+#: Base of the synthetic code segment; PCs are allocated upward from here.
+CODE_BASE = 0x400000
+#: Base of the synthetic data segment; regions are allocated upward.
+DATA_BASE = 0x10000000
+
+
+class PcAllocator:
+    """Hands out unique, stable PC values for static instruction sites."""
+
+    def __init__(self, base: int = CODE_BASE, step: int = 4) -> None:
+        self._next = base
+        self._step = step
+
+    def alloc(self, count: int = 1) -> list[int]:
+        """Allocate ``count`` consecutive PCs."""
+        pcs = [self._next + i * self._step for i in range(count)]
+        self._next += count * self._step
+        return pcs
+
+    def one(self) -> int:
+        return self.alloc(1)[0]
+
+
+class Arena:
+    """Allocates disjoint address regions in the synthetic data segment."""
+
+    def __init__(self, base: int = DATA_BASE, align: int = DEFAULT_LINE_SIZE) -> None:
+        self._next = base
+        self._align = align
+
+    def region(self, size_bytes: int) -> "Region":
+        start = self._next
+        aligned = (size_bytes + self._align - 1) // self._align * self._align
+        self._next = start + aligned + self._align  # one guard line between regions
+        return Region(start, aligned)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous byte range of the synthetic address space."""
+
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def num_lines(self, line_size: int = DEFAULT_LINE_SIZE) -> int:
+        return max(1, self.size // line_size)
+
+    def line_address(self, line_index: int, line_size: int = DEFAULT_LINE_SIZE) -> int:
+        """Byte address of the ``line_index``-th cache line of the region."""
+        return self.start + (line_index % self.num_lines(line_size)) * line_size
+
+
+class TraceBuilder:
+    """Accumulates accesses emitted by kernels and materialises a Trace."""
+
+    def __init__(self, name: str, line_size: int = DEFAULT_LINE_SIZE) -> None:
+        self.name = name
+        self.line_size = line_size
+        self.pcs: list[int] = []
+        self.addresses: list[int] = []
+        self.is_write: list[bool] = []
+
+    def emit(self, pc: int, address: int, is_write: bool = False) -> None:
+        self.pcs.append(pc)
+        self.addresses.append(address)
+        self.is_write.append(is_write)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def build(self, instructions_per_access: float = 4.0) -> Trace:
+        return Trace(
+            name=self.name,
+            pcs=np.array(self.pcs, dtype=np.uint64),
+            addresses=np.array(self.addresses, dtype=np.uint64),
+            is_write=np.array(self.is_write, dtype=bool),
+            line_size=self.line_size,
+            instructions_per_access=instructions_per_access,
+        )
+
+
+class Kernel:
+    """Base class for synthetic kernels.
+
+    A kernel is instantiated once per static occurrence in the modelled
+    program (so its PCs are stable across invocations) and then invoked
+    repeatedly via :meth:`run` to emit a burst of accesses.
+    """
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        """Emit up to ``budget`` accesses into ``out``."""
+        raise NotImplementedError
+
+
+class StreamKernel(Kernel):
+    """Sequential streaming scan over a large region (cache-averse).
+
+    Models ``for (i...) sum += a[i];`` over arrays far larger than the
+    LLC — e.g. the dominant pattern of lbm / bwaves / libquantum.  The
+    scan position persists across invocations, so consecutive bursts
+    continue the stream rather than restarting it.
+    """
+
+    def __init__(
+        self,
+        pcs: Sequence[int],
+        region: Region,
+        stride: int = DEFAULT_LINE_SIZE,
+        write_fraction: float = 0.0,
+    ) -> None:
+        if not pcs:
+            raise ValueError("StreamKernel needs at least one PC")
+        self.pcs = list(pcs)
+        self.region = region
+        self.stride = stride
+        self.write_fraction = write_fraction
+        self._cursor = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        for i in range(budget):
+            offset = (self._cursor * self.stride) % self.region.size
+            pc = self.pcs[i % len(self.pcs)]
+            is_write = rng.random() < self.write_fraction
+            out.emit(pc, self.region.start + offset, is_write)
+            self._cursor += 1
+
+
+class HotLoopKernel(Kernel):
+    """Repeated accesses to a small region (strongly cache-friendly).
+
+    Models a hot data structure reused every iteration — loop-carried
+    accumulators, small lookup tables, the top of a priority queue.
+    """
+
+    def __init__(
+        self,
+        pcs: Sequence[int],
+        region: Region,
+        write_fraction: float = 0.1,
+    ) -> None:
+        self.pcs = list(pcs)
+        self.region = region
+        self.write_fraction = write_fraction
+        self._cursor = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        lines = self.region.num_lines()
+        for i in range(budget):
+            line = self._cursor % lines
+            pc = self.pcs[i % len(self.pcs)]
+            out.emit(
+                pc,
+                self.region.line_address(line),
+                rng.random() < self.write_fraction,
+            )
+            self._cursor += 1
+
+
+class PointerChaseKernel(Kernel):
+    """Dependent pointer chasing through a random permutation (mcf-like).
+
+    Each node occupies one cache line; the next node visited is given by a
+    fixed random permutation, so there is no spatial locality and temporal
+    reuse only at the permutation's cycle length.
+    """
+
+    def __init__(self, pcs: Sequence[int], region: Region, seed: int = 0) -> None:
+        self.pcs = list(pcs)
+        self.region = region
+        n = region.num_lines()
+        perm_rng = np.random.default_rng(seed)
+        self._next_node = perm_rng.permutation(n)
+        self._current = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        for i in range(budget):
+            pc = self.pcs[i % len(self.pcs)]
+            out.emit(pc, self.region.line_address(int(self._current)))
+            self._current = self._next_node[self._current]
+
+
+class ZipfKernel(Kernel):
+    """Zipf-skewed accesses over a region (database/hash-table-like).
+
+    A small set of hot lines is highly reusable while the long tail is
+    effectively streaming; per-PC behaviour is therefore *mixed*, which is
+    exactly the case where context (history of PCs) helps prediction.
+    """
+
+    def __init__(
+        self,
+        pcs: Sequence[int],
+        region: Region,
+        alpha: float = 1.2,
+        write_fraction: float = 0.0,
+    ) -> None:
+        self.pcs = list(pcs)
+        self.region = region
+        self.alpha = alpha
+        self.write_fraction = write_fraction
+        n = region.num_lines()
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** (-alpha)
+        self._cdf = np.cumsum(weights / weights.sum())
+        # Popularity-banded PC assignment: the code path touching the hot
+        # head of a skewed structure differs from the one walking its
+        # cold tail (hash-hit vs hash-miss paths, small-key fast paths),
+        # so a line's popularity band selects which PC group accesses it.
+        # This is what makes skewed traffic *learnable* by PC/context
+        # predictors — random PC assignment would be pure label noise.
+        bands = np.log2(ranks + 1).astype(np.int64)
+        max_band = max(1, int(bands.max()))
+        self._line_pc_index = bands * len(self.pcs) // (max_band + 1)
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        draws = rng.random(budget)
+        lines = np.searchsorted(self._cdf, draws)
+        for i in range(budget):
+            line = int(lines[i])
+            pc = self.pcs[int(self._line_pc_index[line])]
+            out.emit(
+                pc,
+                self.region.line_address(line),
+                rng.random() < self.write_fraction,
+            )
+
+
+class ScanPointKernel(Kernel):
+    """Alternating large scans and revisits with a scan-resistant sweet spot.
+
+    Models the classic LRU-pathological pattern: a working set slightly
+    larger than the cache is touched cyclically, so LRU always misses but
+    an optimal policy retains a resident subset.  This is the pattern on
+    which learning-based policies gain most over LRU.
+    """
+
+    def __init__(self, pcs: Sequence[int], region: Region) -> None:
+        self.pcs = list(pcs)
+        self.region = region
+        self._cursor = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        lines = self.region.num_lines()
+        for i in range(budget):
+            pc = self.pcs[i % len(self.pcs)]
+            out.emit(pc, self.region.line_address(self._cursor % lines))
+            self._cursor += 1
+
+
+class StackKernel(Kernel):
+    """LIFO push/pop traffic over a stack region (recursion-like).
+
+    The top of the stack is extremely cache-friendly; the deep part is
+    touched rarely.  Depth follows a bounded random walk.
+    """
+
+    def __init__(self, push_pc: int, pop_pc: int, region: Region) -> None:
+        self.push_pc = push_pc
+        self.pop_pc = pop_pc
+        self.region = region
+        self._depth = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        max_depth = self.region.num_lines() - 1
+        for _ in range(budget):
+            going_up = rng.random() < 0.5 if 0 < self._depth < max_depth else self._depth == 0
+            if going_up:
+                self._depth += 1
+                out.emit(self.push_pc, self.region.line_address(self._depth), True)
+            else:
+                out.emit(self.pop_pc, self.region.line_address(self._depth), False)
+                self._depth -= 1
+
+
+class StencilKernel(Kernel):
+    """2D stencil sweep (lbm/zeusmp-like): rows reused across sweeps.
+
+    Visits a ``rows x cols`` grid row-by-row reading the previous,
+    current and next row — so each line is touched three times in quick
+    succession, then not again until the next full sweep.
+    """
+
+    def __init__(self, pcs: Sequence[int], region: Region, cols: int) -> None:
+        if len(pcs) < 3:
+            raise ValueError("StencilKernel needs at least 3 PCs (N/C/S loads)")
+        self.pcs = list(pcs)
+        self.region = region
+        self.cols = max(1, cols)
+        self._pos = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        lines = self.region.num_lines()
+        emitted = 0
+        while emitted + 3 <= budget:
+            row, col = divmod(self._pos, self.cols)
+            center = (row * self.cols + col) % lines
+            north = ((row - 1) * self.cols + col) % lines
+            south = ((row + 1) * self.cols + col) % lines
+            out.emit(self.pcs[0], self.region.line_address(north))
+            out.emit(self.pcs[1], self.region.line_address(center))
+            out.emit(self.pcs[2], self.region.line_address(south), True)
+            self._pos = (self._pos + 1) % lines
+            emitted += 3
+
+
+class SharedCalleeKernel(Kernel):
+    """A shared function whose caching behaviour depends on its caller.
+
+    Models the paper's scheduleAt() structure (Section 5.5) as a reusable
+    kernel: ``target_pcs`` inside the "callee" access an object passed by
+    one of several "callers"; the first caller recycles objects from a
+    small pool (cache-friendly), the rest draw fresh objects from large
+    arenas (cache-averse).  Each caller executes its distinguishing
+    anchor-PC load before the call, so history-based predictors can
+    separate behaviours a PC-only predictor must average.
+    """
+
+    def __init__(
+        self,
+        pc_alloc: "PcAllocator",
+        arena: "Arena",
+        n_callers: int = 3,
+        n_target_pcs: int = 4,
+        friendly_pool_lines: int = 24,
+        averse_pool_lines: int = 4096,
+    ) -> None:
+        # Allocate one PC per site (via one()) so PC-group-scaling
+        # allocators don't widen the anchor/target structure.
+        self.target_pcs = [pc_alloc.one() for _ in range(n_target_pcs)]
+        self.anchor_pcs = [pc_alloc.one() for _ in range(n_callers)]
+        self.pools = [
+            arena.region(
+                (friendly_pool_lines if i == 0 else averse_pool_lines)
+                * DEFAULT_LINE_SIZE
+            )
+            for i in range(n_callers)
+        ]
+        # Caller-private streaming scratch: the anchor load must miss
+        # L1/L2 so it is visible in the LLC stream (the context a
+        # replacement policy can actually observe).
+        self.scratch = arena.region(8 * averse_pool_lines * DEFAULT_LINE_SIZE)
+        self._cursors = [0] * n_callers
+        self._scratch_cursor = 0
+
+    def run(self, out: TraceBuilder, rng: np.random.Generator, budget: int) -> None:
+        per_call = 1 + len(self.target_pcs)
+        calls = max(1, budget // per_call)
+        for _ in range(calls):
+            caller = int(rng.integers(len(self.anchor_pcs)))
+            out.emit(
+                self.anchor_pcs[caller],
+                self.scratch.line_address(self._scratch_cursor),
+            )
+            self._scratch_cursor += 1
+            pool = self.pools[caller]
+            if caller == 0:
+                line = self._cursors[0] % pool.num_lines()
+                self._cursors[0] += 1
+            else:
+                line = self._cursors[caller] % pool.num_lines()
+                self._cursors[caller] += 1
+            base = pool.line_address(line)
+            for k, pc in enumerate(self.target_pcs):
+                out.emit(pc, base + (k % 8) * 8)
+
+
+@dataclass
+class Phase:
+    """A weighted mixture of kernels active for a fraction of the trace.
+
+    During a phase, kernels are invoked in interleaved bursts whose sizes
+    are proportional to their weights, modelling instruction-level
+    interleaving of several access streams in one loop nest.
+    """
+
+    kernels: Sequence[Kernel]
+    weights: Sequence[float]
+    fraction: float = 1.0
+    burst: int = 16
+
+    def __post_init__(self) -> None:
+        if len(self.kernels) != len(self.weights):
+            raise ValueError("one weight per kernel required")
+        if not self.kernels:
+            raise ValueError("a phase needs at least one kernel")
+
+
+class Program:
+    """A named composition of phases; materialises to a Trace."""
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[Phase],
+        instructions_per_access: float = 4.0,
+    ) -> None:
+        total = sum(p.fraction for p in phases)
+        if total <= 0:
+            raise ValueError("phase fractions must sum to a positive value")
+        self.name = name
+        self.phases = list(phases)
+        self._fraction_total = total
+        self.instructions_per_access = instructions_per_access
+
+    def generate(self, n_accesses: int, seed: int = 0) -> Trace:
+        """Emit approximately ``n_accesses`` accesses (never fewer)."""
+        rng = np.random.default_rng(seed)
+        out = TraceBuilder(self.name)
+        for phase in self.phases:
+            target = int(round(n_accesses * phase.fraction / self._fraction_total))
+            weights = np.asarray(phase.weights, dtype=np.float64)
+            weights = weights / weights.sum()
+            emitted = 0
+            while emitted < target:
+                for kernel, w in zip(phase.kernels, weights):
+                    burst = max(1, int(round(phase.burst * w * len(phase.kernels))))
+                    burst = min(burst, max(1, target - emitted))
+                    kernel.run(out, rng, burst)
+                    emitted += burst
+                    if emitted >= target:
+                        break
+        while len(out) < n_accesses:
+            # Top up with the last phase's first kernel to hit the target.
+            # Kernels with a multi-access granule (e.g. stencil triples)
+            # may emit nothing for tiny budgets, so always request at
+            # least a burst worth and tolerate a small overshoot.
+            before = len(out)
+            budget = max(8, n_accesses - len(out))
+            self.phases[-1].kernels[0].run(out, rng, budget)
+            if len(out) == before:
+                raise RuntimeError(
+                    f"kernel {type(self.phases[-1].kernels[0]).__name__} made "
+                    f"no progress topping up program {self.name!r}"
+                )
+        return out.build(self.instructions_per_access)
+
+
+def interleave(traces: Sequence[Trace], name: str, chunk: int = 64, seed: int = 0) -> Trace:
+    """Interleave several traces in randomised chunks (phase mixing)."""
+    rng = np.random.default_rng(seed)
+    cursors = [0] * len(traces)
+    pcs: list[np.ndarray] = []
+    addrs: list[np.ndarray] = []
+    writes: list[np.ndarray] = []
+    live = set(range(len(traces)))
+    while live:
+        i = int(rng.choice(sorted(live)))
+        t = traces[i]
+        start = cursors[i]
+        stop = min(start + chunk, len(t))
+        pcs.append(t.pcs[start:stop])
+        addrs.append(t.addresses[start:stop])
+        writes.append(t.is_write[start:stop])
+        cursors[i] = stop
+        if stop >= len(t):
+            live.discard(i)
+    return Trace(
+        name=name,
+        pcs=np.concatenate(pcs),
+        addresses=np.concatenate(addrs),
+        is_write=np.concatenate(writes),
+        line_size=traces[0].line_size,
+        instructions_per_access=float(
+            np.mean([t.instructions_per_access for t in traces])
+        ),
+    )

@@ -1,0 +1,208 @@
+"""Memory-access trace containers.
+
+A *trace* is the fundamental input of every experiment in this repository:
+an ordered stream of memory accesses, each identified by the program
+counter (PC) of the load/store instruction that issued it and the byte
+address it touched.  The paper's models consume exactly this information
+(Section 4: "the input is a sequence of loads identified by their PC").
+
+Traces are stored column-wise in NumPy arrays so that multi-million-access
+streams stay compact and can be sliced cheaply.  Row-wise access is
+available through :class:`Access` and iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+#: Default cache-line size, in bytes, used to map addresses to lines.
+DEFAULT_LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Access:
+    """A single memory access.
+
+    Attributes:
+        pc: Program counter of the issuing instruction.
+        address: Byte address touched by the access.
+        is_write: True for stores, False for loads.
+        core: Index of the issuing core (0 for single-core traces).
+    """
+
+    pc: int
+    address: int
+    is_write: bool = False
+    core: int = 0
+
+    def line(self, line_size: int = DEFAULT_LINE_SIZE) -> int:
+        """Return the cache-line number containing :attr:`address`."""
+        return self.address // line_size
+
+
+@dataclass
+class Trace:
+    """A column-wise memory-access trace.
+
+    Attributes:
+        name: Human-readable workload name (e.g. ``"mcf"``).
+        pcs: uint64 array of program counters, one per access.
+        addresses: uint64 array of byte addresses, one per access.
+        is_write: bool array, one per access (all-False if omitted).
+        line_size: Cache-line size in bytes used by :meth:`lines`.
+        instructions_per_access: Mean number of dynamic instructions
+            between consecutive memory accesses; used by the timing model
+            to convert an access trace back into an instruction stream.
+    """
+
+    name: str
+    pcs: np.ndarray
+    addresses: np.ndarray
+    is_write: np.ndarray | None = None
+    line_size: int = DEFAULT_LINE_SIZE
+    instructions_per_access: float = 4.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.pcs = np.asarray(self.pcs, dtype=np.uint64)
+        self.addresses = np.asarray(self.addresses, dtype=np.uint64)
+        if self.is_write is None:
+            self.is_write = np.zeros(len(self.pcs), dtype=bool)
+        else:
+            self.is_write = np.asarray(self.is_write, dtype=bool)
+        if len(self.pcs) != len(self.addresses):
+            raise ValueError(
+                f"pcs ({len(self.pcs)}) and addresses ({len(self.addresses)}) "
+                "must have the same length"
+            )
+        if len(self.is_write) != len(self.pcs):
+            raise ValueError("is_write must have one entry per access")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a positive power of two")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[Access]:
+        write = self.is_write
+        for i in range(len(self.pcs)):
+            yield Access(int(self.pcs[i]), int(self.addresses[i]), bool(write[i]))
+
+    def __getitem__(self, index) -> "Trace | Access":
+        if isinstance(index, slice):
+            return Trace(
+                name=self.name,
+                pcs=self.pcs[index],
+                addresses=self.addresses[index],
+                is_write=self.is_write[index],
+                line_size=self.line_size,
+                instructions_per_access=self.instructions_per_access,
+                metadata=dict(self.metadata),
+            )
+        i = int(index)
+        return Access(int(self.pcs[i]), int(self.addresses[i]), bool(self.is_write[i]))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def lines(self) -> np.ndarray:
+        """Cache-line numbers (``address // line_size``) for every access."""
+        return self.addresses // np.uint64(self.line_size)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def num_instructions(self) -> int:
+        """Approximate dynamic instruction count represented by the trace."""
+        return int(round(self.num_accesses * self.instructions_per_access))
+
+    def unique_pcs(self) -> np.ndarray:
+        return np.unique(self.pcs)
+
+    def unique_lines(self) -> np.ndarray:
+        return np.unique(self.lines())
+
+    def head(self, n: int) -> "Trace":
+        """Return a trace containing the first ``n`` accesses."""
+        return self[:n]
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Concatenate two traces (``other`` appended after ``self``)."""
+        if other.line_size != self.line_size:
+            raise ValueError("cannot concatenate traces with different line sizes")
+        return Trace(
+            name=f"{self.name}+{other.name}",
+            pcs=np.concatenate([self.pcs, other.pcs]),
+            addresses=np.concatenate([self.addresses, other.addresses]),
+            is_write=np.concatenate([self.is_write, other.is_write]),
+            line_size=self.line_size,
+            instructions_per_access=(
+                (self.num_instructions + other.num_instructions)
+                / max(1, len(self.pcs) + len(other.pcs))
+            ),
+        )
+
+    def remap_pcs(self) -> "Trace":
+        """Return a copy whose PCs are renumbered to a dense 0..V-1 range.
+
+        Useful before feeding the trace to the LSTM, whose embedding table
+        is indexed by a dense PC vocabulary.  The mapping is stored in
+        ``metadata["pc_vocabulary"]`` (original PC per dense index).
+        """
+        vocab, dense = np.unique(self.pcs, return_inverse=True)
+        out = Trace(
+            name=self.name,
+            pcs=dense.astype(np.uint64),
+            addresses=self.addresses.copy(),
+            is_write=self.is_write.copy(),
+            line_size=self.line_size,
+            instructions_per_access=self.instructions_per_access,
+            metadata=dict(self.metadata),
+        )
+        out.metadata["pc_vocabulary"] = vocab
+        return out
+
+    @classmethod
+    def from_accesses(
+        cls,
+        name: str,
+        accesses: Sequence[Access] | Sequence[tuple],
+        line_size: int = DEFAULT_LINE_SIZE,
+        instructions_per_access: float = 4.0,
+    ) -> "Trace":
+        """Build a trace from a sequence of :class:`Access` or tuples.
+
+        Tuples may be ``(pc, address)`` or ``(pc, address, is_write)``.
+        """
+        pcs, addrs, writes = [], [], []
+        for item in accesses:
+            if isinstance(item, Access):
+                pcs.append(item.pc)
+                addrs.append(item.address)
+                writes.append(item.is_write)
+            else:
+                pcs.append(item[0])
+                addrs.append(item[1])
+                writes.append(bool(item[2]) if len(item) > 2 else False)
+        return cls(
+            name=name,
+            pcs=np.array(pcs, dtype=np.uint64),
+            addresses=np.array(addrs, dtype=np.uint64),
+            is_write=np.array(writes, dtype=bool),
+            line_size=line_size,
+            instructions_per_access=instructions_per_access,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, accesses={self.num_accesses}, "
+            f"pcs={len(self.unique_pcs())}, lines={len(self.unique_lines())})"
+        )

@@ -1,0 +1,223 @@
+"""Unit tests for the set-associative cache core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    AccessType,
+    BYPASS,
+    CacheConfig,
+    CacheRequest,
+    ReplacementPolicy,
+    SetAssociativeCache,
+)
+from repro.policies import LRUPolicy
+
+
+def req(pc=1, line=0, kind=AccessType.LOAD, core=0, index=0):
+    return CacheRequest(pc, line * 64, kind, core, index)
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 2 ways.
+    return SetAssociativeCache(CacheConfig("t", 8 * 64, 2), LRUPolicy())
+
+
+class TestAddressMapping:
+    def test_set_index_and_tag(self, cache):
+        assert cache.set_index(0) == 0
+        assert cache.set_index(64) == 1
+        assert cache.set_index(4 * 64) == 0
+
+    def test_line_address_roundtrip(self, cache):
+        for line in (0, 5, 17, 123):
+            address = line * 64
+            s = cache.set_index(address)
+            t = cache._split(address)[1]
+            assert cache.line_address(s, t) == address
+
+    def test_single_set_cache(self):
+        c = SetAssociativeCache(CacheConfig("fa", 4 * 64, 4), LRUPolicy())
+        assert c.num_sets == 1
+        assert c.set_index(12345 * 64) == 0
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self, cache):
+        assert not cache.access(req(line=3)).hit
+        assert cache.access(req(line=3)).hit
+
+    def test_different_lines_same_set(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=4))  # same set, different tag
+        assert cache.access(req(line=0)).hit
+        assert cache.access(req(line=4)).hit
+
+    def test_eviction_when_full(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=4))
+        result = cache.access(req(line=8))  # third line in 2-way set 0
+        assert not result.hit
+        assert result.evicted_tag >= 0
+
+    def test_lru_eviction_order(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=4))
+        cache.access(req(line=0))  # refresh line 0
+        cache.access(req(line=8))  # should evict line 4
+        assert cache.access(req(line=0)).hit
+        assert not cache.access(req(line=4)).hit
+
+    def test_probe_is_side_effect_free(self, cache):
+        cache.access(req(line=0))
+        hits_before = cache.stats.demand_hits
+        assert cache.probe(0)
+        assert not cache.probe(64)
+        assert cache.stats.demand_hits == hits_before
+
+    def test_find_way(self, cache):
+        cache.access(req(line=0))
+        assert cache.find_way(0) is not None
+        assert cache.find_way(64) is None
+
+
+class TestDirtyState:
+    def test_store_sets_dirty(self, cache):
+        cache.access(req(line=0, kind=AccessType.STORE))
+        way = cache.find_way(0)
+        assert cache.sets[0][way].dirty
+
+    def test_store_hit_sets_dirty(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=0, kind=AccessType.STORE))
+        assert cache.sets[0][cache.find_way(0)].dirty
+
+    def test_dirty_eviction_reported(self, cache):
+        cache.access(req(line=0, kind=AccessType.STORE))
+        cache.access(req(line=4))
+        result = cache.access(req(line=8))
+        assert result.caused_writeback == result.evicted_dirty
+
+    def test_evicted_line_address(self, cache):
+        cache.access(req(line=0, kind=AccessType.STORE))
+        cache.access(req(line=4))
+        result = cache.access(req(line=8))
+        evicted = cache.evicted_line_address(0, result)
+        assert evicted in (0, 4 * 64)
+
+    def test_evicted_line_address_requires_eviction(self, cache):
+        result = cache.access(req(line=0))
+        with pytest.raises(ValueError):
+            cache.evicted_line_address(0, result)
+
+
+class TestStats:
+    def test_demand_counters(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=0))
+        assert cache.stats.demand_hits == 1
+        assert cache.stats.demand_misses == 1
+        assert cache.stats.demand_accesses == 2
+
+    def test_writeback_counted_separately(self, cache):
+        cache.access(req(line=0, kind=AccessType.WRITEBACK))
+        assert cache.stats.demand_accesses == 0
+        assert cache.stats.writeback_misses == 1
+
+    def test_miss_rate(self, cache):
+        cache.access(req(line=0))
+        cache.access(req(line=0))
+        assert cache.stats.demand_miss_rate == pytest.approx(0.5)
+
+    def test_per_core(self, cache):
+        cache.access(req(line=0, core=1))
+        cache.access(req(line=0, core=1))
+        assert cache.stats.per_core_misses[1] == 1
+        assert cache.stats.per_core_hits[1] == 1
+
+    def test_merge(self, cache):
+        cache.access(req(line=0))
+        merged = cache.stats.merge(cache.stats)
+        assert merged.demand_misses == 2
+
+
+class TestMaintenance:
+    def test_invalidate(self, cache):
+        cache.access(req(line=0))
+        assert cache.invalidate(0)
+        assert not cache.access(req(line=0)).hit
+
+    def test_invalidate_absent(self, cache):
+        assert not cache.invalidate(0)
+
+    def test_flush(self, cache):
+        cache.access(req(line=0))
+        cache.flush()
+        assert cache.occupancy == 0
+        assert not cache.access(req(line=0)).hit
+
+    def test_occupancy(self, cache):
+        for line in range(5):
+            cache.access(req(line=line))
+        assert cache.occupancy == 5
+
+
+class _BypassAll(ReplacementPolicy):
+    name = "bypass_all"
+
+    def victim(self, set_index, request, ways):
+        invalid = self.first_invalid(ways)
+        return invalid if invalid is not None else BYPASS
+
+
+class _BadVictim(ReplacementPolicy):
+    name = "bad"
+
+    def victim(self, set_index, request, ways):
+        invalid = self.first_invalid(ways)
+        return invalid if invalid is not None else 99
+
+
+class TestPolicyContract:
+    def test_bypass_counted(self):
+        cache = SetAssociativeCache(CacheConfig("t", 2 * 64, 2), _BypassAll())
+        cache.access(req(line=0))
+        cache.access(req(line=1))
+        cache.access(req(line=2))  # set full -> policy bypasses
+        result = cache.access(req(line=4))
+        assert result.bypassed or not result.hit
+        assert cache.stats.bypasses >= 1
+
+    def test_out_of_range_victim_rejected(self):
+        cache = SetAssociativeCache(CacheConfig("t", 2 * 64, 2), _BadVictim())
+        cache.access(req(line=0))
+        cache.access(req(line=2))
+        with pytest.raises(ValueError, match="out of range"):
+            cache.access(req(line=4))
+
+    def test_unattached_policy_errors(self):
+        policy = LRUPolicy()
+        with pytest.raises(RuntimeError):
+            _ = policy.num_sets
+
+
+@given(lines=st.lists(st.integers(0, 30), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_property_hits_plus_misses_equals_accesses(lines):
+    cache = SetAssociativeCache(CacheConfig("t", 8 * 64, 2), LRUPolicy())
+    for i, line in enumerate(lines):
+        cache.access(req(line=line, index=i))
+    assert cache.stats.demand_accesses == len(lines)
+    assert cache.stats.demand_hits + cache.stats.demand_misses == len(lines)
+
+
+@given(lines=st.lists(st.integers(0, 7), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_property_full_capacity_never_misses_after_warmup(lines):
+    """An 8-line working set in an 8-line cache misses each line once."""
+    cache = SetAssociativeCache(CacheConfig("t", 8 * 64, 2), LRUPolicy())
+    for line in lines:
+        cache.access(req(line=line))
+    assert cache.stats.demand_misses == len(set(lines))

@@ -1,0 +1,87 @@
+"""Tests for cache/hierarchy configuration (paper Table 1)."""
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    DramConfig,
+    HierarchyConfig,
+    paper_hierarchy,
+    scaled_hierarchy,
+)
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        c = CacheConfig("c", 2 * 1024 * 1024, 16)
+        assert c.num_lines == 32768
+        assert c.num_sets == 2048
+
+    def test_line_size_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig("c", 1024, 2, line_size=96)
+
+    def test_size_divisibility(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheConfig("c", 1000, 2)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig("c", 3 * 64 * 2, 2)
+
+    def test_frozen(self):
+        c = CacheConfig("c", 1024, 2)
+        with pytest.raises(AttributeError):
+            c.size_bytes = 2048
+
+
+class TestDram:
+    def test_cycles_per_line(self):
+        d = DramConfig(bandwidth_bytes_per_cycle=3.2, line_size=64)
+        assert d.cycles_per_line() == pytest.approx(20.0)
+
+
+class TestPaperHierarchy:
+    """Table 1: 32KB L1 8-way 4cyc; 256KB L2 8-way 12cyc; 2MB/core 16-way 26cyc."""
+
+    def test_l1(self):
+        h = paper_hierarchy()
+        assert h.l1.size_bytes == 32 * 1024
+        assert h.l1.associativity == 8
+        assert h.l1.latency == 4
+
+    def test_l2(self):
+        h = paper_hierarchy()
+        assert h.l2.size_bytes == 256 * 1024
+        assert h.l2.associativity == 8
+        assert h.l2.latency == 12
+
+    def test_llc_single_core(self):
+        h = paper_hierarchy()
+        assert h.llc.size_bytes == 2 * 1024 * 1024
+        assert h.llc.associativity == 16
+        assert h.llc.latency == 26
+        assert h.llc_lines == 32768
+
+    def test_llc_scales_with_cores(self):
+        h = paper_hierarchy(cores=4)
+        assert h.llc.size_bytes == 8 * 1024 * 1024
+        assert h.cores == 4
+
+    def test_dram_bandwidth_scales(self):
+        assert paper_hierarchy(cores=4).dram.bandwidth_bytes_per_cycle == pytest.approx(
+            12.8
+        )
+        assert paper_hierarchy().dram.bandwidth_bytes_per_cycle == pytest.approx(3.2)
+
+
+class TestScaledHierarchy:
+    def test_shape_preserved(self):
+        h = scaled_hierarchy(scale=8)
+        p = paper_hierarchy()
+        assert h.l1.associativity == p.l1.associativity
+        assert h.llc.associativity == p.llc.associativity
+        assert h.llc.size_bytes * 8 == p.llc.size_bytes
+
+    def test_default_llc_lines(self):
+        assert scaled_hierarchy().llc.num_lines == 4096

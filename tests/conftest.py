@@ -1,0 +1,71 @@
+"""Shared fixtures: small traces, caches, and streams for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    HierarchyConfig,
+    SetAssociativeCache,
+    filter_to_llc_stream,
+)
+from repro.cache.config import DramConfig
+from repro.policies import LRUPolicy
+from repro.traces import Trace
+
+
+@pytest.fixture
+def tiny_cache_config() -> CacheConfig:
+    """A 4-set, 2-way cache: 8 lines of 64 B."""
+    return CacheConfig("tiny", size_bytes=8 * 64, associativity=2, latency=1)
+
+
+@pytest.fixture
+def tiny_cache(tiny_cache_config) -> SetAssociativeCache:
+    return SetAssociativeCache(tiny_cache_config, LRUPolicy())
+
+
+@pytest.fixture
+def small_hierarchy() -> HierarchyConfig:
+    """A small but structurally complete 3-level hierarchy."""
+    return HierarchyConfig(
+        l1=CacheConfig("L1D", 1024, 2, latency=4),  # 16 lines
+        l2=CacheConfig("L2", 4096, 4, latency=12),  # 64 lines
+        llc=CacheConfig("LLC", 16384, 4, latency=26),  # 256 lines
+        dram=DramConfig(latency=100, bandwidth_bytes_per_cycle=4.0),
+    )
+
+
+def make_trace(pairs, name="test") -> Trace:
+    """Build a trace from (pc, line_number) pairs (line -> byte address)."""
+    pcs = np.array([p for p, _ in pairs], dtype=np.uint64)
+    addresses = np.array([l * 64 for _, l in pairs], dtype=np.uint64)
+    return Trace(name=name, pcs=pcs, addresses=addresses)
+
+
+@pytest.fixture
+def scan_trace() -> Trace:
+    """Cyclic scan of 300 lines — larger than the small LLC (256 lines),
+    so it thrashes LRU at the LLC while scan-resistant policies keep a
+    resident subset."""
+    pairs = [(100 + (i % 4), i % 300) for i in range(3000)]
+    return make_trace(pairs, "scan")
+
+
+@pytest.fixture
+def mixed_trace() -> Trace:
+    """Hot loop (lines 0-3, pc 1) interleaved with a stream (pc 2)."""
+    pairs = []
+    for i in range(1500):
+        if i % 2 == 0:
+            pairs.append((1, i % 4))
+        else:
+            pairs.append((2, 100 + i))
+    return make_trace(pairs, "mixed")
+
+
+@pytest.fixture
+def mixed_llc_stream(mixed_trace, small_hierarchy):
+    return filter_to_llc_stream(mixed_trace, small_hierarchy)

@@ -1,0 +1,139 @@
+"""Tests for the PCHR and k-sparse feature (Section 4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PCHistoryRegister,
+    hash_pc,
+    k_sparse_history,
+    k_sparse_vector,
+)
+
+
+class TestPCHR:
+    def test_capacity_enforced(self):
+        r = PCHistoryRegister(3)
+        for pc in range(10):
+            r.insert(pc)
+        assert len(r) == 3
+
+    def test_unique_entries(self):
+        r = PCHistoryRegister(5)
+        for pc in [1, 2, 1, 2, 1]:
+            r.insert(pc)
+        assert len(r) == 2
+
+    def test_lru_eviction(self):
+        r = PCHistoryRegister(2)
+        r.insert(1)
+        r.insert(2)
+        r.insert(1)  # refresh 1
+        r.insert(3)  # evicts 2
+        assert 1 in r
+        assert 2 not in r
+        assert 3 in r
+
+    def test_snapshot_immutable_copy(self):
+        r = PCHistoryRegister(3)
+        r.insert(1)
+        snap = r.snapshot()
+        r.insert(2)
+        assert snap == (1,)
+
+    def test_most_recent_first(self):
+        r = PCHistoryRegister(3)
+        for pc in [1, 2, 3]:
+            r.insert(pc)
+        assert r.snapshot() == (3, 2, 1)
+
+    def test_clear(self):
+        r = PCHistoryRegister(3)
+        r.insert(1)
+        r.clear()
+        assert len(r) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PCHistoryRegister(0)
+
+
+class TestKSparseHistory:
+    def test_dedup(self):
+        assert set(k_sparse_history([1, 2, 1, 3], k=5)) == {1, 2, 3}
+
+    def test_keeps_most_recent_k(self):
+        assert set(k_sparse_history([1, 2, 3, 4], k=2)) == {3, 4}
+
+    def test_matches_pchr_replay(self):
+        seq = [5, 1, 5, 2, 3, 2, 9]
+        r = PCHistoryRegister(4)
+        for pc in seq:
+            r.insert(pc)
+        assert set(k_sparse_history(seq, 4)) == set(r.snapshot())
+
+    @given(
+        seq=st.lists(st.integers(0, 8), min_size=1, max_size=40),
+        k=st.integers(1, 6),
+    )
+    @settings(max_examples=50)
+    def test_property_equals_pchr(self, seq, k):
+        r = PCHistoryRegister(k)
+        for pc in seq:
+            r.insert(pc)
+        assert set(k_sparse_history(seq, k)) == set(r.snapshot())
+
+
+class TestKSparseVector:
+    def test_figure7_example(self):
+        """The paper's Figure 7: two orderings, identical features."""
+        v1 = k_sparse_vector([0, 1, 3], vocabulary_size=4, k=3)
+        v2 = k_sparse_vector([3, 1, 0], vocabulary_size=4, k=3)
+        assert list(v1) == [1, 1, 0, 1]
+        assert np.array_equal(v1, v2)
+
+    def test_k_ones(self):
+        v = k_sparse_vector([0, 1, 2, 3], vocabulary_size=8, k=2)
+        assert v.sum() == 2
+
+    def test_out_of_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            k_sparse_vector([9], vocabulary_size=4, k=1)
+
+    @given(
+        seq=st.lists(st.integers(0, 9), min_size=1, max_size=30),
+        k=st.integers(1, 5),
+        perm_seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_property_order_invariance_of_support(self, seq, k, perm_seed):
+        """Shuffling accesses never changes the *support* beyond recency.
+
+        The paper's key claim is weaker (identical unique sets give
+        identical features); we verify it exactly: two sequences with the
+        same set of unique PCs and k >= #unique produce the same vector.
+        """
+        unique = list(dict.fromkeys(seq))
+        if k < len(unique):
+            return
+        rng = np.random.default_rng(perm_seed)
+        shuffled = list(seq)
+        rng.shuffle(shuffled)
+        v1 = k_sparse_vector(seq, vocabulary_size=10, k=k)
+        v2 = k_sparse_vector(shuffled, vocabulary_size=10, k=k)
+        assert np.array_equal(v1, v2)
+
+
+class TestHashPC:
+    def test_range(self):
+        for pc in range(0, 10_000, 37):
+            assert 0 <= hash_pc(pc, 4) < 16
+
+    def test_spread(self):
+        buckets = [hash_pc(0x400000 + 4 * i, 4) for i in range(160)]
+        assert len(set(buckets)) == 16
+
+    def test_deterministic(self):
+        assert hash_pc(12345, 4) == hash_pc(12345, 4)

@@ -1,0 +1,165 @@
+"""Tests for the ISVM predictor (Section 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AVERSE_SUM,
+    Confidence,
+    HIGH_CONFIDENCE_SUM,
+    ISVM,
+    ISVMTable,
+    THRESHOLD_CANDIDATES,
+)
+
+
+class TestISVM:
+    def test_sixteen_weights(self):
+        assert len(ISVM().weights) == 16
+
+    def test_total(self):
+        svm = ISVM()
+        svm.weights[0] = 5
+        svm.weights[3] = -2
+        assert svm.total([0, 3]) == 3
+
+    def test_update_saturates_high(self):
+        svm = ISVM()
+        for _ in range(300):
+            svm.update([0], 1)
+        assert svm.weights[0] == ISVM.WEIGHT_MAX
+
+    def test_update_saturates_low(self):
+        svm = ISVM()
+        for _ in range(300):
+            svm.update([1], -1)
+        assert svm.weights[1] == ISVM.WEIGHT_MIN
+
+    def test_duplicate_indices_counted_twice(self):
+        svm = ISVM()
+        svm.update([2, 2], 1)
+        assert svm.weights[2] == 2
+        assert svm.total([2, 2]) == 4
+
+
+class TestISVMTablePrediction:
+    def test_cold_prediction_is_low_confidence_friendly(self):
+        table = ISVMTable()
+        p = table.predict(0x400, (1, 2, 3))
+        assert p.total == 0
+        assert p.confidence is Confidence.FRIENDLY_LOW
+        assert p.is_friendly
+
+    def test_confidence_bands(self):
+        table = ISVMTable(adaptive=False, threshold=3000)
+        history = (1, 2, 3, 4, 5)
+        for _ in range(HIGH_CONFIDENCE_SUM):
+            table.train(0x400, history, cache_friendly=True)
+        p = table.predict(0x400, history)
+        assert p.total >= HIGH_CONFIDENCE_SUM
+        assert p.confidence is Confidence.FRIENDLY_HIGH
+
+    def test_averse_band(self):
+        table = ISVMTable(adaptive=False, threshold=3000)
+        history = (1, 2)
+        for _ in range(10):
+            table.train(0x400, history, cache_friendly=False)
+        p = table.predict(0x400, history)
+        assert p.total < AVERSE_SUM
+        assert p.confidence is Confidence.AVERSE
+        assert not p.is_friendly
+
+    def test_distinct_pcs_have_distinct_isvms(self):
+        table = ISVMTable(adaptive=False)
+        for _ in range(20):
+            table.train(111, (1,), cache_friendly=False)
+        assert table.predict(222, (1,)).total == 0
+
+    def test_context_separation(self):
+        """The paper's core mechanism: same PC, context decides."""
+        table = ISVMTable(adaptive=False, threshold=100)
+        friendly_ctx = (10, 11, 12, 13, 14)
+        averse_ctx = (20, 21, 22, 23, 24)
+        for _ in range(40):
+            table.train(7, friendly_ctx, cache_friendly=True)
+            table.train(7, averse_ctx, cache_friendly=False)
+        assert table.predict(7, friendly_ctx).is_friendly
+        assert not table.predict(7, averse_ctx).is_friendly
+
+
+class TestTrainingGate:
+    def test_positive_updates_gated_beyond_threshold(self):
+        table = ISVMTable(adaptive=False, threshold=10)
+        history = (1, 2, 3, 4, 5)
+        for _ in range(100):
+            table.train(1, history, cache_friendly=True)
+        # Sum stops just past the threshold rather than saturating.
+        assert table.predict(1, history).total <= 10 + len(history)
+
+    def test_gated_counter(self):
+        table = ISVMTable(adaptive=False, threshold=0)
+        history = (1,)
+        table.train(1, history, True)
+        table.train(1, history, True)  # now total > 0 -> gated
+        assert table.stats.gated_updates >= 1
+
+    def test_zero_threshold_still_learns_sign(self):
+        table = ISVMTable(adaptive=False, threshold=0)
+        for _ in range(5):
+            table.train(1, (2,), cache_friendly=False)
+        assert not table.predict(1, (2,)).is_friendly
+
+
+class TestAdaptiveThreshold:
+    def test_candidates_match_paper(self):
+        assert THRESHOLD_CANDIDATES == (0, 30, 100, 300, 3000)
+
+    def test_threshold_changes_during_exploration(self):
+        table = ISVMTable(adaptive=True, adapt_interval=10)
+        seen = {table.threshold}
+        for i in range(200):
+            table.train(i % 7, (i % 5,), cache_friendly=bool(i % 3))
+            seen.add(table.threshold)
+        assert len(seen) >= 2
+
+    def test_threshold_always_a_candidate(self):
+        table = ISVMTable(adaptive=True, adapt_interval=5)
+        for i in range(300):
+            table.train(i % 3, (i % 2,), cache_friendly=bool(i % 2))
+            assert table.threshold in THRESHOLD_CANDIDATES
+
+    def test_non_adaptive_fixed(self):
+        table = ISVMTable(adaptive=False, threshold=30)
+        for i in range(100):
+            table.train(1, (2,), cache_friendly=True)
+        assert table.threshold == 30
+
+
+class TestBudget:
+    def test_storage_matches_paper(self):
+        """Section 5.4: 2048 PCs x 16 weights x 1 byte = 32.8 KB."""
+        table = ISVMTable(table_bits=11)
+        assert table.storage_bytes() == 2048 * 16
+
+    def test_reset(self):
+        table = ISVMTable()
+        table.train(1, (2,), True)
+        table.reset()
+        assert table.predict(1, (2,)).total == 0
+        assert table.stats.trainings == 0
+
+
+@given(
+    trainings=st.lists(
+        st.tuples(st.integers(0, 5), st.booleans()), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=30)
+def test_property_weights_stay_in_8bit_range(trainings):
+    table = ISVMTable(adaptive=False, threshold=3000)
+    history = (1, 2, 3)
+    for pc, label in trainings:
+        table.train(pc, history, label)
+    for svm in table._table:
+        assert all(ISVM.WEIGHT_MIN <= w <= ISVM.WEIGHT_MAX for w in svm.weights)

@@ -1,0 +1,24 @@
+"""Smoke tests for the `python -m repro.eval` command-line runner."""
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+def test_table3_runs(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "Glider" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_fig10_with_subset(capsys):
+    assert main(["fig10", "--length", "8000", "--benchmarks", "astar"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 10" in out
+    assert "astar" in out

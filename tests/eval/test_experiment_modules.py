@@ -1,0 +1,123 @@
+"""Behavioural tests for the LSTM-based experiment modules (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ArtifactCache,
+    ExperimentConfig,
+    anchor_pc_analysis,
+    attention_cdf,
+    attention_heatmap,
+    convergence_curves,
+    sequence_length_sweep,
+    shares_anchor,
+    shuffle_experiment,
+)
+from repro.eval.semantics import TargetPCResult
+
+TINY = ExperimentConfig(
+    trace_length=9_000,
+    hierarchy_scale=32,
+    lstm_embedding=10,
+    lstm_hidden=10,
+    lstm_history=6,
+    lstm_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ArtifactCache(TINY)
+
+
+class TestAttentionAnalysis:
+    def test_cdf_rows(self, cache):
+        results = attention_cdf(
+            TINY, benchmark="omnetpp", scales=(1.0, 4.0), cache=cache
+        )
+        assert len(results) == 2
+        for r in results:
+            assert 0 <= r.accuracy <= 1
+            assert 0 <= r.max_weight_mean <= 1
+            assert set(r.quantiles) == {0.5, 0.9, 0.99}
+
+    def test_heatmap_shape(self, cache):
+        heatmap = attention_heatmap(
+            TINY, benchmark="omnetpp", num_targets=20, cache=cache
+        )
+        assert heatmap.matrix.shape[1] == TINY.lstm_history
+        assert heatmap.matrix.shape[0] <= 20
+        assert 0 <= heatmap.sparsity() <= 1
+        offsets = heatmap.dominant_offsets()
+        assert np.all(offsets < 0)  # sources strictly precede targets
+
+
+class TestShuffle:
+    def test_rows_and_average(self, cache):
+        results = shuffle_experiment(TINY, benchmarks=("omnetpp",), cache=cache)
+        assert results[-1].benchmark == "average"
+        for r in results:
+            assert 0 <= r.original_accuracy <= 1
+            assert 0 <= r.shuffled_accuracy <= 1
+
+
+class TestSeqlen:
+    def test_curves(self, cache):
+        curves = sequence_length_sweep(
+            TINY,
+            benchmarks=("omnetpp",),
+            lstm_lengths=(6,),
+            linear_ks=(1, 3),
+            linear_epochs=2,
+            cache=cache,
+        )
+        assert set(curves.isvm) == {1, 3}
+        assert set(curves.perceptron) == {1, 3}
+        assert set(curves.lstm) == {6}
+        assert curves.saturation_point("isvm") in (1, 3)
+        assert len(curves.rows()) == 3
+
+    def test_no_lstm_mode(self, cache):
+        curves = sequence_length_sweep(
+            TINY,
+            benchmarks=("omnetpp",),
+            linear_ks=(1,),
+            linear_epochs=1,
+            include_lstm=False,
+            cache=cache,
+        )
+        assert not curves.lstm
+
+
+class TestConvergence:
+    def test_curves(self, cache):
+        curves = convergence_curves(
+            TINY, benchmarks=("omnetpp",), epochs=3, cache=cache, include_lstm=False
+        )
+        assert set(curves.curves) == {"Offline ISVM", "Perceptron", "Hawkeye"}
+        for series in curves.curves.values():
+            assert len(series) == 3
+        assert 1 <= curves.iterations_to_converge("Offline ISVM") <= 3
+        assert len(curves.rows()) == 3
+
+
+class TestSemantics:
+    def test_anchor_analysis_runs(self, cache):
+        results = anchor_pc_analysis(TINY, benchmark="omnetpp", cache=cache)
+        assert results
+        for r in results:
+            assert 0 <= r.hawkeye_accuracy <= 1
+            assert 0 <= r.lstm_accuracy <= 1
+
+    def test_requires_callctx_metadata(self, cache):
+        with pytest.raises(ValueError, match="target_pcs"):
+            anchor_pc_analysis(TINY, benchmark="lbm", cache=cache)
+
+    def test_shares_anchor_logic(self):
+        a = TargetPCResult(1, 9, 0.5, 0.9, 10)
+        b = TargetPCResult(2, 9, 0.5, 0.9, 10)
+        c = TargetPCResult(3, 8, 0.5, 0.9, 10)
+        assert shares_anchor([a, b])
+        assert not shares_anchor([a, c])
+        assert not shares_anchor([])

@@ -1,0 +1,263 @@
+"""Tests for dataset slicing and the end-to-end attention LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AttentionLSTM,
+    LabelledTrace,
+    LSTMConfig,
+    SequenceDataset,
+    label_trace,
+)
+from repro.ml.ops import binary_cross_entropy_with_logits
+
+from ..conftest import make_trace
+
+
+def toy_labelled(n=400, vocab=6, seed=0):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, vocab, size=n).astype(np.int32)
+    labels = pcs % 2 == 0
+    return LabelledTrace("toy", pcs, labels, np.arange(vocab).astype(np.uint64))
+
+
+class TestLabelTrace:
+    def test_labels_from_belady(self):
+        trace = make_trace([(1, 0), (1, 0), (2, 5)])
+        labelled = label_trace(trace, num_sets=1, associativity=2)
+        assert list(labelled.labels) == [True, False, False]
+
+    def test_dense_vocabulary(self):
+        trace = make_trace([(0x400, 0), (0x999, 1), (0x400, 2)])
+        labelled = label_trace(trace, 1, 2)
+        assert labelled.vocab_size == 2
+        assert labelled.pcs.max() == 1
+
+    def test_dense_id_lookup(self):
+        trace = make_trace([(0x400, 0), (0x999, 1)])
+        labelled = label_trace(trace, 1, 2)
+        assert labelled.vocabulary[labelled.dense_id(0x999)] == 0x999
+        with pytest.raises(KeyError):
+            labelled.dense_id(0x123)
+
+    def test_split(self):
+        labelled = toy_labelled(100)
+        train, test = labelled.split(0.75)
+        assert len(train) == 75
+        assert len(test) == 25
+        assert train.vocab_size == labelled.vocab_size
+
+
+class TestSequenceDataset:
+    def test_window_layout(self):
+        ds = SequenceDataset(
+            pcs=np.arange(20, dtype=np.int32),
+            labels=np.zeros(20),
+            vocab_size=20,
+            history=4,
+        )
+        seq, _ = ds.sequence(0)
+        assert list(seq) == list(range(8))
+        seq1, _ = ds.sequence(1)
+        assert list(seq1) == list(range(4, 12))  # overlap by N
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="shorter than"):
+            SequenceDataset(
+                pcs=np.arange(5, dtype=np.int32),
+                labels=np.zeros(5),
+                vocab_size=5,
+                history=4,
+            )
+
+    def test_mask_covers_second_half(self):
+        ds = SequenceDataset(
+            pcs=np.arange(16, dtype=np.int32),
+            labels=np.zeros(16),
+            vocab_size=16,
+            history=4,
+        )
+        batch = next(ds.batches(2))
+        assert np.all(batch.mask[:, :4] == 0)
+        assert np.all(batch.mask[:, 4:] == 1)
+
+    def test_batches_cover_all_sequences(self):
+        ds = SequenceDataset(
+            pcs=np.arange(40, dtype=np.int32),
+            labels=np.zeros(40),
+            vocab_size=40,
+            history=4,
+        )
+        total_rows = sum(b.inputs.shape[0] for b in ds.batches(3))
+        assert total_rows == len(ds)
+
+    def test_shuffle_determinism(self):
+        ds = SequenceDataset(
+            pcs=np.arange(60, dtype=np.int32),
+            labels=np.zeros(60),
+            vocab_size=60,
+            history=5,
+        )
+        a = [b.inputs.copy() for b in ds.batches(2, np.random.default_rng(9))]
+        b = [b.inputs.copy() for b in ds.batches(2, np.random.default_rng(9))]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestAttentionLSTM:
+    def small_model(self, vocab=6):
+        return AttentionLSTM(
+            LSTMConfig(
+                vocab_size=vocab,
+                embedding_dim=8,
+                hidden_dim=8,
+                history=4,
+                batch_size=4,
+                seed=0,
+            )
+        )
+
+    def test_forward_shapes(self):
+        model = self.small_model()
+        logits, _ = model.forward(np.zeros((3, 8), dtype=np.int32))
+        assert logits.shape == (3, 8)
+
+    def test_full_model_gradient_check(self):
+        model = self.small_model()
+        rng = np.random.default_rng(1)
+        inputs = rng.integers(0, 6, size=(2, 8)).astype(np.int32)
+        targets = rng.integers(0, 2, size=(2, 8)).astype(np.float64)
+        mask = np.tile(np.concatenate([np.zeros(4), np.ones(4)]), (2, 1))
+
+        def loss_value():
+            logits, _ = model.forward(inputs)
+            loss, _ = binary_cross_entropy_with_logits(logits, targets, mask)
+            return loss
+
+        logits, cache = model.forward(inputs)
+        _, grad = binary_cross_entropy_with_logits(logits, targets, mask)
+        grads = model.backward(grad, cache)
+        params = model._all_params()
+        eps = 1e-6
+        rng2 = np.random.default_rng(2)
+        for name in ("lstm0.W_h", "emb.W_emb", "out.W"):
+            p = params[name]
+            pos = tuple(rng2.integers(0, s) for s in p.shape)
+            orig = p[pos]
+            p[pos] = orig + eps
+            up = loss_value()
+            p[pos] = orig - eps
+            down = loss_value()
+            p[pos] = orig
+            numeric = (up - down) / (2 * eps)
+            assert grads[name][pos] == pytest.approx(numeric, abs=1e-5), name
+
+    def test_learns_pc_determined_labels(self):
+        labelled = toy_labelled(600)
+        ds = SequenceDataset.from_labelled(labelled, history=4)
+        model = self.small_model()
+        for epoch in range(6):
+            model.train_epoch(ds, epoch)
+        assert model.evaluate(ds) > 0.9
+
+    def test_train_reduces_loss(self):
+        labelled = toy_labelled(400, seed=3)
+        ds = SequenceDataset.from_labelled(labelled, history=4)
+        model = self.small_model()
+        first = model.train_epoch(ds, 0).train_loss
+        for epoch in range(1, 5):
+            last = model.train_epoch(ds, epoch).train_loss
+        assert last < first
+
+    def test_predict_batch_probabilities(self):
+        model = self.small_model()
+        probs = model.predict_batch(np.zeros((2, 8), dtype=np.int32))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_attention_weights_shape(self):
+        model = self.small_model()
+        w = model.attention_weights(np.zeros((2, 8), dtype=np.int32))
+        assert w.shape == (2, 8, 8)
+
+    def test_set_attention_scale(self):
+        model = self.small_model()
+        model.set_attention_scale(4.0)
+        assert model.attention.scale == 4.0
+
+    def test_vocab_guard(self):
+        model = self.small_model(vocab=4)
+        with pytest.raises(ValueError):
+            model.forward(np.full((1, 8), 7, dtype=np.int32))
+
+    def test_model_size_accounting(self):
+        model = self.small_model()
+        assert model.model_size_bytes() == model.num_parameters() * 4
+        assert model.num_parameters() > 0
+
+
+class TestMultiLayerLSTM:
+    def make(self, layers):
+        return AttentionLSTM(
+            LSTMConfig(
+                vocab_size=6,
+                embedding_dim=8,
+                hidden_dim=8,
+                num_layers=layers,
+                history=4,
+                batch_size=4,
+                seed=0,
+            )
+        )
+
+    def test_two_layer_forward(self):
+        model = self.make(2)
+        logits, _ = model.forward(np.zeros((2, 8), dtype=np.int32))
+        assert logits.shape == (2, 8)
+        assert len(model.lstm_layers) == 2
+
+    def test_two_layer_gradient_check(self):
+        model = self.make(2)
+        rng = np.random.default_rng(4)
+        inputs = rng.integers(0, 6, size=(2, 8)).astype(np.int32)
+        targets = rng.integers(0, 2, size=(2, 8)).astype(np.float64)
+        mask = np.tile(np.concatenate([np.zeros(4), np.ones(4)]), (2, 1))
+
+        def loss_value():
+            logits, _ = model.forward(inputs)
+            loss, _ = binary_cross_entropy_with_logits(logits, targets, mask)
+            return loss
+
+        logits, cache = model.forward(inputs)
+        _, grad = binary_cross_entropy_with_logits(logits, targets, mask)
+        grads = model.backward(grad, cache)
+        params = model._all_params()
+        eps = 1e-6
+        for name in ("lstm0.W_x", "lstm1.W_h"):
+            p = params[name]
+            pos = (0, 0)
+            orig = p[pos]
+            p[pos] = orig + eps
+            up = loss_value()
+            p[pos] = orig - eps
+            down = loss_value()
+            p[pos] = orig
+            numeric = (up - down) / (2 * eps)
+            assert grads[name][pos] == pytest.approx(numeric, abs=1e-5), name
+
+    def test_two_layer_learns(self):
+        labelled = toy_labelled(500, seed=5)
+        ds = SequenceDataset.from_labelled(labelled, history=4)
+        model = self.make(2)
+        for epoch in range(10):  # deeper stacks warm up more slowly
+            model.train_epoch(ds, epoch)
+        assert model.evaluate(ds) > 0.85
+
+    def test_invalid_layer_count(self):
+        with pytest.raises(ValueError):
+            self.make(0)
+
+    def test_attention_weights_use_top_layer(self):
+        model = self.make(2)
+        w = model.attention_weights(np.zeros((1, 8), dtype=np.int32))
+        assert w.shape == (1, 8, 8)

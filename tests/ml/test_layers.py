@@ -1,0 +1,191 @@
+"""Gradient checks and behavioural tests for every NN layer."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Embedding, Linear, LSTMLayer, ScaledDotAttention
+
+
+def numerical_grad(f, array, eps=1e-6, samples=8, rng=None):
+    """Numerical d f / d array at a few random positions."""
+    rng = rng or np.random.default_rng(0)
+    positions = [
+        tuple(rng.integers(0, s) for s in array.shape) for _ in range(samples)
+    ]
+    grads = {}
+    for pos in positions:
+        orig = array[pos]
+        array[pos] = orig + eps
+        up = f()
+        array[pos] = orig - eps
+        down = f()
+        array[pos] = orig
+        grads[pos] = (up - down) / (2 * eps)
+    return grads
+
+
+def assert_grad_matches(analytic, numeric, atol=1e-5):
+    for pos, num in numeric.items():
+        assert analytic[pos] == pytest.approx(num, abs=atol), pos
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        rng = np.random.default_rng(0)
+        emb = Embedding(4, 3, rng)
+        out, _ = emb.forward(np.array([[0, 1], [1, 3]]))
+        assert out.shape == (2, 2, 3)
+        np.testing.assert_array_equal(out[0, 1], emb.params["W_emb"][1])
+
+    def test_out_of_range(self):
+        emb = Embedding(4, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            emb.forward(np.array([[4]]))
+
+    def test_backward_accumulates_duplicates(self):
+        emb = Embedding(4, 2, np.random.default_rng(0))
+        indices = np.array([[1, 1]])
+        _, cache = emb.forward(indices)
+        grads = emb.backward(np.ones((1, 2, 2)), cache)
+        np.testing.assert_array_equal(grads["W_emb"][1], [2.0, 2.0])
+        np.testing.assert_array_equal(grads["W_emb"][0], [0.0, 0.0])
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        emb = Embedding(6, 4, rng)
+        indices = rng.integers(0, 6, size=(2, 3))
+        target = rng.normal(size=(2, 3, 4))
+
+        def loss():
+            out, _ = emb.forward(indices)
+            return float(np.sum(out * target))
+
+        _, cache = emb.forward(indices)
+        grads = emb.backward(target, cache)
+        numeric = numerical_grad(loss, emb.params["W_emb"], rng=rng)
+        assert_grad_matches(grads["W_emb"], numeric)
+
+
+class TestLinear:
+    def test_shapes(self):
+        lin = Linear(3, 2, np.random.default_rng(0))
+        out, _ = lin.forward(np.zeros((4, 5, 3)))
+        assert out.shape == (4, 5, 2)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        lin = Linear(3, 2, rng)
+        x = rng.normal(size=(2, 4, 3))
+        target = rng.normal(size=(2, 4, 2))
+
+        def loss():
+            out, _ = lin.forward(x)
+            return float(np.sum(out * target))
+
+        out, cache = lin.forward(x)
+        dx, grads = lin.backward(target, cache)
+        for name in ("W", "b"):
+            numeric = numerical_grad(loss, lin.params[name], rng=rng)
+            assert_grad_matches(grads[name], numeric)
+        numeric_x = numerical_grad(loss, x, rng=rng)
+        assert_grad_matches(dx, numeric_x)
+
+
+class TestLSTM:
+    def test_shapes_and_state(self):
+        lstm = LSTMLayer(3, 5, np.random.default_rng(0))
+        hs, cache = lstm.forward(np.zeros((2, 7, 3)))
+        assert hs.shape == (2, 7, 5)
+        assert len(cache["gates"]) == 7
+
+    def test_forget_bias_initialised(self):
+        lstm = LSTMLayer(3, 4, np.random.default_rng(0))
+        assert np.all(lstm.params["b"][4:8] == 1.0)
+
+    def test_hidden_state_bounded(self):
+        lstm = LSTMLayer(2, 4, np.random.default_rng(1))
+        hs, _ = lstm.forward(np.random.default_rng(2).normal(size=(1, 50, 2)) * 10)
+        assert np.all(np.abs(hs) <= 1.0)  # o * tanh(c) is in (-1, 1)
+
+    def test_gradient_check_all_params(self):
+        rng = np.random.default_rng(3)
+        lstm = LSTMLayer(3, 4, rng)
+        x = rng.normal(size=(2, 5, 3))
+        target = rng.normal(size=(2, 5, 4))
+
+        def loss():
+            hs, _ = lstm.forward(x)
+            return float(np.sum(hs * target))
+
+        hs, cache = lstm.forward(x)
+        dx, grads = lstm.backward(target, cache)
+        for name in ("W_x", "W_h", "b"):
+            numeric = numerical_grad(loss, lstm.params[name], rng=rng, samples=6)
+            assert_grad_matches(grads[name], numeric, atol=1e-4)
+        numeric_x = numerical_grad(loss, x, rng=rng, samples=6)
+        assert_grad_matches(dx, numeric_x, atol=1e-4)
+
+    def test_sequence_dependence(self):
+        """Output at step t must depend on input at step t' < t."""
+        lstm = LSTMLayer(2, 4, np.random.default_rng(4))
+        x = np.zeros((1, 5, 2))
+        base, _ = lstm.forward(x)
+        x2 = x.copy()
+        x2[0, 0, 0] = 1.0
+        perturbed, _ = lstm.forward(x2)
+        assert not np.allclose(base[0, 4], perturbed[0, 4])
+
+
+class TestAttention:
+    def test_causal_mask(self):
+        att = ScaledDotAttention(scale=1.0)
+        hs = np.random.default_rng(0).normal(size=(1, 5, 3))
+        _, cache = att.forward(hs)
+        weights = cache["weights"]
+        # Upper triangle (s >= t) must be zero.
+        for t in range(5):
+            assert np.all(weights[0, t, t:] == 0.0)
+
+    def test_first_row_all_zero(self):
+        att = ScaledDotAttention()
+        hs = np.random.default_rng(1).normal(size=(2, 4, 3))
+        _, cache = att.forward(hs)
+        assert np.all(cache["weights"][:, 0, :] == 0.0)
+
+    def test_rows_sum_to_one_after_first(self):
+        att = ScaledDotAttention()
+        hs = np.random.default_rng(2).normal(size=(1, 6, 3))
+        _, cache = att.forward(hs)
+        sums = cache["weights"][0].sum(axis=-1)
+        np.testing.assert_allclose(sums[1:], 1.0, atol=1e-9)
+
+    def test_scaling_sharpens(self):
+        """Larger f concentrates attention (the Figure 4 effect)."""
+        hs = np.random.default_rng(3).normal(size=(1, 10, 8))
+        flat = ScaledDotAttention(scale=1.0).attention_weights(hs)
+        sharp = ScaledDotAttention(scale=5.0).attention_weights(hs)
+        assert sharp[0, 9].max() > flat[0, 9].max()
+
+    def test_context_is_convex_combination(self):
+        att = ScaledDotAttention()
+        hs = np.abs(np.random.default_rng(4).normal(size=(1, 5, 3)))
+        contexts, _ = att.forward(hs)
+        # Contexts of row t lie within the convex hull bounds of sources.
+        for t in range(1, 5):
+            assert np.all(contexts[0, t] <= hs[0, :t].max(axis=0) + 1e-9)
+            assert np.all(contexts[0, t] >= hs[0, :t].min(axis=0) - 1e-9)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(5)
+        att = ScaledDotAttention(scale=2.0)
+        hs = rng.normal(size=(1, 5, 3))
+        target = rng.normal(size=(1, 5, 3))
+
+        def loss():
+            contexts, _ = att.forward(hs)
+            return float(np.sum(contexts * target))
+
+        contexts, cache = att.forward(hs)
+        d_hs, _ = att.backward(target, cache)
+        numeric = numerical_grad(loss, hs, rng=rng, samples=10)
+        assert_grad_matches(d_hs, numeric, atol=1e-4)

@@ -1,0 +1,193 @@
+"""Tests for numerical primitives and optimisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    Adam,
+    SGD,
+    binary_cross_entropy_with_logits,
+    clip_gradients,
+    one_hot,
+    sigmoid,
+    softmax,
+    softmax_backward,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+    @given(arrays(np.float64, (5,), elements=st.floats(-50, 50)))
+    @settings(max_examples=30)
+    def test_property_range_and_symmetry(self, x):
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        np.testing.assert_allclose(s + sigmoid(-x), 1.0, atol=1e-12)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        s = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert s.sum() == pytest.approx(1.0)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 5.0, -2.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100), atol=1e-12)
+
+    def test_masked_row_is_zero(self):
+        """All--inf rows (the causal mask's first row) give zeros, not NaN."""
+        x = np.array([[-np.inf, -np.inf], [0.0, 0.0]])
+        s = softmax(x)
+        assert np.all(s[0] == 0.0)
+        assert s[1].sum() == pytest.approx(1.0)
+
+    def test_partial_mask(self):
+        x = np.array([0.0, -np.inf, 0.0])
+        s = softmax(x)
+        assert s[1] == 0.0
+        assert s[0] == pytest.approx(0.5)
+
+    def test_large_scale_factor_stable(self):
+        # Figure 4 scales scores by up to 5 before softmax.
+        x = 5.0 * np.array([100.0, 99.0, -50.0])
+        s = softmax(x)
+        assert np.all(np.isfinite(s))
+        assert s[0] > 0.9
+
+    @given(arrays(np.float64, (4,), elements=st.floats(-30, 30)))
+    @settings(max_examples=30)
+    def test_property_monotone(self, x):
+        s = softmax(x)
+        order = np.argsort(x)
+        assert np.all(np.diff(s[order]) >= -1e-12)
+
+
+class TestSoftmaxBackward:
+    def test_matches_numerical_jacobian(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5)
+        g = rng.normal(size=5)
+        s = softmax(x)
+        analytic = softmax_backward(s, g)
+        eps = 1e-6
+        numeric = np.zeros(5)
+        for i in range(5):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            numeric[i] = (softmax(xp) @ g - softmax(xm) @ g) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), depth=3)
+        assert out.shape == (2, 3)
+        assert out[0, 0] == 1 and out[1, 2] == 1
+        assert out.sum() == 2
+
+    def test_nd(self):
+        out = one_hot(np.array([[0, 1], [1, 0]]), depth=2)
+        assert out.shape == (2, 2, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), depth=3)
+
+
+class TestBCE:
+    def test_perfect_prediction_low_loss(self):
+        loss, _ = binary_cross_entropy_with_logits(
+            np.array([10.0, -10.0]), np.array([1.0, 0.0])
+        )
+        assert loss < 1e-3
+
+    def test_gradient_sign(self):
+        _, grad = binary_cross_entropy_with_logits(
+            np.array([0.0]), np.array([1.0])
+        )
+        assert grad[0] < 0  # push the logit up
+
+    def test_mask_excludes_positions(self):
+        logits = np.array([0.0, 100.0])
+        targets = np.array([1.0, 0.0])
+        mask = np.array([1.0, 0.0])
+        loss, grad = binary_cross_entropy_with_logits(logits, targets, mask)
+        assert grad[1] == 0.0
+        assert loss == pytest.approx(np.log(2))
+
+    def test_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=6)
+        y = rng.integers(0, 2, size=6).astype(float)
+        _, grad = binary_cross_entropy_with_logits(z, y)
+        eps = 1e-6
+        for i in range(6):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            lp, _ = binary_cross_entropy_with_logits(zp, y)
+            lm, _ = binary_cross_entropy_with_logits(zm, y)
+            assert grad[i] == pytest.approx((lp - lm) / (2 * eps), abs=1e-5)
+
+    def test_extreme_logits_finite(self):
+        loss, grad = binary_cross_entropy_with_logits(
+            np.array([1000.0, -1000.0]), np.array([0.0, 1.0])
+        )
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+
+class TestClip:
+    def test_noop_below_norm(self):
+        grads = {"a": np.array([1.0, 0.0])}
+        norm = clip_gradients(grads, max_norm=10.0)
+        assert norm == pytest.approx(1.0)
+        assert grads["a"][0] == 1.0
+
+    def test_scales_above_norm(self):
+        grads = {"a": np.array([3.0, 4.0])}
+        clip_gradients(grads, max_norm=1.0)
+        assert np.linalg.norm(grads["a"]) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestOptimizers:
+    def quadratic_descent(self, optimizer_cls, **kwargs):
+        params = {"x": np.array([10.0])}
+        opt = optimizer_cls(params, **kwargs)
+        for _ in range(400):
+            grad = {"x": 2 * params["x"]}  # d/dx x^2
+            opt.step(grad)
+        return abs(params["x"][0])
+
+    def test_sgd_converges(self):
+        assert self.quadratic_descent(SGD, learning_rate=0.1) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert self.quadratic_descent(SGD, learning_rate=0.05, momentum=0.9) < 1e-3
+
+    def test_adam_converges(self):
+        assert self.quadratic_descent(Adam, learning_rate=0.1) < 1e-2
+
+    def test_unknown_param_rejected(self):
+        opt = SGD({"x": np.zeros(1)})
+        with pytest.raises(KeyError):
+            opt.step({"y": np.zeros(1)})
+
+    def test_adam_updates_in_place(self):
+        params = {"x": np.array([1.0])}
+        opt = Adam(params, learning_rate=0.1)
+        ref = params["x"]
+        opt.step({"x": np.array([1.0])})
+        assert ref is params["x"]  # same array object mutated

@@ -1,0 +1,132 @@
+"""Tests for the offline linear models (ISVM, ordered SVM, Hawkeye)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LabelledTrace,
+    OfflineHawkeye,
+    OfflineISVM,
+    OrderedHistorySVM,
+    make_offline_model,
+    train_linear_model,
+)
+
+
+def labelled_from(pcs, labels, name="t"):
+    pcs = np.asarray(pcs, dtype=np.int32)
+    return LabelledTrace(
+        name, pcs, np.asarray(labels, dtype=bool), np.unique(pcs).astype(np.uint64)
+    )
+
+
+def context_dataset(n=3000, seed=0):
+    """Target PC 0's label is decided by which anchor (1 or 2) preceded it.
+
+    A pure per-PC model is capped at 50% on PC 0; history models reach
+    ~100%.
+    """
+    rng = np.random.default_rng(seed)
+    pcs, labels = [], []
+    for _ in range(n // 6):
+        anchor = int(rng.integers(1, 3))
+        filler = [3 + int(rng.integers(3)), 6 + int(rng.integers(3))]
+        for f in filler:
+            pcs.append(f)
+            labels.append(True)
+        pcs.append(anchor)
+        labels.append(True)
+        pcs.append(0)
+        labels.append(anchor == 1)
+    return labelled_from(pcs, labels)
+
+
+class TestOfflineHawkeye:
+    def test_learns_majority_per_pc(self):
+        data = labelled_from([1, 1, 1, 2, 2, 2], [True, True, True, False, False, False])
+        model = OfflineHawkeye()
+        model.fit(data, epochs=3)
+        assert model.predict(1)
+        assert not model.predict(2)
+
+    def test_capped_on_context_dependence(self):
+        data = context_dataset()
+        model = OfflineHawkeye()
+        result = train_linear_model(model, data, epochs=3)
+        # PC 0 is half the special accesses; Hawkeye guesses one class.
+        assert result.test_accuracy < 0.95
+
+    def test_epoch_telemetry(self):
+        data = labelled_from([1, 2] * 20, [True, False] * 20)
+        result = train_linear_model(OfflineHawkeye(), data, epochs=4)
+        assert len(result.epoch_accuracies) == 4
+
+
+class TestOfflineISVM:
+    def test_learns_context(self):
+        data = context_dataset()
+        model = OfflineISVM(k=3, threshold=100)
+        result = train_linear_model(model, data, epochs=6)
+        assert result.test_accuracy > 0.9
+
+    def test_beats_hawkeye_on_context(self):
+        data = context_dataset(seed=1)
+        isvm = train_linear_model(OfflineISVM(k=3), data, epochs=6)
+        hawkeye = train_linear_model(OfflineHawkeye(), data, epochs=6)
+        assert isvm.test_accuracy > hawkeye.test_accuracy
+
+    def test_converges_in_few_epochs(self):
+        """The Figure 15 claim: ISVM is near-final after ~1 iteration."""
+        data = context_dataset(seed=2)
+        result = train_linear_model(OfflineISVM(k=3), data, epochs=8)
+        assert result.epochs_to_converge <= 3
+
+    def test_threshold_gates_updates(self):
+        data = labelled_from([1] * 50, [True] * 50)
+        model = OfflineISVM(k=2, threshold=5)
+        first = model.fit_epoch(data)
+        assert first.updates < 50  # gated once past the margin
+
+    def test_order_invariance(self):
+        """Identical unique-PC sets, different orders: same prediction."""
+        model = OfflineISVM(k=3)
+        model._update(0, (1, 2, 3), True)
+        assert model._score(0, (3, 2, 1)) == model._score(0, (1, 2, 3))
+
+    def test_storage_entries(self):
+        model = OfflineISVM(k=2)
+        model._update(0, (1, 2), True)
+        assert model.storage_entries() >= 3
+
+
+class TestOrderedHistorySVM:
+    def test_learns_simple_pattern(self):
+        data = labelled_from([1, 2] * 200, [True, False] * 200)
+        result = train_linear_model(OrderedHistorySVM(history_length=2), data, epochs=4)
+        assert result.test_accuracy > 0.9
+
+    def test_order_sensitivity(self):
+        """Unlike the ISVM, the ordered model keys on positions."""
+        model = OrderedHistorySVM(history_length=2)
+        feats_ab = model._features(0, (1, 2))
+        feats_ba = model._features(0, (2, 1))
+        assert set(feats_ab) != set(feats_ba)
+
+    def test_short_history_caps_context_learning(self):
+        """With history shorter than the anchor distance, accuracy drops
+        (the Figure 14 saturation effect)."""
+        data = context_dataset(seed=3)
+        short = train_linear_model(OrderedHistorySVM(history_length=1), data, epochs=6)
+        enough = train_linear_model(OrderedHistorySVM(history_length=3), data, epochs=6)
+        assert enough.test_accuracy >= short.test_accuracy
+
+
+class TestFactory:
+    def test_known_models(self):
+        assert isinstance(make_offline_model("offline_isvm", k=3), OfflineISVM)
+        assert isinstance(make_offline_model("ordered_svm"), OrderedHistorySVM)
+        assert isinstance(make_offline_model("offline_hawkeye"), OfflineHawkeye)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_offline_model("nope")

@@ -1,0 +1,99 @@
+"""Tests for the offline training pipelines (repro.ml.training)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig, HierarchyConfig
+from repro.cache.config import DramConfig
+from repro.ml import (
+    LSTMConfig,
+    OfflineISVM,
+    labelled_llc_trace,
+    train_linear_model,
+    train_lstm,
+)
+from repro.ml.training import OfflineRunResult
+
+from ..conftest import make_trace
+
+
+@pytest.fixture
+def tiny_hierarchy():
+    return HierarchyConfig(
+        l1=CacheConfig("L1D", 512, 2, latency=4),
+        l2=CacheConfig("L2", 2048, 4, latency=12),
+        llc=CacheConfig("LLC", 8192, 4, latency=26),
+        dram=DramConfig(),
+    )
+
+
+class TestLabelledLLCTrace:
+    def test_filters_through_upper_levels(self, tiny_hierarchy):
+        # Hot 2-line loop: absorbed by L1, so the LLC trace is tiny.
+        pairs = [(1, i % 2) for i in range(500)]
+        labelled = labelled_llc_trace(make_trace(pairs), tiny_hierarchy)
+        assert len(labelled) < 20
+
+    def test_metadata_carried(self, tiny_hierarchy):
+        trace = make_trace([(1, i) for i in range(300)])
+        trace.metadata["target_pcs"] = [1]
+        labelled = labelled_llc_trace(trace, tiny_hierarchy)
+        assert labelled.metadata.get("target_pcs") == [1]
+
+    def test_labels_are_belady(self, tiny_hierarchy):
+        # Pure streaming: nothing is ever reused, all labels averse.
+        trace = make_trace([(1, i) for i in range(1000)])
+        labelled = labelled_llc_trace(trace, tiny_hierarchy)
+        assert not labelled.labels.any()
+
+
+class TestTrainLSTM:
+    def test_vocab_auto_widened(self):
+        rng = np.random.default_rng(0)
+        pcs = rng.integers(0, 50, size=300).astype(np.int32)
+        from repro.ml import LabelledTrace
+
+        labelled = LabelledTrace(
+            "t", pcs, pcs % 2 == 0, np.arange(50).astype(np.uint64)
+        )
+        config = LSTMConfig(
+            vocab_size=4, embedding_dim=6, hidden_dim=6, history=4
+        )
+        model, result = train_lstm(labelled, config, epochs=1)
+        assert model.config.vocab_size >= 50
+        assert len(result.epoch_accuracies) == 1
+
+    def test_epoch_accuracies_recorded(self):
+        from repro.ml import LabelledTrace
+
+        rng = np.random.default_rng(1)
+        pcs = rng.integers(0, 8, size=400).astype(np.int32)
+        labelled = LabelledTrace("t", pcs, pcs % 2 == 0, np.arange(8).astype(np.uint64))
+        config = LSTMConfig(vocab_size=8, embedding_dim=8, hidden_dim=8, history=4)
+        _, result = train_lstm(labelled, config, epochs=3)
+        assert len(result.epoch_accuracies) == 3
+        assert result.test_accuracy == result.epoch_accuracies[-1]
+
+
+class TestRunResult:
+    def test_epochs_to_converge(self):
+        result = OfflineRunResult(
+            "m", "b", 0.9, epoch_accuracies=[0.5, 0.89, 0.895, 0.9]
+        )
+        assert result.epochs_to_converge == 2
+
+    def test_empty(self):
+        assert OfflineRunResult("m", "b", 0.0).epochs_to_converge == 0
+
+
+class TestTrainLinear:
+    def test_single_epoch(self):
+        from repro.ml import LabelledTrace
+
+        pcs = np.array([1, 2] * 100, dtype=np.int32)
+        labelled = LabelledTrace(
+            "t", pcs, pcs == 1, np.array([1, 2]).astype(np.uint64)
+        )
+        result = train_linear_model(OfflineISVM(k=2), labelled, epochs=2)
+        assert result.model_name == "offline_isvm"
+        assert result.test_accuracy > 0.9

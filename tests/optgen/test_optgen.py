@@ -1,0 +1,127 @@
+"""Tests for the OPTgen occupancy-vector oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optgen import OptGen, SetOptGen, simulate_belady
+
+
+class TestSetOptGen:
+    def test_first_access_is_miss(self):
+        og = SetOptGen(capacity=2)
+        decision = og.access(1)
+        assert not decision.hit
+        assert decision.first_access
+
+    def test_immediate_reuse_hits(self):
+        og = SetOptGen(capacity=2)
+        og.access(1)
+        decision = og.access(1)
+        assert decision.hit
+        assert not decision.first_access
+
+    def test_capacity_limits_hits(self):
+        og = SetOptGen(capacity=1)
+        # Two interleaved lines, capacity 1: only one can be kept.
+        hits = 0
+        for line in [1, 2, 1, 2, 1, 2]:
+            hits += og.access(line).hit
+        assert hits == 0 or hits <= 2  # intervals overlap; at most alternate
+
+    def test_hit_rate_counter(self):
+        og = SetOptGen(capacity=4)
+        for line in [1, 1, 2, 2]:
+            og.access(line)
+        assert og.opt_hits == 2
+        assert og.opt_misses == 2
+        assert og.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SetOptGen(capacity=0)
+
+    def test_window_ages_out_reuses(self):
+        og = SetOptGen(capacity=4, window=4)
+        og.access(1)
+        for line in range(10, 16):
+            og.access(line)
+        decision = og.access(1)  # reuse beyond the 4-entry window
+        assert decision.first_access
+        assert not decision.hit
+
+    def test_unbounded_window_sees_all(self):
+        og = SetOptGen(capacity=8)
+        og.access(1)
+        for line in range(10, 16):
+            og.access(line)
+        assert og.access(1).hit
+
+
+class TestOptGenVsBelady:
+    """Unbounded OPTgen must reproduce exact MIN hit counts."""
+
+    def check(self, lines, sets, assoc):
+        lines = np.asarray(lines, dtype=np.int64)
+        belady = simulate_belady(lines, sets, assoc)
+        og = OptGen(sets, assoc)
+        for line in lines:
+            og.access(int(line))
+        assert og.opt_hits == belady.num_hits
+
+    def test_small_example(self):
+        self.check([1, 2, 3, 1, 2, 3, 1, 2, 3], 1, 2)
+
+    def test_scan(self):
+        self.check(list(range(20)) * 5, 2, 4)
+
+    def test_zipf_like(self):
+        rng = np.random.default_rng(0)
+        self.check(rng.zipf(1.5, 500) % 64, 4, 4)
+
+    @given(
+        lines=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+        sets=st.sampled_from([1, 2, 4]),
+        assoc=st.sampled_from([1, 2, 4, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_equivalence(self, lines, sets, assoc):
+        self.check(lines, sets, assoc)
+
+
+class TestOptGenAggregate:
+    def test_routes_by_set(self):
+        og = OptGen(num_sets=2, associativity=1)
+        og.access(0)  # set 0
+        og.access(1)  # set 1
+        og.access(0)
+        og.access(1)
+        assert og.opt_hits == 2
+
+    def test_hit_rate(self):
+        og = OptGen(1, 4)
+        for line in [1, 1]:
+            og.access(line)
+        assert og.hit_rate == pytest.approx(0.5)
+
+
+@given(lines=st.lists(st.integers(0, 20), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_property_windowed_never_beats_unbounded(lines):
+    """A bounded window can only lose hits, never gain them."""
+    unbounded = OptGen(1, 4)
+    windowed = OptGen(1, 4, window=8)
+    for line in lines:
+        unbounded.access(int(line))
+        windowed.access(int(line))
+    assert windowed.opt_hits <= unbounded.opt_hits
+
+
+@given(lines=st.lists(st.integers(0, 6), min_size=1, max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_property_occupancy_bounded_by_capacity(lines):
+    og = SetOptGen(capacity=3)
+    for line in lines:
+        og.access(int(line))
+        assert all(x <= og.capacity for x in og.occupancy)

@@ -1,0 +1,96 @@
+"""Tests for the sampled-set OPTgen training infrastructure."""
+
+import pytest
+
+from repro.optgen import OptGenSampler, TrainingEvent
+
+
+@pytest.fixture
+def sampler():
+    # Sample all 4 sets of a 4-set, 2-way cache for deterministic tests.
+    return OptGenSampler(num_sets=4, associativity=2, num_sampled_sets=4)
+
+
+class TestSampling:
+    def test_all_sets_sampled_when_requested(self, sampler):
+        assert all(sampler.is_sampled(s) for s in range(4))
+
+    def test_subset_sampled(self):
+        s = OptGenSampler(num_sets=64, associativity=2, num_sampled_sets=8)
+        assert sum(s.is_sampled(i) for i in range(64)) == 8
+
+    def test_unsampled_sets_produce_nothing(self):
+        s = OptGenSampler(num_sets=64, associativity=2, num_sampled_sets=1)
+        unsampled_line = 1  # set 1 is not sampled (stride 64)
+        assert s.access(unsampled_line, pc=9) == []
+
+
+class TestTrainingEvents:
+    def test_first_access_no_event(self, sampler):
+        assert sampler.access(0, pc=1) == []
+
+    def test_reuse_produces_positive_event(self, sampler):
+        sampler.access(0, pc=1, context="ctx")
+        events = sampler.access(0, pc=2)
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, TrainingEvent)
+        assert event.pc == 1  # the PREVIOUS toucher is labelled
+        assert event.context == "ctx"
+        assert event.label is True
+
+    def test_context_updates_per_access(self, sampler):
+        sampler.access(0, pc=1, context="a")
+        sampler.access(0, pc=2, context="b")
+        events = sampler.access(0, pc=3)
+        assert events[0].pc == 2
+        assert events[0].context == "b"
+
+    def test_capacity_overflow_labels_averse(self):
+        s = OptGenSampler(num_sets=1, associativity=1, num_sampled_sets=1)
+        # Two interleaved lines, capacity 1: at most one reuse chain hits.
+        labels = []
+        for line in [0, 1, 0, 1, 0, 1]:
+            for e in s.access(line, pc=line):
+                labels.append(e.label)
+        assert False in labels
+
+    def test_tracker_eviction_trains_averse(self):
+        s = OptGenSampler(
+            num_sets=1, associativity=2, num_sampled_sets=1, tracker_ways=2
+        )
+        s.access(0, pc=7, context="old")
+        events = []
+        for line in range(1, 6):
+            events += s.access(line, pc=line)
+        averse = [e for e in events if not e.label]
+        assert averse and any(e.pc == 7 for e in averse)
+
+    def test_window_expiry_trains_averse(self):
+        s = OptGenSampler(
+            num_sets=1,
+            associativity=1,
+            num_sampled_sets=1,
+            window_factor=2,
+            tracker_ways=64,
+        )
+        s.access(99, pc=5)
+        events = []
+        for line in range(20):
+            events += s.access(line, pc=0)
+        assert any(e.pc == 5 and not e.label for e in events)
+
+    def test_events_produced_counter(self, sampler):
+        sampler.access(0, pc=1)
+        sampler.access(0, pc=1)
+        assert sampler.events_produced >= 1
+
+
+class TestOptHitRate:
+    def test_tracks_hits(self, sampler):
+        sampler.access(0, pc=1)
+        sampler.access(0, pc=1)
+        assert 0.0 < sampler.opt_hit_rate() <= 0.5
+
+    def test_empty(self, sampler):
+        assert sampler.opt_hit_rate() == 0.0

@@ -1,0 +1,172 @@
+"""Tests for Hawkeye, the Belady oracle policy, and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    AccessType,
+    CacheConfig,
+    CacheRequest,
+    SetAssociativeCache,
+    filter_to_llc_stream,
+    simulate_llc,
+)
+from repro.optgen import simulate_belady
+from repro.policies import (
+    BeladyPolicy,
+    HawkeyePolicy,
+    HawkeyePredictor,
+    LRUPolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+from ..conftest import make_trace
+
+
+def req(pc=1, line=0, kind=AccessType.LOAD, index=0):
+    return CacheRequest(pc, line * 64, kind, 0, index)
+
+
+class TestHawkeyePredictor:
+    def test_initially_weakly_friendly(self):
+        p = HawkeyePredictor()
+        assert p.predict_friendly(0x400)
+
+    def test_trains_averse(self):
+        p = HawkeyePredictor()
+        for _ in range(5):
+            p.train(0x400, cache_friendly=False)
+        assert not p.predict_friendly(0x400)
+
+    def test_saturates(self):
+        p = HawkeyePredictor(counter_bits=3)
+        for _ in range(100):
+            p.train(1, True)
+        idx = p._index(1)
+        assert p.table[idx] == 7
+
+    def test_reset(self):
+        p = HawkeyePredictor()
+        p.train(1, False)
+        p.reset()
+        assert p.predict_friendly(1)
+
+
+class TestHawkeyePolicy:
+    def test_runs_end_to_end(self, scan_trace, small_hierarchy):
+        stream = filter_to_llc_stream(scan_trace, small_hierarchy)
+        policy = HawkeyePolicy()
+        stats = simulate_llc(stream, policy, small_hierarchy)
+        assert stats.demand_accesses == stream.demand_count()
+        assert policy.prediction_checks > 0
+
+    def test_beats_lru_on_scan(self, scan_trace, small_hierarchy):
+        stream = filter_to_llc_stream(scan_trace, small_hierarchy)
+        lru = simulate_llc(stream, LRUPolicy(), small_hierarchy)
+        hawkeye = simulate_llc(stream, HawkeyePolicy(), small_hierarchy)
+        assert hawkeye.demand_miss_rate < lru.demand_miss_rate
+
+    def test_averse_lines_evicted_first(self, small_hierarchy):
+        policy = HawkeyePolicy(num_sampled_sets=1)
+        cache = SetAssociativeCache(CacheConfig("t", 4 * 64, 4), policy)
+        # Train PC 9 averse via the predictor directly.
+        for _ in range(5):
+            policy.predictor.train(9, False)
+        cache.access(req(pc=1, line=0))
+        cache.access(req(pc=9, line=1))  # averse insertion
+        cache.access(req(pc=1, line=2))
+        cache.access(req(pc=1, line=3))
+        cache.access(req(pc=1, line=4))  # must evict line 1 (averse)
+        assert not cache.probe(64)
+        assert cache.probe(0)
+
+    def test_online_accuracy_in_range(self, mixed_llc_stream, small_hierarchy):
+        policy = HawkeyePolicy()
+        simulate_llc(mixed_llc_stream, policy, small_hierarchy)
+        assert 0.0 <= policy.online_accuracy <= 1.0
+
+    def test_reset(self, small_hierarchy):
+        policy = HawkeyePolicy()
+        SetAssociativeCache(small_hierarchy.llc, policy)
+        policy.predictor.train(1, False)
+        policy.prediction_checks = 10
+        policy.reset()
+        assert policy.prediction_checks == 0
+        assert policy.predictor.predict_friendly(1)
+
+
+class TestBeladyPolicy:
+    def test_matches_exact_simulation(self, small_hierarchy):
+        rng = np.random.default_rng(1)
+        pairs = [(1, int(l)) for l in rng.integers(0, 400, size=3000)]
+        trace = make_trace(pairs)
+        stream = filter_to_llc_stream(trace, small_hierarchy)
+        stats = simulate_llc(
+            stream, BeladyPolicy.from_stream(stream), small_hierarchy
+        )
+        exact = simulate_belady(
+            stream.lines().astype(np.int64),
+            small_hierarchy.llc.num_sets,
+            small_hierarchy.llc.associativity,
+        )
+        assert stats.hits == exact.num_hits
+
+    def test_optimality_against_all_policies(self, scan_trace, small_hierarchy):
+        stream = filter_to_llc_stream(scan_trace, small_hierarchy)
+        belady = simulate_llc(
+            stream, BeladyPolicy.from_stream(stream), small_hierarchy
+        )
+        for name in available_policies():
+            stats = simulate_llc(stream, make_policy(name), small_hierarchy)
+            assert belady.hits >= stats.hits, name
+
+    def test_replay_beyond_stream_rejected(self, small_hierarchy):
+        policy = BeladyPolicy(np.array([0, 1, 0]))
+        cache = SetAssociativeCache(small_hierarchy.llc, policy)
+        cache.access(req(line=0, index=0))
+        with pytest.raises(IndexError):
+            cache.access(req(line=5, index=99))
+
+    @given(lines=st.lists(st.integers(0, 60), min_size=5, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_belady_policy_is_optimal(self, lines):
+        config = CacheConfig("t", 8 * 64, 2)
+        lines_arr = np.array(lines, dtype=np.int64)
+        policy = BeladyPolicy(lines_arr)
+        cache = SetAssociativeCache(config, policy)
+        for i, line in enumerate(lines):
+            cache.access(req(line=line, index=i))
+        exact = simulate_belady(lines_arr, config.num_sets, config.associativity)
+        assert cache.stats.hits == exact.num_hits
+
+
+class TestRegistry:
+    def test_all_available_constructible(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert policy.name == name or name in ("glider",)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_policy("bogus")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("srrip", bits=3)
+        assert policy.max_rrpv == 7
+
+    def test_glider_kwargs(self):
+        policy = make_policy("glider", k=3)
+        assert policy.config.k == 3
+
+    def test_register_custom(self):
+        register_policy("custom_lru_for_test", LRUPolicy)
+        assert "custom_lru_for_test" in available_policies()
+        with pytest.raises(ValueError):
+            register_policy("custom_lru_for_test", LRUPolicy)
+
+    def test_fresh_instances(self):
+        assert make_policy("lru") is not make_policy("lru")

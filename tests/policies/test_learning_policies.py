@@ -1,0 +1,208 @@
+"""Tests for SHiP/SHiP++/SDBP/Perceptron/MPPPB learning policies."""
+
+import pytest
+
+from repro.cache import (
+    AccessType,
+    CacheConfig,
+    CacheRequest,
+    SetAssociativeCache,
+    filter_to_llc_stream,
+    simulate_llc,
+)
+from repro.policies import (
+    LRUPolicy,
+    MPPPBPolicy,
+    PerceptronPolicy,
+    PerceptronReusePredictor,
+    SDBPPolicy,
+    SHiPPlusPlusPolicy,
+    SHiPPolicy,
+    SkewedPredictor,
+    pc_signature,
+)
+
+
+def req(pc=1, line=0, kind=AccessType.LOAD):
+    return CacheRequest(pc, line * 64, kind)
+
+
+def new_cache(policy, sets=4, ways=4):
+    return SetAssociativeCache(CacheConfig("t", sets * ways * 64, ways), policy)
+
+
+class TestSignature:
+    def test_range(self):
+        for pc in (0, 1, 0x400000, 2**60):
+            assert 0 <= pc_signature(pc, 14) < (1 << 14)
+
+    def test_deterministic(self):
+        assert pc_signature(0x1234, 14) == pc_signature(0x1234, 14)
+
+    def test_spreads(self):
+        sigs = {pc_signature(0x400000 + 4 * i, 14) for i in range(100)}
+        assert len(sigs) > 90
+
+
+class TestSHiP:
+    def test_counter_trained_up_on_reuse(self):
+        policy = SHiPPolicy(num_sampled_sets=4)
+        cache = new_cache(policy)
+        sig = pc_signature(1, policy.signature_bits)
+        start = policy.shct[sig]
+        for _ in range(4):
+            cache.access(req(pc=1, line=0))
+        assert policy.shct[sig] > start
+
+    def test_counter_trained_down_on_dead_eviction(self):
+        policy = SHiPPolicy(num_sampled_sets=4)
+        cache = new_cache(policy, sets=1, ways=2)
+        sig = pc_signature(2, policy.signature_bits)
+        start = policy.shct[sig]
+        # Streaming: lines inserted by pc 2, never reused, evicted.
+        for line in range(12):
+            cache.access(req(pc=2, line=line))
+        assert policy.shct[sig] < start
+
+    def test_zero_counter_inserts_distant(self):
+        policy = SHiPPolicy()
+        cache = new_cache(policy)
+        sig = pc_signature(3, policy.signature_bits)
+        policy.shct[sig] = 0
+        assert policy.insertion_rrpv(req(pc=3)) == policy.max_rrpv
+
+    def test_reset(self):
+        policy = SHiPPolicy()
+        new_cache(policy)
+        policy.shct[0] = 7
+        policy.reset()
+        assert policy.shct[0] == policy.counter_max // 2
+
+
+class TestSHiPPlusPlus:
+    def test_writeback_inserts_distant_without_training(self):
+        policy = SHiPPlusPlusPolicy(num_sampled_sets=4)
+        cache = new_cache(policy)
+        before = list(policy.shct)
+        cache.access(req(pc=1, line=0, kind=AccessType.WRITEBACK))
+        assert policy.shct == before
+        way = cache.find_way(0)
+        from repro.policies.rrip import RRPV_KEY
+
+        assert cache.sets[0][way].policy_state[RRPV_KEY] == policy.max_rrpv
+
+    def test_saturated_signature_inserts_mru(self):
+        policy = SHiPPlusPlusPolicy()
+        new_cache(policy)
+        sig = pc_signature(4, policy.signature_bits)
+        policy.shct[sig] = policy.counter_max
+        assert policy.insertion_rrpv(req(pc=4)) == 0
+
+    def test_writeback_hit_does_not_promote(self):
+        policy = SHiPPlusPlusPolicy()
+        cache = new_cache(policy)
+        cache.access(req(pc=1, line=0))
+        from repro.policies.rrip import RRPV_KEY
+
+        way = cache.find_way(0)
+        rrpv_before = cache.sets[0][way].policy_state[RRPV_KEY]
+        cache.access(req(pc=1, line=0, kind=AccessType.WRITEBACK))
+        assert cache.sets[0][way].policy_state[RRPV_KEY] == rrpv_before
+
+
+class TestSkewedPredictor:
+    def test_train_dead_raises_confidence(self):
+        p = SkewedPredictor()
+        for _ in range(5):
+            p.train(0x400, dead=True)
+        assert p.predict_dead(0x400)
+
+    def test_train_live_lowers(self):
+        p = SkewedPredictor()
+        for _ in range(5):
+            p.train(0x400, dead=True)
+        for _ in range(5):
+            p.train(0x400, dead=False)
+        assert not p.predict_dead(0x400)
+
+    def test_confidence_bounds(self):
+        p = SkewedPredictor(counter_bits=2)
+        for _ in range(100):
+            p.train(1, dead=True)
+        assert p.confidence(1) <= 9
+
+
+class TestSDBP:
+    def test_dead_pcs_bypassed(self):
+        policy = SDBPPolicy(num_sampler_sets=4, allow_bypass=True)
+        cache = new_cache(policy, sets=4, ways=2)
+        # PC 9 streams: never reused.
+        for line in range(200):
+            cache.access(req(pc=9, line=line))
+        assert cache.stats.bypasses > 0
+
+    def test_live_pcs_not_bypassed(self):
+        policy = SDBPPolicy(num_sampler_sets=4, allow_bypass=True)
+        cache = new_cache(policy, sets=4, ways=2)
+        for i in range(200):
+            cache.access(req(pc=5, line=i % 4))
+        assert not policy.predictor.predict_dead(5)
+
+    def test_reset_clears(self):
+        policy = SDBPPolicy()
+        new_cache(policy)
+        policy.predictor.train(1, dead=True)
+        policy.reset()
+        assert policy.predictor.confidence(1) == 0
+
+
+class TestPerceptronPredictor:
+    def test_learns_dead_pc(self):
+        p = PerceptronReusePredictor()
+        for _ in range(50):
+            p.train(7, (1, 2, 3), 0x1000, reused=False)
+        assert p.predict(7, (1, 2, 3), 0x1000) > 0
+
+    def test_learns_live_pc(self):
+        p = PerceptronReusePredictor()
+        for _ in range(50):
+            p.train(7, (1, 2, 3), 0x1000, reused=True)
+        assert p.predict(7, (1, 2, 3), 0x1000) < 0
+
+    def test_context_separation(self):
+        """Same PC, different histories -> different predictions."""
+        p = PerceptronReusePredictor(theta=64)
+        for _ in range(60):
+            p.train(7, (1, 1, 1), 0x1000, reused=True)
+            p.train(7, (2, 2, 2), 0x1000, reused=False)
+        live = p.predict(7, (1, 1, 1), 0x1000)
+        dead = p.predict(7, (2, 2, 2), 0x1000)
+        assert live < dead
+
+    def test_weights_saturate(self):
+        p = PerceptronReusePredictor(weight_min=-4, weight_max=3, theta=1000)
+        for _ in range(100):
+            p.train(7, (), 0, reused=False)
+        assert p.predict(7, (), 0) <= 3 * len(p.features)
+
+    def test_reset(self):
+        p = PerceptronReusePredictor()
+        p.train(7, (), 0, reused=False)
+        p.reset()
+        assert p.predict(7, (), 0) == 0
+
+
+@pytest.mark.parametrize("policy_cls", [PerceptronPolicy, MPPPBPolicy, SDBPPolicy,
+                                        SHiPPolicy, SHiPPlusPlusPolicy])
+def test_policy_end_to_end(policy_cls, mixed_llc_stream, small_hierarchy):
+    stats = simulate_llc(mixed_llc_stream, policy_cls(), small_hierarchy)
+    assert stats.demand_accesses == mixed_llc_stream.demand_count()
+    assert 0.0 <= stats.demand_miss_rate <= 1.0
+
+
+@pytest.mark.parametrize("policy_cls", [SHiPPolicy, SHiPPlusPlusPolicy, MPPPBPolicy])
+def test_learning_policies_beat_lru_on_scan(policy_cls, scan_trace, small_hierarchy):
+    stream = filter_to_llc_stream(scan_trace, small_hierarchy)
+    lru = simulate_llc(stream, LRUPolicy(), small_hierarchy)
+    learned = simulate_llc(stream, policy_cls(), small_hierarchy)
+    assert learned.demand_miss_rate <= lru.demand_miss_rate

@@ -1,0 +1,152 @@
+"""Cross-cutting edge cases and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    AccessType,
+    CacheConfig,
+    CacheRequest,
+    LLCStream,
+    SetAssociativeCache,
+)
+from repro.core.isvm import ISVMTable
+from repro.eval import DEFAULT, ExperimentConfig
+from repro.ml.dataset import SequenceDataset
+from repro.policies import LRUPolicy
+from repro.traces import Trace
+
+from .conftest import make_trace
+
+
+class TestLLCStreamEdgeCases:
+    def make_stream(self, n=0, kinds=None):
+        return LLCStream(
+            name="s",
+            pcs=np.arange(n, dtype=np.uint64),
+            addresses=np.arange(n, dtype=np.uint64) * 64,
+            kinds=np.array(kinds if kinds is not None else [0] * n, dtype=np.int8),
+            cores=np.zeros(n, dtype=np.int16),
+            line_size=64,
+            source_accesses=n,
+            source_instructions=n * 4,
+            l1_hits=0,
+            l2_hits=0,
+        )
+
+    def test_empty_stream(self):
+        stream = self.make_stream(0)
+        assert len(stream) == 0
+        assert stream.demand_count() == 0
+        assert list(stream.requests()) == []
+        assert len(stream.to_trace()) == 0
+
+    def test_all_writebacks(self):
+        stream = self.make_stream(3, kinds=[2, 2, 2])
+        assert stream.demand_count() == 0
+        kinds = [r.access_type for r in stream.requests()]
+        assert all(k is AccessType.WRITEBACK for k in kinds)
+
+    def test_mixed_kinds(self):
+        stream = self.make_stream(3, kinds=[0, 1, 2])
+        trace = stream.to_trace()
+        assert len(trace) == 2
+        assert not trace.is_write[0]
+        assert trace.is_write[1]
+
+
+class TestISVMTableInternals:
+    def test_entry_distribution(self):
+        table = ISVMTable(table_bits=6)
+        entries = {id(table._entry(0x400000 + 4 * i)) for i in range(200)}
+        # 200 PCs over 64 entries: most entries used, not all collapsed.
+        assert len(entries) > 40
+
+    def test_empty_history_prediction(self):
+        table = ISVMTable()
+        p = table.predict(1, ())
+        assert p.total == 0
+        assert p.is_friendly  # cold default: weakly friendly
+
+    def test_train_with_empty_history_is_safe(self):
+        table = ISVMTable()
+        table.train(1, (), cache_friendly=False)
+        assert table.stats.trainings == 1
+
+    def test_long_history_more_than_k(self):
+        table = ISVMTable()
+        history = tuple(range(12))  # more entries than hardware would pass
+        p = table.predict(1, history)
+        assert isinstance(p.total, int)
+
+
+class TestExperimentConfig:
+    def test_with_length(self):
+        cfg = DEFAULT.with_length(123)
+        assert cfg.trace_length == 123
+        assert cfg.hierarchy_scale == DEFAULT.hierarchy_scale
+
+    def test_hierarchy_cores(self):
+        cfg = ExperimentConfig()
+        h4 = cfg.hierarchy(cores=4)
+        assert h4.cores == 4
+        assert h4.llc.size_bytes == 4 * cfg.hierarchy().llc.size_bytes
+
+    def test_lstm_config_override(self):
+        cfg = ExperimentConfig(lstm_hidden=16)
+        lc = cfg.lstm_config(vocab_size=99, history=7)
+        assert lc.vocab_size == 99
+        assert lc.hidden_dim == 16
+        assert lc.history == 7
+
+
+class TestDatasetBoundaries:
+    def test_exact_window_length(self):
+        ds = SequenceDataset(
+            pcs=np.arange(8, dtype=np.int32),
+            labels=np.zeros(8),
+            vocab_size=8,
+            history=4,
+        )
+        assert len(ds) == 1
+
+    def test_num_labelled_positions(self):
+        ds = SequenceDataset(
+            pcs=np.arange(20, dtype=np.int32),
+            labels=np.zeros(20),
+            vocab_size=20,
+            history=4,
+        )
+        assert ds.num_labelled_positions() == len(ds) * 4
+
+
+class TestCacheSingleWay:
+    def test_direct_mapped(self):
+        cache = SetAssociativeCache(CacheConfig("dm", 4 * 64, 1), LRUPolicy())
+        cache.access(CacheRequest(1, 0))
+        cache.access(CacheRequest(1, 4 * 64))  # same set, conflict
+        assert not cache.probe(0)
+        assert cache.probe(4 * 64)
+
+    def test_fully_associative(self):
+        cache = SetAssociativeCache(CacheConfig("fa", 4 * 64, 4), LRUPolicy())
+        for line in range(4):
+            cache.access(CacheRequest(1, line * 64))
+        assert cache.occupancy == 4
+        for line in range(4):
+            assert cache.probe(line * 64)
+
+
+class TestTraceDegenerate:
+    def test_single_access_trace(self):
+        t = make_trace([(1, 0)])
+        assert len(t) == 1
+        assert t.num_instructions == 4
+
+    def test_trace_with_huge_addresses(self):
+        t = Trace(
+            name="big",
+            pcs=np.array([1], dtype=np.uint64),
+            addresses=np.array([2**50], dtype=np.uint64),
+        )
+        assert int(t.lines()[0]) == 2**50 // 64

@@ -1,0 +1,136 @@
+"""Tests for the SPEC-like and GAP workload models and the suite registry."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    FULL_SUITE,
+    GAP_SUITE,
+    OFFLINE_BENCHMARKS,
+    SPEC2006_SUITE,
+    SPEC2017_SUITE,
+    all_benchmark_names,
+    build_gap,
+    build_spec,
+    gap_benchmark_names,
+    get_trace,
+    make_power_law_graph,
+    spec_benchmark_names,
+    suite_group,
+    trace_statistics,
+)
+from repro.traces.gap import GraphCSR
+
+
+class TestSuiteRegistry:
+    def test_full_suite_has_33_members(self):
+        assert len(FULL_SUITE) == 33
+
+    def test_suite_groups_partition(self):
+        assert len(SPEC2006_SUITE) + len(SPEC2017_SUITE) + len(GAP_SUITE) == 33
+        assert not set(SPEC2006_SUITE) & set(SPEC2017_SUITE)
+
+    def test_every_suite_member_buildable(self):
+        names = set(all_benchmark_names())
+        for benchmark in FULL_SUITE:
+            assert benchmark in names
+
+    def test_offline_benchmarks_subset(self):
+        assert set(OFFLINE_BENCHMARKS) <= set(FULL_SUITE)
+
+    def test_suite_group(self):
+        assert suite_group("mcf") == "SPEC06"
+        assert suite_group("605.mcf") == "SPEC17"
+        assert suite_group("bfs") == "GAP"
+
+    def test_suite_group_unknown(self):
+        with pytest.raises(KeyError):
+            suite_group("not_a_benchmark")
+
+    def test_get_trace_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_trace("nope")
+
+    def test_get_trace_cached(self):
+        a = get_trace("lbm", 5000, llc_lines=512)
+        b = get_trace("lbm", 5000, llc_lines=512)
+        assert a is b
+
+    def test_build_spec_unknown(self):
+        with pytest.raises(KeyError):
+            build_spec("nonexistent")
+
+    def test_build_gap_unknown(self):
+        with pytest.raises(KeyError):
+            build_gap("nonexistent")
+
+
+@pytest.mark.parametrize("workload", sorted(spec_benchmark_names()))
+def test_spec_builders_generate(workload):
+    trace = build_spec(workload, llc_lines=256, seed=0).generate(2000, seed=0)
+    assert len(trace) >= 2000
+    assert len(trace.unique_pcs()) >= 2
+    stats = trace_statistics(trace)
+    assert stats.num_accesses == len(trace)
+
+
+@pytest.mark.parametrize("workload", sorted(gap_benchmark_names()))
+def test_gap_builders_generate(workload):
+    trace = build_gap(workload, n_accesses=2000, scale=256, seed=0)
+    assert len(trace) >= 2000
+    assert len(trace.unique_pcs()) >= 3
+
+
+class TestGraphCSR:
+    def test_offsets_monotonic(self):
+        g = make_power_law_graph(200, seed=0)
+        assert np.all(np.diff(g.offsets) >= 0)
+        assert g.offsets[-1] == g.num_edges
+
+    def test_neighbors_in_range(self):
+        g = make_power_law_graph(200, seed=1)
+        assert g.neighbors.min() >= 0
+        assert g.neighbors.max() < g.num_vertices
+
+    def test_symmetric_degree_sum(self):
+        g = make_power_law_graph(100, mean_degree=6, seed=2)
+        # Symmetrised: every edge appears in both directions.
+        assert g.num_edges % 2 == 0
+
+    def test_power_law_degree_skew(self):
+        g = make_power_law_graph(1000, seed=3)
+        degrees = np.diff(g.offsets)
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_address_helpers_disjoint(self):
+        g = make_power_law_graph(100, seed=0)
+        assert g.offset_addr(0) < g.neighbor_addr(0) < g.property_addr(0)
+
+    def test_property_arrays_disjoint(self):
+        g = make_power_law_graph(100, seed=0)
+        stride = g.property_addr(0, 1) - g.property_addr(0, 0)
+        assert stride >= 100 * 8
+
+
+class TestWorkloadCharacter:
+    """The models must show the reuse structure the policies learn from."""
+
+    def test_lbm_is_streaming(self):
+        stats = trace_statistics(build_spec("lbm", 512, 0).generate(5000, 0))
+        assert stats.accesses_per_address < 10
+
+    def test_tonto_is_cache_friendly(self):
+        stats = trace_statistics(build_spec("tonto", 512, 0).generate(5000, 0))
+        assert stats.accesses_per_address > 8
+
+    def test_omnetpp_carries_callctx_metadata(self):
+        trace = build_spec("omnetpp", 512, 0).generate(4000, 0)
+        assert "target_pcs" in trace.metadata
+        assert "anchor_pc" in trace.metadata
+        assert len(trace.metadata["target_pcs"]) == 4
+
+    def test_gap_traces_touch_edge_array(self):
+        trace = build_gap("pr", n_accesses=3000, scale=512, seed=0)
+        # PageRank reads neighbours heavily: the neighbour PC dominates.
+        pcs, counts = np.unique(trace.pcs, return_counts=True)
+        assert counts.max() > len(trace) / 4

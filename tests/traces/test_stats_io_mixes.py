@@ -1,0 +1,165 @@
+"""Tests for trace statistics, serialisation, and multi-core mixes."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    Trace,
+    WorkloadMix,
+    load_csv,
+    load_npz,
+    make_mixes,
+    pc_access_counts,
+    save_csv,
+    save_npz,
+    trace_statistics,
+)
+from repro.traces.callctx import CallContextProgram
+from repro.traces.stats import reuse_distance_histogram
+
+
+def simple_trace():
+    return Trace(
+        name="s",
+        pcs=np.array([1, 1, 2, 2, 2], dtype=np.uint64),
+        addresses=np.array([0, 64, 0, 64, 128], dtype=np.uint64),
+        is_write=np.array([False, True, False, False, True]),
+        instructions_per_access=2.5,
+    )
+
+
+class TestStatistics:
+    def test_counts(self):
+        s = trace_statistics(simple_trace())
+        assert s.num_accesses == 5
+        assert s.num_pcs == 2
+        assert s.num_addresses == 3
+        assert s.accesses_per_pc == 2.5
+        assert s.num_lines == 3
+
+    def test_write_fraction(self):
+        s = trace_statistics(simple_trace())
+        assert s.write_fraction == pytest.approx(0.4)
+
+    def test_as_row_keys_match_table2(self):
+        row = trace_statistics(simple_trace()).as_row()
+        assert "# of Accesses" in row
+        assert "# of PCs" in row
+        assert "Ave. # Accesses per PC" in row
+
+    def test_pc_access_counts_descending(self):
+        counts = pc_access_counts(simple_trace())
+        values = list(counts.values())
+        assert values == sorted(values, reverse=True)
+        assert counts[2] == 3
+
+    def test_reuse_histogram_total(self):
+        t = simple_trace()
+        hist = reuse_distance_histogram(t)
+        assert hist.sum() == len(t)
+
+    def test_reuse_histogram_cold_misses(self):
+        t = simple_trace()
+        hist = reuse_distance_histogram(t)
+        assert hist[-1] == 3  # three distinct lines => three first touches
+
+    def test_reuse_histogram_hot_loop(self):
+        pcs = np.ones(100, dtype=np.uint64)
+        addrs = np.array([(i % 2) * 64 for i in range(100)], dtype=np.uint64)
+        hist = reuse_distance_histogram(Trace(name="h", pcs=pcs, addresses=addrs))
+        # distance-1 reuses dominate: bucket index 1 (2^0 <= d < 2^1).
+        assert hist[1] == 98
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path):
+        t = simple_trace()
+        path = save_npz(t, tmp_path / "t.npz")
+        loaded = load_npz(path)
+        assert loaded.name == t.name
+        assert list(loaded.pcs) == list(t.pcs)
+        assert list(loaded.addresses) == list(t.addresses)
+        assert list(loaded.is_write) == list(t.is_write)
+        assert loaded.instructions_per_access == t.instructions_per_access
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = simple_trace()
+        path = save_csv(t, tmp_path / "t.csv")
+        loaded = load_csv(path)
+        assert list(loaded.pcs) == list(t.pcs)
+        assert list(loaded.addresses) == list(t.addresses)
+        assert list(loaded.is_write) == list(t.is_write)
+
+    def test_csv_named(self, tmp_path):
+        path = save_csv(simple_trace(), tmp_path / "foo.csv")
+        assert load_csv(path).name == "foo"
+        assert load_csv(path, name="bar").name == "bar"
+
+
+class TestMixes:
+    def test_count_and_width(self):
+        mixes = make_mixes(10, cores=4, seed=1)
+        assert len(mixes) == 10
+        assert all(len(m.benchmarks) == 4 for m in mixes)
+
+    def test_no_duplicate_benchmark_within_mix(self):
+        for mix in make_mixes(20, cores=4, seed=2):
+            assert len(set(mix.benchmarks)) == 4
+
+    def test_mixes_unique(self):
+        mixes = make_mixes(30, cores=4, seed=3)
+        combos = {m.benchmarks for m in mixes}
+        assert len(combos) == len(mixes)
+
+    def test_deterministic(self):
+        a = make_mixes(5, seed=9)
+        b = make_mixes(5, seed=9)
+        assert [m.benchmarks for m in a] == [m.benchmarks for m in b]
+
+    def test_name_format(self):
+        mix = make_mixes(1, seed=0)[0]
+        assert mix.name.startswith("mix000(")
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(ValueError):
+            make_mixes(1, cores=5, pool=("a", "b"))
+
+
+class TestCallContext:
+    def test_metadata_present(self):
+        prog = CallContextProgram(seed=1)
+        trace = prog.generate(2000)
+        assert trace.metadata["anchor_pc"] == prog.anchor_pc
+        assert len(trace.metadata["target_pcs"]) == 4
+
+    def test_needs_two_callers(self):
+        with pytest.raises(ValueError):
+            CallContextProgram(n_callers=1)
+
+    def test_friendly_pool_reuse(self):
+        prog = CallContextProgram(
+            n_callers=2, friendly_pool_lines=8, averse_pool_lines=4096, seed=0
+        )
+        trace = prog.generate(5000)
+        friendly = prog.callers[0].pool
+        averse = prog.callers[1].pool
+        f_lines = {
+            int(a) // 64
+            for a in trace.addresses
+            if friendly.start <= a < friendly.end
+        }
+        a_lines = {
+            int(a) // 64 for a in trace.addresses if averse.start <= a < averse.end
+        }
+        assert len(f_lines) <= 8
+        assert len(a_lines) > 20  # averse pool barely reuses
+
+    def test_anchor_fires_before_targets(self):
+        prog = CallContextProgram(n_callers=2, seed=2)
+        trace = prog.generate(600)
+        targets = set(prog.target_pcs)
+        anchors = {c.anchor_pc for c in prog.callers}
+        pcs = list(trace.pcs)
+        for i, pc in enumerate(pcs):
+            if pc == prog.target_pcs[0]:
+                assert pcs[i - 1] in anchors

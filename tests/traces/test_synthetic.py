@@ -1,0 +1,243 @@
+"""Unit tests for the synthetic kernel library."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import (
+    Arena,
+    HotLoopKernel,
+    Phase,
+    PcAllocator,
+    PointerChaseKernel,
+    Program,
+    Region,
+    ScanPointKernel,
+    SharedCalleeKernel,
+    StackKernel,
+    StencilKernel,
+    StreamKernel,
+    TraceBuilder,
+    ZipfKernel,
+    interleave,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def ctx():
+    return PcAllocator(), Arena()
+
+
+def run_kernel(kernel, rng, budget=200):
+    out = TraceBuilder("k")
+    kernel.run(out, rng, budget)
+    return out
+
+
+class TestAllocators:
+    def test_pc_allocator_unique(self):
+        alloc = PcAllocator()
+        a = alloc.alloc(3)
+        b = alloc.alloc(3)
+        assert len(set(a + b)) == 6
+
+    def test_pc_allocator_step(self):
+        alloc = PcAllocator(base=0x100, step=4)
+        assert alloc.alloc(2) == [0x100, 0x104]
+
+    def test_arena_disjoint_regions(self):
+        arena = Arena()
+        r1 = arena.region(1024)
+        r2 = arena.region(1024)
+        assert r1.end <= r2.start
+
+    def test_region_line_address_wraps(self):
+        r = Region(start=0x1000, size=4 * 64)
+        assert r.line_address(0) == 0x1000
+        assert r.line_address(4) == 0x1000  # wraps modulo num_lines
+
+    def test_region_num_lines(self):
+        assert Region(0, 640).num_lines() == 10
+
+
+class TestKernels:
+    def test_stream_within_region(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(64 * 64)
+        k = StreamKernel(pcs.alloc(2), region)
+        out = run_kernel(k, rng)
+        assert all(region.start <= a < region.end for a in out.addresses)
+
+    def test_stream_advances_monotonically_before_wrap(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(1000 * 64)
+        k = StreamKernel(pcs.alloc(1), region)
+        out = run_kernel(k, rng, budget=50)
+        diffs = np.diff(out.addresses)
+        assert all(d == 64 for d in diffs)
+
+    def test_stream_persists_across_bursts(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(1000 * 64)
+        k = StreamKernel(pcs.alloc(1), region)
+        out = TraceBuilder("k")
+        k.run(out, rng, 10)
+        k.run(out, rng, 10)
+        assert out.addresses[10] == out.addresses[9] + 64
+
+    def test_stream_requires_pcs(self, ctx):
+        _, arena = ctx
+        with pytest.raises(ValueError):
+            StreamKernel([], arena.region(64))
+
+    def test_hot_loop_confined(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(4 * 64)
+        k = HotLoopKernel(pcs.alloc(1), region)
+        out = run_kernel(k, rng, budget=100)
+        assert len(set(out.addresses)) <= 4
+
+    def test_pointer_chase_visits_many_lines(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(128 * 64)
+        k = PointerChaseKernel(pcs.alloc(1), region, seed=1)
+        out = run_kernel(k, rng, budget=120)
+        assert len(set(out.addresses)) > 60  # permutation cycle, no repeats early
+
+    def test_pointer_chase_deterministic(self, ctx):
+        pcs, arena = ctx
+        region = arena.region(64 * 64)
+        k1 = PointerChaseKernel(pcs.alloc(1), region, seed=7)
+        k2 = PointerChaseKernel(k1.pcs, region, seed=7)
+        o1 = run_kernel(k1, np.random.default_rng(0), 50)
+        o2 = run_kernel(k2, np.random.default_rng(0), 50)
+        assert o1.addresses == o2.addresses
+
+    def test_zipf_skew(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(1024 * 64)
+        k = ZipfKernel(pcs.alloc(1), region, alpha=1.5)
+        out = run_kernel(k, rng, budget=2000)
+        _, counts = np.unique(out.addresses, return_counts=True)
+        # Strong skew: the most popular line dominates.
+        assert counts.max() > 2000 / 50
+
+    def test_scan_point_cycles(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(10 * 64)
+        k = ScanPointKernel(pcs.alloc(1), region)
+        out = run_kernel(k, rng, budget=25)
+        assert out.addresses[0] == out.addresses[10] == out.addresses[20]
+
+    def test_stack_depth_bounded(self, ctx, rng):
+        pcs, arena = ctx
+        region = arena.region(8 * 64)
+        k = StackKernel(pcs.one(), pcs.one(), region)
+        out = run_kernel(k, rng, budget=500)
+        assert all(region.start <= a < region.end for a in out.addresses)
+
+    def test_stack_pushes_are_writes(self, ctx, rng):
+        pcs, arena = ctx
+        push, pop = pcs.one(), pcs.one()
+        k = StackKernel(push, pop, arena.region(8 * 64))
+        out = run_kernel(k, rng, budget=200)
+        for pc, w in zip(out.pcs, out.is_write):
+            assert w == (pc == push)
+
+    def test_stencil_triples(self, ctx, rng):
+        pcs, arena = ctx
+        k = StencilKernel(pcs.alloc(3), arena.region(64 * 64), cols=8)
+        out = run_kernel(k, rng, budget=30)
+        assert len(out) % 3 == 0
+        assert out.is_write[2]  # south store
+
+    def test_stencil_needs_three_pcs(self, ctx):
+        pcs, arena = ctx
+        with pytest.raises(ValueError, match="3 PCs"):
+            StencilKernel(pcs.alloc(2), arena.region(64 * 64), cols=8)
+
+    def test_shared_callee_anchor_precedes_targets(self, ctx, rng):
+        pcs, arena = ctx
+        k = SharedCalleeKernel(pcs, arena, n_callers=2, n_target_pcs=3)
+        out = run_kernel(k, rng, budget=40)
+        anchors = set(k.anchor_pcs)
+        targets = set(k.target_pcs)
+        # Every target access is preceded by an anchor within 3 slots.
+        for i, pc in enumerate(out.pcs):
+            if pc in targets:
+                window = out.pcs[max(0, i - 3) : i]
+                assert anchors & set(window) or targets & set(window)
+
+    def test_shared_callee_friendly_pool_small(self, ctx, rng):
+        pcs, arena = ctx
+        k = SharedCalleeKernel(
+            pcs, arena, n_callers=2, friendly_pool_lines=4, averse_pool_lines=512
+        )
+        out = run_kernel(k, rng, budget=2000)
+        friendly = k.pools[0]
+        friendly_addrs = {
+            a for a in out.addresses if friendly.start <= a < friendly.end
+        }
+        assert len({a // 64 for a in friendly_addrs}) <= 4
+
+
+class TestProgram:
+    def test_generates_requested_length(self, ctx):
+        pcs, arena = ctx
+        k = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        prog = Program("p", [Phase([k], [1.0])])
+        trace = prog.generate(500, seed=0)
+        assert len(trace) >= 500
+
+    def test_phase_fractions_validated(self, ctx):
+        pcs, arena = ctx
+        k = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        with pytest.raises(ValueError):
+            Program("p", [Phase([k], [1.0], fraction=0.0)])
+
+    def test_phase_weight_mismatch(self, ctx):
+        pcs, arena = ctx
+        k = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        with pytest.raises(ValueError, match="one weight per kernel"):
+            Phase([k], [1.0, 2.0])
+
+    def test_empty_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase([], [])
+
+    def test_deterministic_generation(self, ctx):
+        pcs, arena = ctx
+        k = ZipfKernel(pcs.alloc(2), arena.region(64 * 64))
+        prog = Program("p", [Phase([k], [1.0])])
+        t1 = prog.generate(200, seed=5)
+        pcs2, arena2 = PcAllocator(), Arena()
+        k2 = ZipfKernel(pcs2.alloc(2), arena2.region(64 * 64))
+        t2 = Program("p", [Phase([k2], [1.0])]).generate(200, seed=5)
+        assert list(t1.pcs) == list(t2.pcs)
+
+
+class TestInterleave:
+    def test_preserves_all_accesses(self, ctx):
+        pcs, arena = ctx
+        a = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        b = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        t1 = Program("a", [Phase([a], [1.0])]).generate(100)
+        t2 = Program("b", [Phase([b], [1.0])]).generate(150)
+        mixed = interleave([t1, t2], "mix", chunk=16, seed=0)
+        assert len(mixed) == len(t1) + len(t2)
+
+    def test_preserves_per_trace_order(self, ctx):
+        pcs, arena = ctx
+        a = StreamKernel(pcs.alloc(1), arena.region(1000 * 64))
+        t1 = Program("a", [Phase([a], [1.0])]).generate(100)
+        b = HotLoopKernel(pcs.alloc(1), arena.region(4 * 64))
+        t2 = Program("b", [Phase([b], [1.0])]).generate(100)
+        mixed = interleave([t1, t2], "mix", chunk=8, seed=1)
+        stream_addrs = [
+            addr for pc, addr in zip(mixed.pcs, mixed.addresses) if pc in set(t1.pcs)
+        ]
+        assert stream_addrs == list(t1.addresses)

@@ -1,0 +1,167 @@
+"""Unit tests for the Trace/Access containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import Access, Trace
+
+
+def make(pcs, addrs, **kw):
+    return Trace(
+        name="t",
+        pcs=np.array(pcs, dtype=np.uint64),
+        addresses=np.array(addrs, dtype=np.uint64),
+        **kw,
+    )
+
+
+class TestAccess:
+    def test_fields(self):
+        a = Access(pc=0x400, address=0x1000, is_write=True, core=2)
+        assert a.pc == 0x400
+        assert a.address == 0x1000
+        assert a.is_write
+        assert a.core == 2
+
+    def test_line_default(self):
+        assert Access(1, 128).line() == 2
+
+    def test_line_custom_size(self):
+        assert Access(1, 128).line(line_size=32) == 4
+
+    def test_frozen(self):
+        a = Access(1, 2)
+        with pytest.raises(AttributeError):
+            a.pc = 3
+
+
+class TestTraceConstruction:
+    def test_basic(self):
+        t = make([1, 2], [64, 128])
+        assert len(t) == 2
+        assert t.num_accesses == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            make([1, 2, 3], [64, 128])
+
+    def test_is_write_defaults_false(self):
+        t = make([1], [64])
+        assert not t.is_write[0]
+
+    def test_is_write_length_checked(self):
+        with pytest.raises(ValueError, match="one entry per access"):
+            Trace(
+                name="t",
+                pcs=np.array([1, 2], dtype=np.uint64),
+                addresses=np.array([64, 128], dtype=np.uint64),
+                is_write=np.array([True]),
+            )
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make([1], [64], line_size=48)
+
+    def test_from_accesses_tuples(self):
+        t = Trace.from_accesses("x", [(1, 64), (2, 128, True)])
+        assert len(t) == 2
+        assert not t.is_write[0]
+        assert t.is_write[1]
+
+    def test_from_accesses_objects(self):
+        t = Trace.from_accesses("x", [Access(5, 320, True)])
+        assert t.pcs[0] == 5
+        assert t.is_write[0]
+
+
+class TestTraceViews:
+    def test_lines(self):
+        t = make([1, 1], [0, 130])
+        assert list(t.lines()) == [0, 2]
+
+    def test_unique_pcs_sorted(self):
+        t = make([9, 3, 9, 1], [0, 64, 128, 192])
+        assert list(t.unique_pcs()) == [1, 3, 9]
+
+    def test_unique_lines(self):
+        t = make([1, 1, 1], [0, 64, 0])
+        assert len(t.unique_lines()) == 2
+
+    def test_iteration_yields_accesses(self):
+        t = make([1, 2], [64, 128])
+        items = list(t)
+        assert all(isinstance(a, Access) for a in items)
+        assert items[1].address == 128
+
+    def test_getitem_int(self):
+        t = make([1, 2], [64, 128])
+        assert t[1].pc == 2
+
+    def test_getitem_slice_returns_trace(self):
+        t = make([1, 2, 3], [64, 128, 192])
+        sliced = t[1:]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 2
+        assert sliced.pcs[0] == 2
+
+    def test_head(self):
+        t = make([1, 2, 3], [64, 128, 192])
+        assert len(t.head(2)) == 2
+
+    def test_num_instructions(self):
+        t = make([1] * 10, list(range(0, 640, 64)), instructions_per_access=3.0)
+        assert t.num_instructions == 30
+
+
+class TestTraceCombinators:
+    def test_concat(self):
+        a = make([1], [64])
+        b = make([2], [128])
+        c = a.concat(b)
+        assert len(c) == 2
+        assert list(c.pcs) == [1, 2]
+
+    def test_concat_line_size_mismatch(self):
+        a = make([1], [64])
+        b = make([2], [128], line_size=32)
+        with pytest.raises(ValueError, match="line size"):
+            a.concat(b)
+
+    def test_remap_pcs_dense(self):
+        t = make([0x400, 0x999, 0x400], [0, 64, 128])
+        dense = t.remap_pcs()
+        assert set(dense.pcs.tolist()) == {0, 1}
+        vocab = dense.metadata["pc_vocabulary"]
+        assert vocab[dense.pcs[0]] == 0x400
+
+    def test_remap_preserves_addresses(self):
+        t = make([7, 8], [64, 128])
+        dense = t.remap_pcs()
+        assert list(dense.addresses) == [64, 128]
+
+
+@given(
+    pcs=st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+)
+@settings(max_examples=25)
+def test_property_lines_match_manual(pcs):
+    addrs = [(p * 97) % 10_000 for p in pcs]
+    t = make(pcs, addrs)
+    expected = [a // 64 for a in addrs]
+    assert list(t.lines()) == expected
+
+
+@given(cut=st.integers(0, 30), n=st.integers(1, 30))
+@settings(max_examples=25)
+def test_property_slice_concat_roundtrip(cut, n):
+    pcs = list(range(n))
+    addrs = [i * 64 for i in range(n)]
+    t = make(pcs, addrs)
+    cut = min(cut, n)
+    if cut == 0 or cut == n:
+        return
+    rejoined = t[:cut].concat(t[cut:])
+    assert list(rejoined.pcs) == pcs
+    assert list(rejoined.addresses) == addrs
