@@ -96,6 +96,31 @@ class ISVMTableStats:
     predictions: int = 0
 
 
+@dataclass(frozen=True)
+class ISVMHealth:
+    """Saturation/health snapshot of an ISVM table.
+
+    A weight pinned at WEIGHT_MIN/WEIGHT_MAX can no longer move in one
+    direction, so a table whose active entries are mostly saturated has
+    silently stopped learning — the counter-state failure mode the
+    robustness guards watch for.
+    """
+
+    num_entries: int
+    active_entries: int  # entries with any non-zero weight
+    active_weights: int  # total weights across active entries
+    saturated_weights: int
+    max_abs_weight: int
+
+    @property
+    def saturated_fraction(self) -> float:
+        """Saturated share of the weights that have ever been trained."""
+        return self.saturated_weights / max(1, self.active_weights)
+
+    def healthy(self, max_saturated_fraction: float = 0.25) -> bool:
+        return self.saturated_fraction <= max_saturated_fraction
+
+
 class ISVMTable:
     """Direct-mapped table of per-PC ISVMs plus the adaptive threshold.
 
@@ -225,6 +250,31 @@ class ISVMTable:
         self._window_correct = 0
         self._window_total = 0
         self._candidate_scores = {}
+
+    # -- health --------------------------------------------------------------------
+    def health(self) -> ISVMHealth:
+        """Saturation telemetry over the table (see :class:`ISVMHealth`)."""
+        weights_per_entry = 1 << self.weight_hash_bits
+        active_entries = 0
+        saturated = 0
+        max_abs = 0
+        for entry in self._table:
+            entry_active = False
+            for w in entry.weights:
+                if w:
+                    entry_active = True
+                    max_abs = max(max_abs, abs(w))
+                    if w <= ISVM.WEIGHT_MIN or w >= ISVM.WEIGHT_MAX:
+                        saturated += 1
+            if entry_active:
+                active_entries += 1
+        return ISVMHealth(
+            num_entries=len(self._table),
+            active_entries=active_entries,
+            active_weights=active_entries * weights_per_entry,
+            saturated_weights=saturated,
+            max_abs_weight=max_abs,
+        )
 
     # -- budget accounting (Table 3 / Section 5.4) ---------------------------------
     def storage_bytes(self) -> int:

@@ -8,12 +8,22 @@ Run any paper experiment directly::
     python -m repro.eval fig14 --no-lstm
 
 Each subcommand prints the same table its benchmark counterpart prints.
+
+Robustness (fig9/fig10/fig11/fig12): ``--store DIR`` persists streams
+and labels to a crash-safe artifact store so reruns resume instead of
+recomputing; ``--robust`` retries failing benchmarks and degrades to
+partial aggregates (with a resume manifest under the store); ``--fail
+"mcf,lbm:2"`` injects benchmark failures to drill the machinery.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
+from ..robust.faults import BenchmarkFaultPlan
+from ..robust.retry import DeadlineBudget, RetryPolicy
+from ..robust.suite import RobustSuiteRunner
 from .accuracy import offline_accuracy, online_accuracy
 from .attention_analysis import attention_cdf, attention_heatmap
 from .convergence import convergence_curves
@@ -46,6 +56,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epochs", type=int, default=None, help="LSTM epochs")
     parser.add_argument("--mixes", type=int, default=8, help="fig13 mix count")
     parser.add_argument("--no-lstm", action="store_true", help="skip LSTM curves")
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="disk artifact store: reruns reuse cached streams/labels",
+    )
+    parser.add_argument(
+        "--robust", action="store_true",
+        help="retry failing benchmarks and finish the suite with partial results",
+    )
+    parser.add_argument(
+        "--fail", default=None, metavar="SPEC", type=BenchmarkFaultPlan.parse,
+        help='inject benchmark failures, e.g. "mcf" (always) or "lbm:2" (twice)',
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, help="retries per benchmark (--robust)"
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, help="suite deadline budget, seconds"
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
@@ -55,8 +83,20 @@ def main(argv: list[str] | None = None) -> int:
         lstm_history=20,
         lstm_epochs=args.epochs or 6,
     )
-    cache = ArtifactCache(config)
+    cache = ArtifactCache(config, store=args.store)
     subset = _benchmarks(args)
+
+    runner = None
+    if args.robust or args.fail:
+        manifest = None
+        if args.store:
+            manifest = Path(args.store) / f"manifest-{args.experiment}.json"
+        runner = RobustSuiteRunner(
+            retry_policy=RetryPolicy(max_attempts=args.max_attempts),
+            manifest_path=manifest,
+            budget=DeadlineBudget(args.deadline) if args.deadline else None,
+            fault_plan=args.fail,
+        )
 
     if args.experiment == "fig4":
         rows = attention_cdf(config, cache=cache)
@@ -68,19 +108,21 @@ def main(argv: list[str] | None = None) -> int:
         rows = shuffle_experiment(config, benchmarks=subset, cache=cache)
         print(format_table([r.as_row() for r in rows], "Figure 6"))
     elif args.experiment == "fig9":
-        rows = offline_accuracy(config, benchmarks=subset, cache=cache)
+        rows = offline_accuracy(config, benchmarks=subset, cache=cache, runner=runner)
         print(format_table([r.as_row() for r in rows], "Figure 9"))
     elif args.experiment == "fig10":
-        rows = online_accuracy(config, benchmarks=subset, cache=cache)
+        rows = online_accuracy(config, benchmarks=subset, cache=cache, runner=runner)
         print(format_table([r.as_row() for r in rows], "Figure 10"))
     elif args.experiment == "fig11":
         results = miss_rate_reduction(
-            config, benchmarks=subset, include_belady=True, cache=cache
+            config, benchmarks=subset, include_belady=True, cache=cache, runner=runner
         )
         print(format_table([r.as_row() for r in results], "Figure 11"))
         print(format_table(summarize_by_group(results)))
     elif args.experiment == "fig12":
-        results = single_core_speedup(config, benchmarks=subset, cache=cache)
+        results = single_core_speedup(
+            config, benchmarks=subset, cache=cache, runner=runner
+        )
         print(format_table([r.as_row() for r in results], "Figure 12"))
         print(format_table(summarize_speedups(results)))
     elif args.experiment == "fig13":
@@ -103,6 +145,13 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "table4":
         rows = anchor_pc_analysis(config, cache=cache)
         print(format_table([r.as_row() for r in rows], "Table 4"))
+
+    if runner is not None and runner.last_report is not None:
+        report = runner.last_report
+        print(f"suite: {report.summary()}")
+        if report.failures:
+            print(format_table([f.as_row() for f in report.failures], "Failures"))
+            return 1
     return 0
 
 

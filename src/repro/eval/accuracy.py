@@ -9,13 +9,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 
 from ..cache.hierarchy import simulate_llc
 from ..ml.svm import OfflineHawkeye, OfflineISVM, OrderedHistorySVM
 from ..ml.training import train_linear_model, train_lstm
 from ..policies.hawkeye import HawkeyePolicy
 from ..core.glider import GliderPolicy
+from ..robust.suite import RobustSuiteRunner
 from .runner import DEFAULT, ArtifactCache, ExperimentConfig
 from .tables import arithmetic_mean
 
@@ -45,12 +46,17 @@ def offline_accuracy(
     benchmarks: tuple[str, ...] | None = None,
     cache: ArtifactCache | None = None,
     linear_epochs: int = 10,
+    runner: RobustSuiteRunner | None = None,
 ) -> list[OfflineAccuracyResult]:
-    """Reproduce Figure 9 (plus the "average" bar, appended last)."""
+    """Reproduce Figure 9 (plus the "average" bar, appended last).
+
+    With a ``runner``, failing benchmarks degrade to structured failures
+    on ``runner.last_report`` and the average covers the completed rows.
+    """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.offline_benchmarks
-    results: list[OfflineAccuracyResult] = []
-    for benchmark in benchmarks:
+
+    def compute(benchmark: str) -> OfflineAccuracyResult:
         labelled = cache.labelled(benchmark)
         hawkeye = train_linear_model(OfflineHawkeye(), labelled, epochs=linear_epochs)
         perceptron = train_linear_model(
@@ -62,15 +68,26 @@ def offline_accuracy(
             config.lstm_config(labelled.vocab_size),
             epochs=config.lstm_epochs,
         )
-        results.append(
-            OfflineAccuracyResult(
-                benchmark=benchmark,
-                hawkeye=hawkeye.test_accuracy,
-                perceptron=perceptron.test_accuracy,
-                offline_isvm=isvm.test_accuracy,
-                attention_lstm=lstm.test_accuracy,
-            )
+        return OfflineAccuracyResult(
+            benchmark=benchmark,
+            hawkeye=hawkeye.test_accuracy,
+            perceptron=perceptron.test_accuracy,
+            offline_isvm=isvm.test_accuracy,
+            attention_lstm=lstm.test_accuracy,
         )
+
+    if runner is None:
+        results = [compute(benchmark) for benchmark in benchmarks]
+    else:
+        report = runner.run(
+            benchmarks,
+            compute,
+            serialize=asdict,
+            deserialize=lambda payload: OfflineAccuracyResult(**payload),
+        )
+        results = report.results(benchmarks)
+    if not results:
+        return results
     results.append(
         OfflineAccuracyResult(
             benchmark="average",
@@ -103,6 +120,7 @@ def online_accuracy(
     config: ExperimentConfig = DEFAULT,
     benchmarks: tuple[str, ...] | None = None,
     cache: ArtifactCache | None = None,
+    runner: RobustSuiteRunner | None = None,
 ) -> list[OnlineAccuracyResult]:
     """Reproduce Figure 10: train-while-running accuracy of both predictors.
 
@@ -112,20 +130,31 @@ def online_accuracy(
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
-    results: list[OnlineAccuracyResult] = []
-    for benchmark in benchmarks:
+
+    def compute(benchmark: str) -> OnlineAccuracyResult:
         stream = cache.llc_stream(benchmark)
         hawkeye = HawkeyePolicy()
         simulate_llc(stream, hawkeye, config.hierarchy())
         glider = GliderPolicy()
         simulate_llc(stream, glider, config.hierarchy())
-        results.append(
-            OnlineAccuracyResult(
-                benchmark=benchmark,
-                hawkeye=hawkeye.online_accuracy,
-                glider=glider.online_accuracy,
-            )
+        return OnlineAccuracyResult(
+            benchmark=benchmark,
+            hawkeye=hawkeye.online_accuracy,
+            glider=glider.online_accuracy,
         )
+
+    if runner is None:
+        results = [compute(benchmark) for benchmark in benchmarks]
+    else:
+        report = runner.run(
+            benchmarks,
+            compute,
+            serialize=asdict,
+            deserialize=lambda payload: OnlineAccuracyResult(**payload),
+        )
+        results = report.results(benchmarks)
+    if not results:
+        return results
     results.append(
         OnlineAccuracyResult(
             benchmark="average",

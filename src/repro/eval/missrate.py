@@ -9,11 +9,12 @@ SHiP++ 7.5% on their traces).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..cache.hierarchy import simulate_llc
 from ..policies.belady_policy import BeladyPolicy
 from ..policies.registry import make_policy
+from ..robust.suite import RobustSuiteRunner
 from ..traces.suite import suite_group
 from .runner import DEFAULT, ArtifactCache, ExperimentConfig
 from .tables import arithmetic_mean
@@ -55,13 +56,20 @@ def miss_rate_reduction(
     policies: tuple[str, ...] = CONTENDERS,
     include_belady: bool = False,
     cache: ArtifactCache | None = None,
+    runner: RobustSuiteRunner | None = None,
 ) -> list[MissRateResult]:
-    """Reproduce Figure 11 rows; group averages appended at the end."""
+    """Reproduce Figure 11 rows; group averages appended at the end.
+
+    With a ``runner``, each benchmark runs under its retry policy and a
+    benchmark that still fails is recorded on ``runner.last_report``
+    (structured failure + resume manifest) while the rest of the suite
+    completes — the returned list then holds the completed subset.
+    """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
     hierarchy = config.hierarchy()
-    results: list[MissRateResult] = []
-    for benchmark in benchmarks:
+
+    def compute(benchmark: str) -> MissRateResult:
         stream = cache.llc_stream(benchmark)
         lru_stats = simulate_llc(stream, make_policy("lru"), hierarchy)
         rates: dict[str, float] = {}
@@ -80,18 +88,25 @@ def miss_rate_reduction(
             group = suite_group(benchmark)
         except KeyError:
             group = "other"
-        results.append(
-            MissRateResult(
-                benchmark=benchmark,
-                group=group,
-                lru_miss_rate=lru_stats.demand_miss_rate,
-                miss_rates=rates,
-                belady_miss_rate=belady_rate,
-                total_hits=hits,
-                belady_total_hits=belady_hits,
-            )
+        return MissRateResult(
+            benchmark=benchmark,
+            group=group,
+            lru_miss_rate=lru_stats.demand_miss_rate,
+            miss_rates=rates,
+            belady_miss_rate=belady_rate,
+            total_hits=hits,
+            belady_total_hits=belady_hits,
         )
-    return results
+
+    if runner is None:
+        return [compute(benchmark) for benchmark in benchmarks]
+    report = runner.run(
+        benchmarks,
+        compute,
+        serialize=asdict,
+        deserialize=lambda payload: MissRateResult(**payload),
+    )
+    return report.results(benchmarks)
 
 
 def summarize_by_group(results: list[MissRateResult]) -> list[dict]:

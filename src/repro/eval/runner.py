@@ -10,12 +10,19 @@ benchmark run touches each expensive stage once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import copy
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+
+import numpy as np
 
 from ..cache.config import HierarchyConfig, scaled_hierarchy
 from ..cache.hierarchy import LLCStream, filter_to_llc_stream
 from ..ml.dataset import LabelledTrace, label_trace
 from ..ml.model import LSTMConfig
+from ..robust.store import ArtifactStore
 from ..traces.suite import FULL_SUITE, OFFLINE_BENCHMARKS, get_trace
 from ..traces.trace import Trace
 
@@ -64,6 +71,16 @@ class ExperimentConfig:
     def with_length(self, trace_length: int) -> "ExperimentConfig":
         return replace(self, trace_length=trace_length)
 
+    def digest(self) -> str:
+        """Stable fingerprint of every knob, for artifact-store keys.
+
+        Two configs share a digest iff they produce identical traces,
+        streams, and labels — so a disk-cached artifact is only ever
+        reused under the exact configuration that built it.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=list)
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
 
 #: A fast configuration for unit tests and quick benchmark smoke runs.
 QUICK = ExperimentConfig(
@@ -78,11 +95,81 @@ QUICK = ExperimentConfig(
 DEFAULT = ExperimentConfig()
 
 
-class ArtifactCache:
-    """Per-process cache of traces, LLC streams, and Belady labels."""
+# -- artifact (de)serialisation for the disk store ---------------------------
 
-    def __init__(self, config: ExperimentConfig = DEFAULT) -> None:
+
+def _stream_to_arrays(stream: LLCStream) -> tuple[dict, dict]:
+    arrays = {
+        "pcs": stream.pcs,
+        "addresses": stream.addresses,
+        "kinds": stream.kinds,
+        "cores": stream.cores,
+    }
+    meta = {
+        "name": stream.name,
+        "line_size": stream.line_size,
+        "source_accesses": stream.source_accesses,
+        "source_instructions": stream.source_instructions,
+        "l1_hits": stream.l1_hits,
+        "l2_hits": stream.l2_hits,
+        "metadata": stream.metadata,
+    }
+    return arrays, meta
+
+
+def _stream_from_arrays(arrays: dict, meta: dict) -> LLCStream:
+    return LLCStream(
+        name=meta["name"],
+        pcs=arrays["pcs"],
+        addresses=arrays["addresses"],
+        kinds=arrays["kinds"],
+        cores=arrays["cores"],
+        line_size=int(meta["line_size"]),
+        source_accesses=int(meta["source_accesses"]),
+        source_instructions=int(meta["source_instructions"]),
+        l1_hits=int(meta["l1_hits"]),
+        l2_hits=int(meta["l2_hits"]),
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def _labelled_to_arrays(labelled: LabelledTrace) -> tuple[dict, dict]:
+    arrays = {
+        "pcs": labelled.pcs,
+        "labels": labelled.labels,
+        "vocabulary": labelled.vocabulary,
+    }
+    return arrays, {"name": labelled.name, "metadata": labelled.metadata}
+
+
+def _labelled_from_arrays(arrays: dict, meta: dict) -> LabelledTrace:
+    return LabelledTrace(
+        name=meta["name"],
+        pcs=arrays["pcs"].astype(np.int32),
+        labels=arrays["labels"].astype(bool),
+        vocabulary=arrays["vocabulary"],
+        metadata=meta.get("metadata", {}),
+    )
+
+
+class ArtifactCache:
+    """Two-tier cache of traces, LLC streams, and Belady labels.
+
+    Tier 1 is the original per-process dict; tier 2 (optional) is a
+    crash-safe, checksummed :class:`~repro.robust.store.ArtifactStore`
+    on disk, keyed by ``(benchmark, stage, config.digest())``.  With a
+    store attached, a rerun — or a resumed run after a crash — reloads
+    streams and labels instead of recomputing them; corrupt entries are
+    quarantined by the store and regenerated transparently here.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig = DEFAULT,
+        store: ArtifactStore | str | None = None,
+    ) -> None:
         self.config = config
+        self.store = ArtifactStore(store) if isinstance(store, (str, Path)) else store
         self._streams: dict[str, LLCStream] = {}
         self._labelled: dict[str, LabelledTrace] = {}
 
@@ -95,26 +182,50 @@ class ArtifactCache:
         )
 
     def llc_stream(self, benchmark: str) -> LLCStream:
-        if benchmark not in self._streams:
-            self._streams[benchmark] = filter_to_llc_stream(
-                self.trace(benchmark), self.config.hierarchy()
-            )
-        return self._streams[benchmark]
+        if benchmark in self._streams:
+            return self._streams[benchmark]
+        digest = self.config.digest()
+        if self.store is not None:
+            cached = self.store.get(benchmark, "llc_stream", digest)
+            if cached is not None:
+                self._streams[benchmark] = _stream_from_arrays(*cached)
+                return self._streams[benchmark]
+        stream = filter_to_llc_stream(self.trace(benchmark), self.config.hierarchy())
+        if self.store is not None:
+            arrays, meta = _stream_to_arrays(stream)
+            self.store.put(benchmark, "llc_stream", digest, arrays, meta)
+        self._streams[benchmark] = stream
+        return stream
 
     def labelled(self, benchmark: str) -> LabelledTrace:
         """Belady-labelled LLC stream of a benchmark (offline training data)."""
-        if benchmark not in self._labelled:
-            stream = self.llc_stream(benchmark)
-            hierarchy = self.config.hierarchy()
-            llc_trace = stream.to_trace()
-            llc_trace.metadata.update(stream.metadata)
-            labelled = label_trace(
-                llc_trace, hierarchy.llc.num_sets, hierarchy.llc.associativity
-            )
-            labelled.metadata.update(stream.metadata)
-            self._labelled[benchmark] = labelled
-        return self._labelled[benchmark]
+        if benchmark in self._labelled:
+            return self._labelled[benchmark]
+        digest = self.config.digest()
+        if self.store is not None:
+            cached = self.store.get(benchmark, "labelled", digest)
+            if cached is not None:
+                self._labelled[benchmark] = _labelled_from_arrays(*cached)
+                return self._labelled[benchmark]
+        stream = self.llc_stream(benchmark)
+        hierarchy = self.config.hierarchy()
+        llc_trace = stream.to_trace()
+        # Deep-copy the stream metadata: merging shared references here
+        # would alias mutable values (arrays, lists) between the cached
+        # stream and every labelled trace derived from it, so mutating
+        # one artifact's metadata would silently corrupt the others.
+        llc_trace.metadata.update(copy.deepcopy(stream.metadata))
+        labelled = label_trace(
+            llc_trace, hierarchy.llc.num_sets, hierarchy.llc.associativity
+        )
+        labelled.metadata.update(copy.deepcopy(stream.metadata))
+        if self.store is not None:
+            arrays, meta = _labelled_to_arrays(labelled)
+            self.store.put(benchmark, "labelled", digest, arrays, meta)
+        self._labelled[benchmark] = labelled
+        return labelled
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the disk store, if any, is kept)."""
         self._streams.clear()
         self._labelled.clear()

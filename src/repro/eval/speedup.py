@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..cpu.system import SingleCoreSystem
 from ..policies.registry import make_policy
+from ..robust.suite import RobustSuiteRunner
 from ..traces.suite import suite_group
 from .missrate import CONTENDERS
 from .runner import DEFAULT, ArtifactCache, ExperimentConfig
@@ -38,12 +39,17 @@ def single_core_speedup(
     benchmarks: tuple[str, ...] | None = None,
     policies: tuple[str, ...] = CONTENDERS,
     cache: ArtifactCache | None = None,
+    runner: RobustSuiteRunner | None = None,
 ) -> list[SpeedupResult]:
-    """Reproduce Figure 12: full-hierarchy timing runs per policy."""
+    """Reproduce Figure 12: full-hierarchy timing runs per policy.
+
+    With a ``runner``, per-benchmark failures degrade gracefully (see
+    :func:`repro.eval.missrate.miss_rate_reduction`).
+    """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
-    results: list[SpeedupResult] = []
-    for benchmark in benchmarks:
+
+    def compute(benchmark: str) -> SpeedupResult:
         trace = cache.trace(benchmark)
         lru = SingleCoreSystem(config.hierarchy(), make_policy("lru")).run(trace)
         ipcs: dict[str, float] = {}
@@ -54,12 +60,19 @@ def single_core_speedup(
             group = suite_group(benchmark)
         except KeyError:
             group = "other"
-        results.append(
-            SpeedupResult(
-                benchmark=benchmark, group=group, lru_ipc=lru.ipc, ipcs=ipcs
-            )
+        return SpeedupResult(
+            benchmark=benchmark, group=group, lru_ipc=lru.ipc, ipcs=ipcs
         )
-    return results
+
+    if runner is None:
+        return [compute(benchmark) for benchmark in benchmarks]
+    report = runner.run(
+        benchmarks,
+        compute,
+        serialize=asdict,
+        deserialize=lambda payload: SpeedupResult(**payload),
+    )
+    return report.results(benchmarks)
 
 
 def summarize_speedups(results: list[SpeedupResult]) -> list[dict]:

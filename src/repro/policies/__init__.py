@@ -9,6 +9,7 @@ from .perceptron import PerceptronPolicy, PerceptronReusePredictor
 from .random_policy import RandomPolicy
 from .registry import (
     PAPER_POLICIES,
+    UnknownPolicyError,
     available_policies,
     make_policy,
     register_policy,
@@ -38,6 +39,7 @@ __all__ = [
     "SHiPPolicy",
     "SRRIPPolicy",
     "SkewedPredictor",
+    "UnknownPolicyError",
     "available_policies",
     "make_policy",
     "pc_signature",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable
 
 from ..cache.policy import ReplacementPolicy
@@ -35,6 +36,28 @@ _FACTORIES: dict[str, Callable[[], ReplacementPolicy]] = {
 PAPER_POLICIES = ("lru", "hawkeye", "mpppb", "ship++", "glider")
 
 
+class UnknownPolicyError(KeyError):
+    """Lookup of a policy name that is not registered.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` callers
+    keep working; the message lists every registered name plus the
+    closest matches to the typo.
+    """
+
+    def __init__(self, name: str, available: list[str]) -> None:
+        suggestions = difflib.get_close_matches(name, available, n=3, cutoff=0.5)
+        message = f"unknown policy {name!r}; available: {available}"
+        if suggestions:
+            message += f" (did you mean {' or '.join(map(repr, suggestions))}?)"
+        super().__init__(message)
+        self.policy_name = name
+        self.available = available
+        self.suggestions = suggestions
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
 def available_policies() -> list[str]:
     """Names of all constructible policies."""
     return sorted(_FACTORIES)
@@ -49,9 +72,7 @@ def make_policy(name: str, **kwargs) -> ReplacementPolicy:
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown policy {name!r}; available: {available_policies()}"
-        ) from None
+        raise UnknownPolicyError(name, available_policies()) from None
     if kwargs:
         # Resolve the class to forward kwargs (lambdas wrap defaults only).
         if name == "glider":

@@ -1,0 +1,73 @@
+"""Fault tolerance for the experiment pipeline.
+
+The evaluation pipeline (trace -> LLC stream -> Belady labels ->
+train/replay) is long-running and numerically delicate; this package
+makes it survive faults instead of aborting:
+
+* :mod:`repro.robust.retry` — deterministic retry/backoff primitives and
+  a per-suite deadline budget;
+* :mod:`repro.robust.faults` — a seeded fault-injection harness (trace
+  corruption, ISVM poisoning, NaN gradients) so robustness is testable;
+* :mod:`repro.robust.guards` — numerical guards for LSTM training
+  (divergence detection, learning-rate backoff, restore-from-checkpoint)
+  and ISVM health checks;
+* :mod:`repro.robust.store` — a crash-safe, checksummed, disk-backed
+  artifact store with corrupt-entry quarantine;
+* :mod:`repro.robust.suite` — graceful suite degradation: per-benchmark
+  retry, structured failures, partial aggregates, and a resume manifest.
+"""
+
+from .faults import (
+    BenchmarkFaultPlan,
+    GradientFaultInjector,
+    InjectedFault,
+    TraceFaults,
+    corrupt_trace,
+    poison_isvm,
+)
+from .guards import (
+    GuardConfig,
+    GuardReport,
+    NumericalFault,
+    TrainingGuard,
+    check_isvm_health,
+    non_finite_fraction,
+)
+from .retry import (
+    DeadlineBudget,
+    DeadlineExceeded,
+    RetryError,
+    Retrier,
+    RetryPolicy,
+    call_with_retry,
+    with_retry,
+)
+from .store import ArtifactStore, StoreStats
+from .suite import BenchmarkFailure, RobustSuiteRunner, SuiteReport
+
+__all__ = [
+    "ArtifactStore",
+    "BenchmarkFailure",
+    "BenchmarkFaultPlan",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "GradientFaultInjector",
+    "GuardConfig",
+    "GuardReport",
+    "InjectedFault",
+    "NumericalFault",
+    "Retrier",
+    "RetryError",
+    "RetryPolicy",
+    "RobustSuiteRunner",
+    "StoreStats",
+    "SuiteReport",
+    "TraceFaults",
+    "TrainingGuard",
+    "call_with_retry",
+    "check_isvm_health",
+    "corrupt_trace",
+    "non_finite_fraction",
+    "poison_isvm",
+    "with_retry",
+]

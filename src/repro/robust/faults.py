@@ -1,0 +1,223 @@
+"""Seeded fault injection for the whole pipeline.
+
+Robustness claims are only worth making if they are testable, so this
+module can deliberately break every stage the guards protect:
+
+* :func:`corrupt_trace` — bit-flips in PCs/addresses, dropped and
+  duplicated accesses (the fault model of a lossy trace capture);
+* :func:`poison_isvm` — saturate random ISVM table weights, the
+  predictor-state analogue of an SEU/bit-rot fault;
+* :class:`GradientFaultInjector` — inject NaN/Inf into LSTM gradient
+  dictionaries mid-training;
+* :class:`BenchmarkFaultPlan` — force named benchmarks to fail inside a
+  suite run, to exercise graceful degradation and resume.
+
+Every injector is seeded; the same spec produces the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..traces.trace import Trace
+
+__all__ = [
+    "BenchmarkFaultPlan",
+    "GradientFaultInjector",
+    "InjectedFault",
+    "TraceFaults",
+    "corrupt_trace",
+    "poison_isvm",
+]
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by the fault-injection harness."""
+
+
+# ---------------------------------------------------------------------------
+# Trace corruption
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceFaults:
+    """Fault model for a memory-access trace.
+
+    Rates are per-access probabilities.  A bit-flip picks one random bit
+    inside the low ``pc_bits``/``address_bits`` of the value (flipping
+    high bits would leave the 64-bit value astronomically far from any
+    real address, which no capture fault produces).
+    """
+
+    bitflip_rate: float = 0.0
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    pc_bits: int = 32
+    address_bits: int = 40
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("bitflip_rate", "drop_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+def _flip_bits(values: np.ndarray, rate: float, bits: int, rng) -> np.ndarray:
+    out = values.copy()
+    hit = rng.random(len(out)) < rate
+    count = int(np.sum(hit))
+    if count:
+        masks = np.left_shift(
+            np.uint64(1), rng.integers(0, bits, size=count).astype(np.uint64)
+        )
+        out[hit] ^= masks
+    return out
+
+
+def corrupt_trace(trace: Trace, faults: TraceFaults) -> Trace:
+    """Return a corrupted copy of ``trace`` under the given fault model.
+
+    Order of application: bit-flips, then drops, then duplications —
+    matching a capture pipeline where record corruption happens upstream
+    of record loss/repetition.  The fault spec is recorded in
+    ``metadata["injected_faults"]``.
+    """
+    rng = np.random.default_rng(faults.seed)
+    pcs = _flip_bits(trace.pcs, faults.bitflip_rate, faults.pc_bits, rng)
+    addresses = _flip_bits(trace.addresses, faults.bitflip_rate, faults.address_bits, rng)
+    writes = trace.is_write.copy()
+
+    keep = rng.random(len(pcs)) >= faults.drop_rate
+    # Never drop everything: an empty trace is a different failure class.
+    if not np.any(keep) and len(pcs):
+        keep[0] = True
+    repeats = np.ones(len(pcs), dtype=np.int64)
+    repeats[rng.random(len(pcs)) < faults.duplicate_rate] = 2
+    repeats[~keep] = 0
+
+    corrupted = Trace(
+        name=f"{trace.name}!faulty",
+        pcs=np.repeat(pcs, repeats),
+        addresses=np.repeat(addresses, repeats),
+        is_write=np.repeat(writes, repeats),
+        line_size=trace.line_size,
+        instructions_per_access=trace.instructions_per_access,
+        metadata=dict(trace.metadata),
+    )
+    corrupted.metadata["injected_faults"] = {
+        "bitflip_rate": faults.bitflip_rate,
+        "drop_rate": faults.drop_rate,
+        "duplicate_rate": faults.duplicate_rate,
+        "seed": faults.seed,
+    }
+    return corrupted
+
+
+# ---------------------------------------------------------------------------
+# Predictor-state poisoning
+# ---------------------------------------------------------------------------
+
+
+def poison_isvm(table, fraction: float = 0.05, seed: int = 0) -> int:
+    """Saturate a random fraction of an ISVMTable's weights.
+
+    Each poisoned weight is driven to ``WEIGHT_MIN`` or ``WEIGHT_MAX``
+    (coin flip), the worst case for the prediction sums.  Returns the
+    number of weights poisoned so tests can assert coverage.
+    """
+    from ..core.isvm import ISVM
+
+    rng = np.random.default_rng(seed)
+    poisoned = 0
+    for entry in table._table:
+        for i in range(len(entry.weights)):
+            if rng.random() < fraction:
+                entry.weights[i] = ISVM.WEIGHT_MAX if rng.random() < 0.5 else ISVM.WEIGHT_MIN
+                poisoned += 1
+    return poisoned
+
+
+# ---------------------------------------------------------------------------
+# Gradient faults
+# ---------------------------------------------------------------------------
+
+
+class GradientFaultInjector:
+    """Inject NaN/Inf into gradient dicts during LSTM training.
+
+    Usable as the ``grad_hook`` of
+    :func:`repro.ml.training.train_lstm_guarded`: on each batch, with
+    probability ``rate``, one random element of one random gradient
+    array is replaced by NaN (or +/-Inf for ``kind="inf"``).
+    """
+
+    def __init__(self, rate: float = 0.2, kind: str = "nan", seed: int = 0) -> None:
+        if kind not in ("nan", "inf"):
+            raise ValueError(f"kind must be 'nan' or 'inf', got {kind!r}")
+        self.rate = rate
+        self.kind = kind
+        self._rng = np.random.default_rng(seed)
+        self.injections = 0
+
+    def __call__(self, grads: dict[str, np.ndarray], epoch: int, batch: int) -> None:
+        del epoch, batch
+        if self._rng.random() >= self.rate:
+            return
+        key = sorted(grads)[int(self._rng.integers(len(grads)))]
+        array = grads[key]
+        if array.size == 0:
+            return
+        flat_index = int(self._rng.integers(array.size))
+        value = np.nan if self.kind == "nan" else np.inf * (1 if self._rng.random() < 0.5 else -1)
+        array.reshape(-1)[flat_index] = value
+        self.injections += 1
+
+
+# ---------------------------------------------------------------------------
+# Suite-level faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchmarkFaultPlan:
+    """Force named benchmarks to fail inside a suite run.
+
+    ``failures`` maps benchmark name to how many times it should fail
+    before succeeding (-1 = fail forever).  The suite runner calls
+    :meth:`maybe_fail` before each attempt, so a count of 1 exercises
+    the retry path and -1 exercises graceful degradation.
+    """
+
+    failures: dict[str, int] = field(default_factory=dict)
+    raised: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "BenchmarkFaultPlan":
+        """Parse ``"mcf,lbm:2"`` — no count means fail forever."""
+        failures: dict[str, int] = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            if ":" in part:
+                name, count = part.rsplit(":", 1)
+                try:
+                    failures[name] = int(count)
+                except ValueError:
+                    raise ValueError(
+                        f"bad fault spec {part!r}: expected 'bench' or "
+                        f"'bench:count', e.g. 'mcf,lbm:2'"
+                    ) from None
+            else:
+                failures[part] = -1
+        return cls(failures=failures)
+
+    def maybe_fail(self, benchmark: str) -> None:
+        remaining = self.failures.get(benchmark, 0)
+        if remaining == 0:
+            return
+        if remaining > 0:
+            self.failures[benchmark] = remaining - 1
+        self.raised += 1
+        raise InjectedFault(f"injected failure for benchmark {benchmark!r}")

@@ -1,0 +1,212 @@
+"""Numerical guards for training and predictor state.
+
+Two failure modes dominate the NumPy pipeline:
+
+* **LSTM training blow-ups** — a NaN/Inf gradient (exploding recurrent
+  backprop, or an injected fault) poisons Adam's moment estimates and
+  every subsequent step.  :class:`TrainingGuard` detects bad gradients
+  before the optimiser step, detects loss divergence after each epoch,
+  and recovers by restoring the last good checkpoint with a backed-off
+  learning rate.
+* **ISVM counter pathology** — saturated weights stop learning (the
+  update clamps at +/-127), so a mostly-saturated table silently
+  degrades into a static predictor.  :func:`check_isvm_health` surfaces
+  that as a hard error instead.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GuardConfig",
+    "GuardEvent",
+    "GuardReport",
+    "NumericalFault",
+    "TrainingGuard",
+    "check_isvm_health",
+    "non_finite_fraction",
+]
+
+
+class NumericalFault(RuntimeError):
+    """A numerical invariant (finiteness, convergence, health) was violated."""
+
+
+def non_finite_fraction(arrays) -> float:
+    """Fraction of non-finite elements across an iterable of arrays."""
+    total = 0
+    bad = 0
+    for array in arrays:
+        array = np.asarray(array)
+        total += array.size
+        bad += int(np.sum(~np.isfinite(array)))
+    return bad / max(1, total)
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Guard thresholds and recovery knobs.
+
+    An epoch whose mean loss is non-finite or exceeds
+    ``divergence_factor`` x the best loss so far counts as diverged:
+    the model is restored from the last good checkpoint and the learning
+    rate multiplied by ``lr_backoff`` (never below ``min_learning_rate``).
+    After ``max_recoveries`` restorations the guard raises
+    :class:`NumericalFault` instead of looping forever.
+    """
+
+    divergence_factor: float = 4.0
+    lr_backoff: float = 0.5
+    min_learning_rate: float = 1e-6
+    max_recoveries: int = 5
+
+
+@dataclass
+class GuardEvent:
+    """One guard intervention, for post-mortem reporting."""
+
+    epoch: int
+    batch: int  # -1 for epoch-level events
+    kind: str  # "bad_gradient" | "bad_loss" | "divergence" | "recovery"
+    detail: str
+
+
+@dataclass
+class GuardReport:
+    """What the guard saw and did over one training run."""
+
+    events: list[GuardEvent] = field(default_factory=list)
+    batches_skipped: int = 0
+    recoveries: int = 0
+    final_learning_rate: float = 0.0
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.events)
+
+
+class TrainingGuard:
+    """Checkpointed watchdog around an :class:`AttentionLSTM`-style model.
+
+    The model contract is small: ``model._all_params()`` returns the
+    name->array dict (arrays are updated in place by the optimiser) and
+    ``model.optimizer`` exposes ``learning_rate`` plus optional Adam/SGD
+    state (``_m``/``_v``/``_t``/``_velocity``), all of which are
+    snapshot and restored together so recovery is exact.
+    """
+
+    #: Optimiser state attributes captured alongside the parameters.
+    _OPT_STATE = ("_m", "_v", "_t", "_velocity")
+
+    def __init__(self, model, config: GuardConfig | None = None) -> None:
+        self.model = model
+        self.config = config or GuardConfig()
+        self.report = GuardReport()
+        self.best_loss = float("inf")
+        self._checkpoint: dict | None = None
+        self.snapshot()
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> None:
+        """Record the current parameters and optimiser state as last-good."""
+        opt = self.model.optimizer
+        self._checkpoint = {
+            "params": {k: v.copy() for k, v in self.model._all_params().items()},
+            "learning_rate": opt.learning_rate,
+            "opt_state": {
+                name: copy.deepcopy(getattr(opt, name))
+                for name in self._OPT_STATE
+                if hasattr(opt, name)
+            },
+        }
+
+    def restore(self) -> None:
+        """Restore the last-good checkpoint in place."""
+        assert self._checkpoint is not None
+        params = self.model._all_params()
+        for key, saved in self._checkpoint["params"].items():
+            params[key][...] = saved
+        opt = self.model.optimizer
+        opt.learning_rate = self._checkpoint["learning_rate"]
+        for name, saved in self._checkpoint["opt_state"].items():
+            setattr(opt, name, copy.deepcopy(saved))
+
+    # -- per-batch checks ----------------------------------------------------
+    def gradients_ok(self, grads: dict[str, np.ndarray], epoch: int, batch: int) -> bool:
+        """True when every gradient is finite; records+counts bad batches."""
+        bad = [k for k, g in grads.items() if not np.all(np.isfinite(g))]
+        if not bad:
+            return True
+        self.report.batches_skipped += 1
+        self.report.events.append(
+            GuardEvent(epoch, batch, "bad_gradient", f"non-finite gradients in {bad}")
+        )
+        return False
+
+    def loss_ok(self, loss: float, epoch: int, batch: int) -> bool:
+        """True when the batch loss is finite; records bad batches."""
+        if np.isfinite(loss):
+            return True
+        self.report.batches_skipped += 1
+        self.report.events.append(
+            GuardEvent(epoch, batch, "bad_loss", f"non-finite loss {loss!r}")
+        )
+        return False
+
+    # -- per-epoch check -----------------------------------------------------
+    def end_epoch(self, train_loss: float, epoch: int) -> bool:
+        """Accept or roll back the epoch; returns True when it was kept."""
+        diverged = not np.isfinite(train_loss) or (
+            np.isfinite(self.best_loss)
+            and train_loss > self.config.divergence_factor * self.best_loss
+        )
+        if not diverged:
+            if train_loss < self.best_loss:
+                self.best_loss = train_loss
+                self.snapshot()
+            return True
+        self.report.recoveries += 1
+        if self.report.recoveries > self.config.max_recoveries:
+            raise NumericalFault(
+                f"training diverged {self.report.recoveries} times "
+                f"(epoch {epoch}, loss {train_loss!r}); giving up"
+            )
+        self.report.events.append(
+            GuardEvent(
+                epoch, -1, "divergence",
+                f"loss {train_loss!r} vs best {self.best_loss!r}",
+            )
+        )
+        self.restore()
+        opt = self.model.optimizer
+        opt.learning_rate = max(
+            self.config.min_learning_rate, opt.learning_rate * self.config.lr_backoff
+        )
+        self.report.events.append(
+            GuardEvent(epoch, -1, "recovery", f"restored; lr -> {opt.learning_rate:g}")
+        )
+        return False
+
+    def finish(self) -> GuardReport:
+        self.report.final_learning_rate = self.model.optimizer.learning_rate
+        return self.report
+
+
+def check_isvm_health(table, max_saturated_fraction: float = 0.25):
+    """Raise :class:`NumericalFault` when an ISVM table is pathological.
+
+    Returns the table's :class:`~repro.core.isvm.ISVMHealth` otherwise,
+    so callers can log the telemetry.
+    """
+    health = table.health()
+    if not health.healthy(max_saturated_fraction):
+        raise NumericalFault(
+            f"ISVM table unhealthy: {health.saturated_weights} of "
+            f"{health.active_weights} active weights saturated "
+            f"({health.saturated_fraction:.1%} > {max_saturated_fraction:.1%})"
+        )
+    return health

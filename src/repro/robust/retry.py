@@ -1,0 +1,211 @@
+"""Deterministic retry, backoff, and deadline primitives.
+
+Everything here is seeded and clock-injectable so that retry behaviour
+is exactly reproducible in tests: the jittered backoff sequence for a
+given :class:`RetryPolicy` seed is a pure function of the seed, and
+:class:`DeadlineBudget` accepts any monotonic clock.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "Retrier",
+    "RetryError",
+    "RetryPolicy",
+    "call_with_retry",
+    "with_retry",
+]
+
+
+class RetryError(RuntimeError):
+    """All attempts failed; ``__cause__`` holds the last exception."""
+
+
+class DeadlineExceeded(RetryError):
+    """A suite-level deadline budget ran out before the work finished."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried.
+
+    Delays follow exponential backoff with multiplicative jitter:
+    ``delay_i = min(max_delay, base_delay * backoff**i) * (1 + jitter*u)``
+    with ``u`` drawn uniformly from [0, 1) by a generator seeded with
+    ``seed`` — two runs with the same policy sleep the same amounts.
+
+    ``retry_on`` bounds which exceptions are retried at all; anything
+    else propagates immediately (a ``KeyboardInterrupt`` should never be
+    swallowed by a benchmark loop).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic delay before each retry (attempt 2, 3, ...)."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.max_attempts - 1):
+            base = min(self.max_delay, self.base_delay * self.backoff**attempt)
+            yield base * (1.0 + self.jitter * rng.random())
+
+    def retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)
+
+
+class DeadlineBudget:
+    """A wall-clock budget shared by a whole suite run.
+
+    Benchmarks and their retries draw from one budget so that a
+    pathological workload cannot starve the rest of the suite; when the
+    budget is exhausted, :meth:`check` raises :class:`DeadlineExceeded`
+    (which the suite runner records as a structured failure).
+    """
+
+    def __init__(
+        self, seconds: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.seconds = seconds
+        self._clock = clock
+        self._started = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, context: str = "") -> None:
+        if self.expired:
+            where = f" during {context}" if context else ""
+            raise DeadlineExceeded(
+                f"suite deadline of {self.seconds:.1f}s exhausted{where} "
+                f"({self.elapsed():.1f}s elapsed)"
+            )
+
+
+class _Attempt:
+    """One attempt inside a :class:`Retrier` loop (a context manager)."""
+
+    def __init__(self, retrier: "Retrier", number: int, last: bool) -> None:
+        self.retrier = retrier
+        self.number = number
+        self.is_last = last
+        self.error: BaseException | None = None
+
+    def __enter__(self) -> "_Attempt":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is None:
+            self.retrier._succeeded = True
+            return False
+        self.error = exc
+        self.retrier._last_error = exc
+        if self.is_last or not self.retrier.policy.retryable(exc):
+            return False  # propagate
+        self.retrier._sleep_before_next()
+        return True  # suppress and let the loop retry
+
+
+class Retrier:
+    """Iterate attempts: ``for attempt in Retrier(policy): with attempt: ...``
+
+    The loop ends as soon as an attempt's ``with`` block exits cleanly;
+    a retryable exception is suppressed (after the backoff sleep) until
+    the final attempt, which propagates it.  A :class:`DeadlineBudget`
+    stops further retries between attempts.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        budget: DeadlineBudget | None = None,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep
+        self._budget = budget
+        self._delays = self.policy.delays()
+        self._succeeded = False
+        self._last_error: BaseException | None = None
+        self.attempts_made = 0
+
+    def __iter__(self) -> Iterator[_Attempt]:
+        for number in range(1, self.policy.max_attempts + 1):
+            if self._succeeded:
+                return
+            if self._budget is not None:
+                self._budget.check(f"attempt {number}")
+            self.attempts_made = number
+            yield _Attempt(self, number, last=number == self.policy.max_attempts)
+        # The final attempt's exception propagates from _Attempt.__exit__.
+
+    def _sleep_before_next(self) -> None:
+        delay = next(self._delays, 0.0)
+        if self._budget is not None:
+            # Never sleep past the deadline; clamp to what is left.
+            delay = max(0.0, min(delay, self._budget.remaining()))
+        if delay > 0:
+            self._sleep(delay)
+
+
+def call_with_retry(
+    fn: Callable,
+    *args,
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    budget: DeadlineBudget | None = None,
+    **kwargs,
+):
+    """Call ``fn`` under a retry policy; returns its result."""
+    retrier = Retrier(policy, sleep=sleep, budget=budget)
+    result = None
+    for attempt in retrier:
+        with attempt:
+            result = fn(*args, **kwargs)
+    return result
+
+
+def with_retry(
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    budget: DeadlineBudget | None = None,
+) -> Callable:
+    """Decorator form of :func:`call_with_retry`."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return call_with_retry(
+                fn, *args, policy=policy, sleep=sleep, budget=budget, **kwargs
+            )
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,190 @@
+"""Crash-safe, disk-backed artifact store for pipeline intermediates.
+
+Layout: one ``.npz`` payload per artifact plus a ``.json`` sidecar
+holding the payload's SHA-256.  Writes go temp-then-rename (via
+:func:`repro.traces.io.atomic_replace`), payload first and sidecar
+last, so a run killed mid-write leaves either nothing visible or a
+payload without a sidecar — both of which read as a miss, never as a
+corrupt artifact silently loaded.  A payload whose checksum no longer
+matches its sidecar (torn disk, truncation, bit rot) is moved into a
+``quarantine/`` subdirectory and reported as a miss so the caller
+regenerates it.
+
+Keys are ``(benchmark, stage, digest)`` where ``digest`` fingerprints
+the producing configuration (see ``ExperimentConfig.digest()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io as _io
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..traces.io import atomic_replace, atomic_write_text
+
+__all__ = ["ArtifactStore", "StoreStats"]
+
+_KEY_SAFE = re.compile(r"[^A-Za-z0-9_.+-]")
+
+
+def _sanitize(part: str) -> str:
+    return _KEY_SAFE.sub("-", part)
+
+
+def _checksum(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _encode_metadata(metadata: dict) -> str:
+    """JSON-encode a metadata dict, round-tripping ndarray values."""
+
+    def default(value):
+        if isinstance(value, np.ndarray):
+            return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+        if isinstance(value, np.generic):
+            return value.item()
+        raise TypeError(f"unserialisable metadata value of type {type(value)!r}")
+
+    return json.dumps(metadata, default=default)
+
+
+def _decode_metadata(text: str) -> dict:
+    def hook(obj):
+        if "__ndarray__" in obj:
+            return np.array(obj["__ndarray__"], dtype=obj["dtype"])
+        return obj
+
+    return json.loads(text, object_hook=hook)
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/quarantine telemetry for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+
+
+@dataclass
+class _Entry:
+    payload: Path
+    sidecar: Path
+
+
+class ArtifactStore:
+    """Checksummed key-value store of NumPy-array bundles on disk."""
+
+    QUARANTINE_DIR = "quarantine"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------------
+    def _entry(self, benchmark: str, stage: str, digest: str) -> _Entry:
+        stem = f"{_sanitize(benchmark)}__{_sanitize(stage)}__{_sanitize(digest)}"
+        return _Entry(
+            payload=self.root / f"{stem}.npz", sidecar=self.root / f"{stem}.json"
+        )
+
+    # -- write ---------------------------------------------------------------
+    def put(
+        self,
+        benchmark: str,
+        stage: str,
+        digest: str,
+        arrays: dict[str, np.ndarray],
+        metadata: dict | None = None,
+    ) -> Path:
+        """Atomically persist an artifact; returns the payload path."""
+        entry = self._entry(benchmark, stage, digest)
+        buffer = _io.BytesIO()
+        payload = dict(arrays)
+        payload["__metadata__"] = np.array(_encode_metadata(metadata or {}))
+        np.savez_compressed(buffer, **payload)
+        with atomic_replace(entry.payload) as tmp:
+            tmp.write_bytes(buffer.getvalue())
+        atomic_write_text(
+            entry.sidecar,
+            json.dumps(
+                {
+                    "benchmark": benchmark,
+                    "stage": stage,
+                    "digest": digest,
+                    "sha256": _checksum(entry.payload),
+                }
+            ),
+        )
+        self.stats.writes += 1
+        return entry.payload
+
+    # -- read ----------------------------------------------------------------
+    def get(
+        self, benchmark: str, stage: str, digest: str
+    ) -> tuple[dict[str, np.ndarray], dict] | None:
+        """Load an artifact, or None on miss/corruption (after quarantine)."""
+        entry = self._entry(benchmark, stage, digest)
+        if not entry.payload.exists():
+            self.stats.misses += 1
+            return None
+        if not entry.sidecar.exists():
+            # Crash between payload and sidecar: incomplete, regenerate.
+            self._quarantine(entry, reason="missing sidecar")
+            self.stats.misses += 1
+            return None
+        try:
+            sidecar = json.loads(entry.sidecar.read_text())
+            expected = sidecar["sha256"]
+        except (json.JSONDecodeError, KeyError, OSError):
+            self._quarantine(entry, reason="unreadable sidecar")
+            self.stats.misses += 1
+            return None
+        if _checksum(entry.payload) != expected:
+            self._quarantine(entry, reason="checksum mismatch")
+            self.stats.misses += 1
+            return None
+        try:
+            with np.load(entry.payload, allow_pickle=False) as data:
+                arrays = {k: data[k] for k in data.files if k != "__metadata__"}
+                metadata = _decode_metadata(str(data["__metadata__"]))
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self._quarantine(entry, reason="undecodable payload")
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return arrays, metadata
+
+    def has(self, benchmark: str, stage: str, digest: str) -> bool:
+        entry = self._entry(benchmark, stage, digest)
+        return entry.payload.exists() and entry.sidecar.exists()
+
+    # -- maintenance ---------------------------------------------------------
+    def _quarantine(self, entry: _Entry, reason: str) -> None:
+        quarantine = self.root / self.QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        for path in (entry.payload, entry.sidecar):
+            if path.exists():
+                path.replace(quarantine / path.name)
+        (quarantine / f"{entry.payload.stem}.reason").write_text(reason + "\n")
+        self.stats.quarantined += 1
+
+    def clear(self) -> int:
+        """Delete every stored artifact (quarantine included); returns count."""
+        removed = 0
+        for path in self.root.rglob("*"):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+        return removed

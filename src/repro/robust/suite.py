@@ -1,0 +1,209 @@
+"""Graceful suite degradation: retry, record, continue, resume.
+
+A suite run maps a per-benchmark compute function over many benchmarks.
+Without protection, one failing benchmark aborts the whole run and
+throws away everything already computed.  :class:`RobustSuiteRunner`
+instead:
+
+* retries each benchmark under a seeded :class:`~repro.robust.retry.RetryPolicy`
+  (honouring an optional suite-wide :class:`~repro.robust.retry.DeadlineBudget`);
+* converts a benchmark that still fails into a structured
+  :class:`BenchmarkFailure` and moves on, so the suite completes with
+  partial aggregates;
+* checkpoints every completed benchmark's result into an atomic JSON
+  *resume manifest*, so a second invocation skips finished work and
+  recomputes only what failed (or was never reached).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..traces.io import atomic_write_text
+from .faults import BenchmarkFaultPlan
+from .retry import DeadlineBudget, DeadlineExceeded, Retrier, RetryPolicy
+
+__all__ = ["BenchmarkFailure", "RobustSuiteRunner", "SuiteReport"]
+
+_MANIFEST_VERSION = 1
+
+
+@dataclass
+class BenchmarkFailure:
+    """A benchmark that failed after exhausting its retries."""
+
+    benchmark: str
+    error_type: str
+    message: str
+    attempts: int
+    traceback: str = ""
+
+    def as_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "error": self.error_type,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one (possibly partial) suite run."""
+
+    completed: dict[str, Any] = field(default_factory=dict)
+    failures: list[BenchmarkFailure] = field(default_factory=list)
+    resumed: list[str] = field(default_factory=list)
+    deadline_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def results(self, benchmarks: Sequence[str]) -> list:
+        """Completed results in suite order (failures simply absent)."""
+        return [self.completed[b] for b in benchmarks if b in self.completed]
+
+    def failed_benchmarks(self) -> list[str]:
+        return [f.benchmark for f in self.failures]
+
+    def summary(self) -> str:
+        parts = [f"{len(self.completed)} completed"]
+        if self.resumed:
+            parts.append(f"{len(self.resumed)} resumed from manifest")
+        if self.failures:
+            parts.append(
+                f"{len(self.failures)} FAILED ({', '.join(self.failed_benchmarks())})"
+            )
+        if self.deadline_hit:
+            parts.append("deadline exhausted")
+        return "; ".join(parts)
+
+
+class RobustSuiteRunner:
+    """Run per-benchmark work with retries, failure capture, and resume.
+
+    Args:
+        retry_policy: Per-benchmark retry behaviour (attempts, backoff).
+        manifest_path: Where to checkpoint progress.  When the file
+            already exists, benchmarks recorded as done are *not*
+            recomputed — their results are deserialised from it.
+        budget: Optional suite-wide deadline; once exhausted, remaining
+            benchmarks are recorded as deadline failures without running.
+        fault_plan: Injected failures (tests / chaos drills).
+        sleep: Injectable sleep for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        retry_policy: RetryPolicy | None = None,
+        manifest_path: str | Path | None = None,
+        budget: DeadlineBudget | None = None,
+        fault_plan: BenchmarkFaultPlan | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.last_report: SuiteReport | None = None
+
+    # -- manifest ------------------------------------------------------------
+    def _load_manifest(self) -> dict:
+        if self.manifest_path is None or not self.manifest_path.exists():
+            return {"version": _MANIFEST_VERSION, "done": {}, "failed": {}}
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # A corrupt manifest only costs recomputation, never wrong data.
+            return {"version": _MANIFEST_VERSION, "done": {}, "failed": {}}
+        if manifest.get("version") != _MANIFEST_VERSION:
+            return {"version": _MANIFEST_VERSION, "done": {}, "failed": {}}
+        manifest.setdefault("done", {})
+        manifest.setdefault("failed", {})
+        return manifest
+
+    def _save_manifest(self, manifest: dict) -> None:
+        if self.manifest_path is not None:
+            atomic_write_text(self.manifest_path, json.dumps(manifest, indent=1))
+
+    # -- execution -----------------------------------------------------------
+    def run(
+        self,
+        benchmarks: Sequence[str],
+        compute: Callable[[str], Any],
+        serialize: Callable[[Any], Any] | None = None,
+        deserialize: Callable[[Any], Any] | None = None,
+    ) -> SuiteReport:
+        """Map ``compute`` over ``benchmarks`` with full fault handling.
+
+        ``serialize``/``deserialize`` convert results to/from the
+        JSON-safe payloads checkpointed in the manifest; without them,
+        results are stored as-is (they must then be JSON-serialisable
+        for the manifest to be written).
+        """
+        serialize = serialize or (lambda result: result)
+        deserialize = deserialize or (lambda payload: payload)
+        manifest = self._load_manifest()
+        report = SuiteReport()
+
+        for benchmark in benchmarks:
+            if benchmark in manifest["done"]:
+                report.completed[benchmark] = deserialize(manifest["done"][benchmark])
+                report.resumed.append(benchmark)
+                continue
+            if self.budget is not None and self.budget.expired:
+                report.deadline_hit = True
+                report.failures.append(
+                    BenchmarkFailure(
+                        benchmark=benchmark,
+                        error_type="DeadlineExceeded",
+                        message="suite deadline exhausted before benchmark ran",
+                        attempts=0,
+                    )
+                )
+                continue
+            retrier = Retrier(self.retry_policy, sleep=self._sleep, budget=self.budget)
+            try:
+                result = None
+                for attempt in retrier:
+                    with attempt:
+                        if self.fault_plan is not None:
+                            self.fault_plan.maybe_fail(benchmark)
+                        result = compute(benchmark)
+            except DeadlineExceeded as error:
+                report.deadline_hit = True
+                report.failures.append(
+                    BenchmarkFailure(
+                        benchmark=benchmark,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=retrier.attempts_made,
+                    )
+                )
+                continue
+            except Exception as error:  # noqa: BLE001 — degrade, don't abort
+                failure = BenchmarkFailure(
+                    benchmark=benchmark,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=retrier.attempts_made,
+                    traceback=traceback.format_exc(),
+                )
+                report.failures.append(failure)
+                manifest["failed"][benchmark] = asdict(failure)
+                self._save_manifest(manifest)
+                continue
+            report.completed[benchmark] = result
+            manifest["done"][benchmark] = serialize(result)
+            manifest["failed"].pop(benchmark, None)
+            self._save_manifest(manifest)
+
+        self.last_report = report
+        return report

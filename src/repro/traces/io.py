@@ -1,77 +1,191 @@
-"""Trace serialisation: compact ``.npz`` binary and ``.csv`` text formats."""
+"""Trace serialisation: compact ``.npz`` binary and ``.csv`` text formats.
+
+All on-disk writes in this repository go through :func:`atomic_replace`
+(write to a temp file in the destination directory, fsync, then
+``os.replace``), so a process killed mid-write can never leave a
+half-written file under the final name.  Malformed inputs raise
+:class:`TraceFormatError` with enough context (file, line, field) to fix
+the offending record.
+"""
 
 from __future__ import annotations
 
 import csv
+import os
+import uuid
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from .trace import Trace
 
 
+class TraceFormatError(ValueError):
+    """A trace file is malformed (bad row, truncated arrays, wrong dtype)."""
+
+
+@contextmanager
+def atomic_replace(path: str | Path, suffix: str = "") -> Iterator[Path]:
+    """Yield a temp path that atomically replaces ``path`` on success.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the final ``os.replace`` is atomic) and is fsynced before the
+    rename.  On any exception the temp file is removed and ``path`` is
+    left untouched.  ``suffix`` forces an extension on the temp name for
+    writers that key behaviour off it (``np.savez`` appends ``.npz``).
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{uuid.uuid4().hex[:8]}.tmp{suffix}"
+    try:
+        yield tmp
+        with tmp.open("rb") as fh:
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically write ``text`` to ``path`` (for manifests and sidecars)."""
+    path = Path(path)
+    with atomic_replace(path) as tmp:
+        tmp.write_text(text)
+    return path
+
+
 def save_npz(trace: Trace, path: str | Path) -> Path:
     """Save a trace to a compressed ``.npz`` file; returns the path."""
     path = Path(path)
-    np.savez_compressed(
-        path,
-        name=np.array(trace.name),
-        pcs=trace.pcs,
-        addresses=trace.addresses,
-        is_write=trace.is_write,
-        line_size=np.array(trace.line_size),
-        instructions_per_access=np.array(trace.instructions_per_access),
-    )
-    # np.savez appends .npz only when missing.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    # np.savez appends .npz only when missing; resolve the final name first.
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    with atomic_replace(final, suffix=".npz") as tmp:
+        np.savez_compressed(
+            tmp,
+            name=np.array(trace.name),
+            pcs=trace.pcs,
+            addresses=trace.addresses,
+            is_write=trace.is_write,
+            line_size=np.array(trace.line_size),
+            instructions_per_access=np.array(trace.instructions_per_access),
+        )
+    return final
+
+
+#: Arrays a trace ``.npz`` must contain.
+_NPZ_REQUIRED = (
+    "name", "pcs", "addresses", "is_write", "line_size", "instructions_per_access",
+)
 
 
 def load_npz(path: str | Path) -> Trace:
-    """Load a trace saved by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        return Trace(
-            name=str(data["name"]),
-            pcs=data["pcs"],
-            addresses=data["addresses"],
-            is_write=data["is_write"],
-            line_size=int(data["line_size"]),
-            instructions_per_access=float(data["instructions_per_access"]),
-        )
+    """Load a trace saved by :func:`save_npz`.
+
+    Raises :class:`TraceFormatError` on truncated or mismatched files:
+    missing arrays, length disagreements between columns, or non-integer
+    pc/address dtypes (all of which would otherwise build a ``Trace``
+    that crashes much later, inside an experiment).
+    """
+    path = Path(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as error:
+        raise TraceFormatError(f"{path}: cannot read npz trace: {error}") from None
+    with data:
+        missing = [key for key in _NPZ_REQUIRED if key not in data.files]
+        if missing:
+            raise TraceFormatError(f"{path}: missing arrays {missing}")
+        pcs, addresses, is_write = data["pcs"], data["addresses"], data["is_write"]
+        for label, array in (("pcs", pcs), ("addresses", addresses)):
+            if array.ndim != 1 or not np.issubdtype(array.dtype, np.integer):
+                raise TraceFormatError(
+                    f"{path}: {label} must be a 1-D integer array, "
+                    f"got shape {array.shape} dtype {array.dtype}"
+                )
+        if not (len(pcs) == len(addresses) == len(is_write)):
+            raise TraceFormatError(
+                f"{path}: truncated trace — column lengths differ "
+                f"(pcs={len(pcs)}, addresses={len(addresses)}, "
+                f"is_write={len(is_write)})"
+            )
+        try:
+            return Trace(
+                name=str(data["name"]),
+                pcs=pcs,
+                addresses=addresses,
+                is_write=is_write,
+                line_size=int(data["line_size"]),
+                instructions_per_access=float(data["instructions_per_access"]),
+            )
+        except (TypeError, ValueError) as error:
+            raise TraceFormatError(f"{path}: invalid trace fields: {error}") from None
 
 
 def save_csv(trace: Trace, path: str | Path) -> Path:
     """Save a trace as ``pc,address,is_write`` CSV (hex pc/address)."""
     path = Path(path)
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(["pc", "address", "is_write"])
-        for access in trace:
-            writer.writerow([hex(access.pc), hex(access.address), int(access.is_write)])
+    with atomic_replace(path) as tmp:
+        with tmp.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["pc", "address", "is_write"])
+            for access in trace:
+                writer.writerow(
+                    [hex(access.pc), hex(access.address), int(access.is_write)]
+                )
     return path
 
 
+def _parse_csv_row(
+    row: list[str], path: Path, line_num: int
+) -> tuple[int, int, bool]:
+    if len(row) < 2:
+        raise TraceFormatError(
+            f"{path}, line {line_num}: expected at least pc,address "
+            f"but got {len(row)} column(s): {row!r}"
+        )
+    try:
+        pc = int(row[0], 0)
+        address = int(row[1], 0)
+        write = bool(int(row[2])) if len(row) > 2 and row[2] != "" else False
+    except ValueError as error:
+        raise TraceFormatError(
+            f"{path}, line {line_num}: malformed row {row!r}: {error}"
+        ) from None
+    if pc < 0 or address < 0:
+        raise TraceFormatError(
+            f"{path}, line {line_num}: negative pc/address in {row!r}"
+        )
+    return pc, address, write
+
+
 def load_csv(path: str | Path, name: str | None = None) -> Trace:
-    """Load a trace saved by :func:`save_csv` (or any pc,address[,w] CSV)."""
+    """Load a trace saved by :func:`save_csv` (or any pc,address[,w] CSV).
+
+    Malformed rows raise :class:`TraceFormatError` naming the file and
+    1-based line number instead of a bare ``ValueError`` from ``int()``.
+    """
     path = Path(path)
     pcs: list[int] = []
     addresses: list[int] = []
     writes: list[bool] = []
-    with path.open() as fh:
+    with path.open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader, None)
         if header and not header[0].startswith(("0x", "0X")) and not header[0].isdigit():
             pass  # consumed the header row
-        else:  # no header: first row was data
-            if header:
-                pcs.append(int(header[0], 0))
-                addresses.append(int(header[1], 0))
-                writes.append(bool(int(header[2])) if len(header) > 2 else False)
+        elif header:  # no header: first row was data
+            pc, address, write = _parse_csv_row(header, path, reader.line_num)
+            pcs.append(pc)
+            addresses.append(address)
+            writes.append(write)
         for row in reader:
             if not row:
                 continue
-            pcs.append(int(row[0], 0))
-            addresses.append(int(row[1], 0))
-            writes.append(bool(int(row[2])) if len(row) > 2 else False)
+            pc, address, write = _parse_csv_row(row, path, reader.line_num)
+            pcs.append(pc)
+            addresses.append(address)
+            writes.append(write)
     return Trace(
         name=name or path.stem,
         pcs=np.array(pcs, dtype=np.uint64),

@@ -1,0 +1,93 @@
+"""Disk-backed ArtifactCache: resume without recompute, no aliasing."""
+
+import numpy as np
+import pytest
+
+import repro.eval.runner as runner_module
+from repro.eval.runner import QUICK, ArtifactCache, ExperimentConfig
+from repro.robust.store import ArtifactStore
+
+CFG = QUICK.with_length(6_000)
+
+
+def test_config_digest_is_stable_and_sensitive():
+    assert CFG.digest() == CFG.digest()
+    assert CFG.digest() != CFG.with_length(7_000).digest()
+    assert QUICK.digest() != ExperimentConfig().digest()
+
+
+def test_store_round_trips_stream_and_labels(tmp_path):
+    first = ArtifactCache(CFG, store=tmp_path / "store")
+    stream = first.llc_stream("mcf")
+    labelled = first.labelled("mcf")
+
+    second = ArtifactCache(CFG, store=tmp_path / "store")
+    stream2 = second.llc_stream("mcf")
+    labelled2 = second.labelled("mcf")
+    assert np.array_equal(stream.pcs, stream2.pcs)
+    assert np.array_equal(stream.kinds, stream2.kinds)
+    assert stream.l1_hits == stream2.l1_hits
+    assert np.array_equal(labelled.labels, labelled2.labels)
+    assert np.array_equal(labelled.vocabulary, labelled2.vocabulary)
+    assert second.store.stats.hits == 2
+
+
+def test_second_run_does_not_recompute(tmp_path, monkeypatch):
+    store = tmp_path / "store"
+    ArtifactCache(CFG, store=store).labelled("mcf")
+
+    def explode(*args, **kwargs):
+        raise AssertionError("llc filtering ran despite a warm disk store")
+
+    monkeypatch.setattr(runner_module, "filter_to_llc_stream", explode)
+    monkeypatch.setattr(runner_module, "label_trace", explode)
+    resumed = ArtifactCache(CFG, store=store)
+    assert len(resumed.llc_stream("mcf")) > 0
+    assert len(resumed.labelled("mcf")) > 0
+
+
+def test_corrupt_store_entry_regenerates_transparently(tmp_path):
+    store_dir = tmp_path / "store"
+    first = ArtifactCache(CFG, store=store_dir)
+    original = first.llc_stream("mcf")
+    # Corrupt every payload on disk.
+    for payload in store_dir.glob("*.npz"):
+        payload.write_bytes(b"garbage " * 16)
+    second = ArtifactCache(CFG, store=store_dir)
+    regenerated = second.llc_stream("mcf")
+    assert np.array_equal(original.pcs, regenerated.pcs)
+    assert second.store.stats.quarantined >= 1
+
+
+def test_different_config_does_not_reuse_artifacts(tmp_path):
+    store = tmp_path / "store"
+    a = ArtifactCache(CFG, store=store)
+    a.llc_stream("mcf")
+    b = ArtifactCache(CFG.with_length(5_000), store=store)
+    b.llc_stream("mcf")
+    assert b.store.stats.hits == 0  # digest differs: no cross-config reuse
+
+
+def test_labelled_metadata_is_not_aliased():
+    cache = ArtifactCache(CFG)
+    stream = cache.llc_stream("mcf")
+    stream.metadata["shared_list"] = [1, 2, 3]
+    labelled = cache.labelled("mcf")
+    assert labelled.metadata["shared_list"] == [1, 2, 3]
+    # Mutating the labelled artifact's metadata must not leak back into
+    # the cached stream (the aliasing bug this test pins down).
+    labelled.metadata["shared_list"].append(99)
+    assert stream.metadata["shared_list"] == [1, 2, 3]
+
+
+def test_store_accepts_prebuilt_instance(tmp_path):
+    store = ArtifactStore(tmp_path / "s")
+    cache = ArtifactCache(CFG, store=store)
+    assert cache.store is store
+
+
+def test_cache_clear_keeps_disk_tier(tmp_path):
+    cache = ArtifactCache(CFG, store=tmp_path / "store")
+    cache.llc_stream("mcf")
+    cache.clear()
+    assert cache.store.has("mcf", "llc_stream", CFG.digest())

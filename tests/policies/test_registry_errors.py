@@ -1,0 +1,37 @@
+"""Actionable errors from the policy registry."""
+
+import pytest
+
+from repro.policies import UnknownPolicyError, available_policies, make_policy
+
+
+def test_unknown_policy_lists_available_and_suggests():
+    with pytest.raises(UnknownPolicyError) as info:
+        make_policy("gliderr")
+    err = info.value
+    assert err.policy_name == "gliderr"
+    assert "glider" in err.suggestions
+    message = str(err)
+    assert "gliderr" in message
+    assert "glider" in message
+    for name in available_policies():
+        assert name in message
+
+
+def test_unknown_policy_without_close_match_still_lists_available():
+    with pytest.raises(UnknownPolicyError) as info:
+        make_policy("zzzz-not-a-policy")
+    err = info.value
+    assert err.suggestions == []
+    assert "available" in str(err).lower()
+
+
+def test_unknown_policy_error_is_a_key_error():
+    # Callers that guarded with `except KeyError` keep working.
+    with pytest.raises(KeyError):
+        make_policy("nope")
+
+
+def test_known_policies_unaffected():
+    for name in available_policies():
+        assert make_policy(name) is not None

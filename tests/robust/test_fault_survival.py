@@ -1,0 +1,115 @@
+"""Property-based robustness: the pipeline survives injected faults.
+
+Two suite-level properties from the robustness issue:
+
+* every registered replacement policy replays a *corrupted* trace
+  (bit-flips, drops, duplicates) without raising, and its hit/miss
+  accounting stays consistent;
+* guarded LSTM training with NaN-injected gradients completes and lands
+  within tolerance of the clean run's accuracy.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.cache.hierarchy import filter_to_llc_stream, simulate_llc
+from repro.ml.dataset import LabelledTrace
+from repro.ml.model import LSTMConfig
+from repro.ml.training import train_lstm, train_lstm_guarded
+from repro.policies.registry import available_policies, make_policy
+from repro.robust.faults import GradientFaultInjector, TraceFaults, corrupt_trace
+from repro.traces.trace import Trace
+
+SMALL_HIERARCHY = HierarchyConfig(
+    l1=CacheConfig("L1D", 1024, 2, latency=4),
+    l2=CacheConfig("L2", 4096, 4, latency=12),
+    llc=CacheConfig("LLC", 16384, 4, latency=26),
+)
+
+
+def _base_trace(seed: int, n: int = 600) -> Trace:
+    rng = np.random.default_rng(seed)
+    # A mix of a hot loop, a scan, and random traffic — enough structure
+    # that every policy exercises its insertion/eviction paths.
+    pcs = rng.integers(0, 32, n).astype(np.uint64) * 4
+    addresses = np.where(
+        rng.random(n) < 0.5,
+        rng.integers(0, 64, n),  # hot set
+        np.arange(n) % 1024,  # scan
+    ).astype(np.uint64) * 64
+    writes = rng.random(n) < 0.2
+    return Trace(name="fuzz", pcs=pcs, addresses=addresses, is_write=writes)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    bitflip=st.floats(0.0, 0.5),
+    drop=st.floats(0.0, 0.5),
+    duplicate=st.floats(0.0, 0.5),
+)
+def test_every_policy_survives_corrupted_trace_replay(seed, bitflip, drop, duplicate):
+    trace = _base_trace(seed)
+    faults = TraceFaults(
+        bitflip_rate=bitflip, drop_rate=drop, duplicate_rate=duplicate, seed=seed
+    )
+    corrupted = corrupt_trace(trace, faults)
+    stream = filter_to_llc_stream(corrupted, SMALL_HIERARCHY)
+    for name in available_policies():
+        stats = simulate_llc(stream, make_policy(name), SMALL_HIERARCHY)
+        assert stats.hits + stats.misses == len(stream), name
+        assert 0.0 <= stats.demand_miss_rate <= 1.0, name
+
+
+def _toy_labelled(seed: int = 0, n: int = 700) -> LabelledTrace:
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, 10, n).astype(np.int32)
+    # A learnable rule with label noise, so training has real signal.
+    labels = (pcs % 2 == 0) ^ (rng.random(n) < 0.05)
+    return LabelledTrace(
+        name="toy", pcs=pcs, labels=labels, vocabulary=np.arange(10, dtype=np.uint64)
+    )
+
+
+def _toy_config(seed: int = 0) -> LSTMConfig:
+    return LSTMConfig(
+        vocab_size=10, embedding_dim=8, hidden_dim=8, history=5, batch_size=16, seed=seed
+    )
+
+
+def test_guarded_training_recovers_from_nan_gradients():
+    labelled = _toy_labelled()
+    _, clean = train_lstm(labelled, _toy_config(), epochs=4)
+
+    injector = GradientFaultInjector(rate=0.15, kind="nan", seed=3)
+    model, guarded, report = train_lstm_guarded(
+        labelled, _toy_config(), epochs=4, grad_hook=injector
+    )
+    assert injector.injections > 0
+    assert report.batches_skipped == injector.injections
+    # Recovery property: the model is finite and within tolerance of clean.
+    for param in model._all_params().values():
+        assert np.all(np.isfinite(param))
+    assert abs(guarded.test_accuracy - clean.test_accuracy) <= 0.15
+
+
+def test_guarded_training_with_inf_gradients_stays_finite():
+    labelled = _toy_labelled(seed=1)
+    injector = GradientFaultInjector(rate=0.3, kind="inf", seed=7)
+    model, result, report = train_lstm_guarded(
+        labelled, _toy_config(seed=1), epochs=3, grad_hook=injector
+    )
+    assert report.batches_skipped == injector.injections > 0
+    for param in model._all_params().values():
+        assert np.all(np.isfinite(param))
+    assert 0.0 <= result.test_accuracy <= 1.0
+
+
+def test_guarded_training_matches_plain_training_without_faults():
+    labelled = _toy_labelled(seed=2)
+    _, clean = train_lstm(labelled, _toy_config(seed=2), epochs=3)
+    _, guarded, report = train_lstm_guarded(labelled, _toy_config(seed=2), epochs=3)
+    assert report.batches_skipped == 0
+    assert guarded.test_accuracy == clean.test_accuracy

@@ -1,0 +1,121 @@
+"""Fault-injection harness: seeded, bounded, and observable."""
+
+import numpy as np
+import pytest
+
+from repro.core.isvm import ISVM, ISVMTable
+from repro.robust.faults import (
+    BenchmarkFaultPlan,
+    GradientFaultInjector,
+    InjectedFault,
+    TraceFaults,
+    corrupt_trace,
+    poison_isvm,
+)
+from repro.traces.trace import Trace
+
+
+def _trace(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        name="t",
+        pcs=rng.integers(0, 64, n).astype(np.uint64) * 4,
+        addresses=rng.integers(0, 4096, n).astype(np.uint64) * 64,
+    )
+
+
+def test_corrupt_trace_is_deterministic():
+    trace = _trace()
+    faults = TraceFaults(bitflip_rate=0.2, drop_rate=0.1, duplicate_rate=0.1, seed=3)
+    a = corrupt_trace(trace, faults)
+    b = corrupt_trace(trace, faults)
+    assert np.array_equal(a.pcs, b.pcs)
+    assert np.array_equal(a.addresses, b.addresses)
+    assert a.metadata["injected_faults"]["seed"] == 3
+
+
+def test_corrupt_trace_zero_rates_is_identity():
+    trace = _trace()
+    out = corrupt_trace(trace, TraceFaults())
+    assert np.array_equal(out.pcs, trace.pcs)
+    assert np.array_equal(out.addresses, trace.addresses)
+    assert len(out) == len(trace)
+
+
+def test_bitflips_touch_expected_fraction():
+    trace = _trace(n=5000)
+    out = corrupt_trace(trace, TraceFaults(bitflip_rate=0.5, seed=1))
+    changed = np.mean(out.pcs != trace.pcs)
+    assert 0.35 < changed < 0.65
+    # A single bit-flip keeps values within the masked bit width.
+    assert np.all(out.addresses < (1 << 41))
+
+
+def test_drop_and_duplicate_change_length():
+    trace = _trace(n=2000)
+    dropped = corrupt_trace(trace, TraceFaults(drop_rate=0.3, seed=2))
+    assert len(dropped) < len(trace)
+    duplicated = corrupt_trace(trace, TraceFaults(duplicate_rate=0.3, seed=2))
+    assert len(duplicated) > len(trace)
+
+
+def test_full_drop_keeps_at_least_one_access():
+    trace = _trace(n=50)
+    out = corrupt_trace(trace, TraceFaults(drop_rate=1.0, seed=0))
+    assert len(out) >= 1
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        TraceFaults(bitflip_rate=1.5)
+    with pytest.raises(ValueError):
+        TraceFaults(drop_rate=-0.1)
+
+
+def test_poison_isvm_saturates_weights():
+    table = ISVMTable(table_bits=4)
+    count = poison_isvm(table, fraction=0.5, seed=0)
+    assert count > 0
+    extremes = sum(
+        1
+        for entry in table._table
+        for w in entry.weights
+        if w in (ISVM.WEIGHT_MIN, ISVM.WEIGHT_MAX)
+    )
+    assert extremes == count
+
+
+def test_gradient_injector_places_nans():
+    grads = {"a": np.zeros((4, 4)), "b": np.zeros(8)}
+    injector = GradientFaultInjector(rate=1.0, kind="nan", seed=0)
+    injector(grads, epoch=0, batch=0)
+    assert injector.injections == 1
+    total_nans = sum(int(np.sum(np.isnan(g))) for g in grads.values())
+    assert total_nans == 1
+
+
+def test_gradient_injector_inf_kind_and_rate_zero():
+    grads = {"a": np.zeros(4)}
+    injector = GradientFaultInjector(rate=0.0, seed=0)
+    for batch in range(20):
+        injector(grads, 0, batch)
+    assert injector.injections == 0
+    with pytest.raises(ValueError):
+        GradientFaultInjector(kind="bogus")
+
+
+def test_benchmark_fault_plan_parse_and_counts():
+    plan = BenchmarkFaultPlan.parse("mcf, lbm:2")
+    assert plan.failures == {"mcf": -1, "lbm": 2}
+    # lbm fails exactly twice, then passes.
+    with pytest.raises(InjectedFault):
+        plan.maybe_fail("lbm")
+    with pytest.raises(InjectedFault):
+        plan.maybe_fail("lbm")
+    plan.maybe_fail("lbm")  # no raise
+    # mcf fails forever.
+    for _ in range(3):
+        with pytest.raises(InjectedFault):
+            plan.maybe_fail("mcf")
+    plan.maybe_fail("omnetpp")  # unlisted benchmarks never fail
+    assert plan.raised == 5

@@ -1,0 +1,127 @@
+"""Numerical guards: checkpoint restore, LR backoff, ISVM health."""
+
+import numpy as np
+import pytest
+
+from repro.core.isvm import ISVMTable
+from repro.ml.dataset import LabelledTrace
+from repro.ml.model import AttentionLSTM, LSTMConfig
+from repro.robust.faults import poison_isvm
+from repro.robust.guards import (
+    GuardConfig,
+    NumericalFault,
+    TrainingGuard,
+    check_isvm_health,
+    non_finite_fraction,
+)
+
+
+def _tiny_model(seed=0):
+    return AttentionLSTM(
+        LSTMConfig(vocab_size=8, embedding_dim=4, hidden_dim=4, history=3, seed=seed)
+    )
+
+
+def test_non_finite_fraction():
+    arrays = [np.array([1.0, np.nan, np.inf, 0.0])]
+    assert non_finite_fraction(arrays) == 0.5
+    assert non_finite_fraction([np.zeros(3)]) == 0.0
+
+
+def test_snapshot_and_restore_round_trip():
+    model = _tiny_model()
+    guard = TrainingGuard(model)
+    params = model._all_params()
+    before = {k: v.copy() for k, v in params.items()}
+    for value in params.values():
+        value += 1.0  # corrupt every parameter in place
+    model.optimizer.learning_rate = 123.0
+    guard.restore()
+    after = model._all_params()
+    for key in before:
+        assert np.array_equal(after[key], before[key])
+    assert model.optimizer.learning_rate == pytest.approx(0.001)
+
+
+def test_restore_recovers_adam_state():
+    model = _tiny_model()
+    guard = TrainingGuard(model)
+    model.optimizer._t = 99
+    guard.restore()
+    assert model.optimizer._t == 0
+
+
+def test_gradients_ok_flags_non_finite():
+    model = _tiny_model()
+    guard = TrainingGuard(model)
+    good = {"w": np.ones(4)}
+    bad = {"w": np.array([1.0, np.nan])}
+    assert guard.gradients_ok(good, epoch=0, batch=0)
+    assert not guard.gradients_ok(bad, epoch=0, batch=1)
+    assert guard.report.batches_skipped == 1
+    assert guard.report.events[0].kind == "bad_gradient"
+
+
+def test_end_epoch_divergence_backs_off_learning_rate():
+    model = _tiny_model()
+    guard = TrainingGuard(model, GuardConfig(divergence_factor=2.0, lr_backoff=0.5))
+    assert guard.end_epoch(1.0, epoch=0)  # establishes best loss
+    lr0 = model.optimizer.learning_rate
+    assert not guard.end_epoch(10.0, epoch=1)  # diverged: rollback + backoff
+    assert model.optimizer.learning_rate == pytest.approx(lr0 * 0.5)
+    assert guard.report.recoveries == 1
+    kinds = [e.kind for e in guard.report.events]
+    assert "divergence" in kinds and "recovery" in kinds
+
+
+def test_end_epoch_nan_loss_counts_as_divergence():
+    model = _tiny_model()
+    guard = TrainingGuard(model)
+    assert not guard.end_epoch(float("nan"), epoch=0)
+    assert guard.report.recoveries == 1
+
+
+def test_max_recoveries_raises():
+    model = _tiny_model()
+    guard = TrainingGuard(model, GuardConfig(divergence_factor=1.5, max_recoveries=2))
+    guard.end_epoch(1.0, epoch=0)
+    guard.end_epoch(100.0, epoch=1)
+    guard.end_epoch(100.0, epoch=2)
+    with pytest.raises(NumericalFault):
+        guard.end_epoch(100.0, epoch=3)
+
+
+def test_snapshot_follows_improving_loss():
+    model = _tiny_model()
+    guard = TrainingGuard(model, GuardConfig(divergence_factor=3.0))
+    guard.end_epoch(1.0, epoch=0)
+    params = model._all_params()
+    for value in params.values():
+        value += 0.5
+    guard.end_epoch(0.5, epoch=1)  # better loss: new checkpoint taken
+    marker = next(iter(params.values())).copy()
+    for value in params.values():
+        value += 9.0
+    guard.end_epoch(10.0, epoch=2)  # diverged: restore the *epoch-1* state
+    assert np.array_equal(next(iter(model._all_params().values())), marker)
+
+
+def test_isvm_health_clean_table_is_healthy():
+    table = ISVMTable(table_bits=4)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        pc = int(rng.integers(0, 1 << 8)) * 4
+        history = [int(p) for p in rng.integers(0, 1 << 8, size=5)]
+        table.train(pc, history, cache_friendly=bool(rng.integers(2)))
+    health = table.health()
+    assert health.active_entries > 0
+    assert health.healthy()
+    assert check_isvm_health(table) == health
+
+
+def test_isvm_health_poisoned_table_raises():
+    table = ISVMTable(table_bits=4)
+    poison_isvm(table, fraction=0.8, seed=0)
+    assert not table.health().healthy()
+    with pytest.raises(NumericalFault, match="saturated"):
+        check_isvm_health(table)

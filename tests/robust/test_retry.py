@@ -1,0 +1,152 @@
+"""Retry/backoff/deadline primitives: deterministic and budget-aware."""
+
+import pytest
+
+from repro.robust.retry import (
+    DeadlineBudget,
+    DeadlineExceeded,
+    Retrier,
+    RetryPolicy,
+    call_with_retry,
+    with_retry,
+)
+
+
+def test_delays_are_deterministic_and_backoff_shaped():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, backoff=2.0, jitter=0.5, seed=7)
+    first = list(policy.delays())
+    second = list(policy.delays())
+    assert first == second
+    assert len(first) == 4
+    # Jitter multiplies by [1, 1.5); the exponential envelope must hold.
+    for i, delay in enumerate(first):
+        base = 0.1 * 2.0**i
+        assert base <= delay < base * 1.5
+
+
+def test_delays_respect_max_delay():
+    policy = RetryPolicy(max_attempts=6, base_delay=1.0, backoff=10.0, max_delay=2.0, jitter=0.0)
+    assert all(d <= 2.0 for d in policy.delays())
+
+
+def test_call_with_retry_succeeds_after_transient_failures():
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise ValueError("transient")
+        return "ok"
+
+    slept = []
+    result = call_with_retry(
+        flaky,
+        policy=RetryPolicy(max_attempts=3, base_delay=0.25, jitter=0.0),
+        sleep=slept.append,
+    )
+    assert result == "ok"
+    assert len(calls) == 3
+    assert slept == [0.25, 0.5]
+
+
+def test_final_failure_propagates_original_exception():
+    def always_fails():
+        raise ValueError("permanent")
+
+    with pytest.raises(ValueError, match="permanent"):
+        call_with_retry(
+            always_fails,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+            sleep=lambda s: None,
+        )
+
+
+def test_non_retryable_exception_propagates_immediately():
+    calls = []
+
+    def fails():
+        calls.append(1)
+        raise KeyError("not retryable")
+
+    with pytest.raises(KeyError):
+        call_with_retry(
+            fails,
+            policy=RetryPolicy(max_attempts=5, base_delay=0.0, retry_on=(ValueError,)),
+            sleep=lambda s: None,
+        )
+    assert len(calls) == 1
+
+
+def test_with_retry_decorator():
+    attempts = []
+
+    @with_retry(RetryPolicy(max_attempts=2, base_delay=0.0), sleep=lambda s: None)
+    def work(x):
+        attempts.append(x)
+        if len(attempts) == 1:
+            raise RuntimeError("once")
+        return x * 2
+
+    assert work(21) == 42
+    assert attempts == [21, 21]
+
+
+def test_deadline_budget_with_fake_clock():
+    now = [0.0]
+    budget = DeadlineBudget(10.0, clock=lambda: now[0])
+    assert budget.remaining() == 10.0
+    now[0] = 6.0
+    assert budget.remaining() == 4.0
+    assert not budget.expired
+    now[0] = 11.0
+    assert budget.expired
+    with pytest.raises(DeadlineExceeded):
+        budget.check("unit test")
+
+
+def test_retrier_stops_when_budget_expires_between_attempts():
+    now = [0.0]
+    budget = DeadlineBudget(1.0, clock=lambda: now[0])
+
+    def fails():
+        now[0] += 2.0  # each attempt burns past the deadline
+        raise ValueError("slow failure")
+
+    with pytest.raises(DeadlineExceeded):
+        retrier = Retrier(
+            RetryPolicy(max_attempts=5, base_delay=0.0), sleep=lambda s: None, budget=budget
+        )
+        for attempt in retrier:
+            with attempt:
+                fails()
+
+
+def test_retrier_clamps_sleep_to_remaining_budget():
+    now = [0.0]
+    budget = DeadlineBudget(100.0, clock=lambda: now[0])
+    slept = []
+
+    def record_sleep(seconds):
+        slept.append(seconds)
+
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 2:
+            raise ValueError("once")
+
+    call_with_retry(
+        flaky,
+        policy=RetryPolicy(max_attempts=3, base_delay=5.0, jitter=0.0),
+        sleep=record_sleep,
+        budget=budget,
+    )
+    assert slept == [5.0]
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)

@@ -1,0 +1,121 @@
+"""Graceful suite degradation and resume semantics."""
+
+import json
+
+import pytest
+
+from repro.robust.faults import BenchmarkFaultPlan, InjectedFault
+from repro.robust.retry import DeadlineBudget, RetryPolicy
+from repro.robust.suite import RobustSuiteRunner
+
+FAST = RetryPolicy(max_attempts=2, base_delay=0.0)
+
+
+def _runner(tmp_path=None, **kwargs):
+    manifest = tmp_path / "manifest.json" if tmp_path is not None else None
+    kwargs.setdefault("retry_policy", FAST)
+    kwargs.setdefault("sleep", lambda s: None)
+    return RobustSuiteRunner(manifest_path=manifest, **kwargs)
+
+
+def test_failing_benchmark_does_not_abort_suite(tmp_path):
+    runner = _runner(tmp_path, fault_plan=BenchmarkFaultPlan.parse("b"))
+    report = runner.run(["a", "b", "c"], lambda bench: {"bench": bench})
+    assert sorted(report.completed) == ["a", "c"]
+    assert report.failed_benchmarks() == ["b"]
+    failure = report.failures[0]
+    assert failure.error_type == "InjectedFault"
+    assert failure.attempts == 2
+    assert "injected failure" in failure.message
+    assert "b" in report.summary()
+
+
+def test_transient_failure_recovers_via_retry(tmp_path):
+    # b fails once; the second attempt succeeds.
+    runner = _runner(tmp_path, fault_plan=BenchmarkFaultPlan.parse("b:1"))
+    report = runner.run(["a", "b"], lambda bench: bench.upper())
+    assert report.ok
+    assert report.completed["b"] == "B"
+
+
+def test_resume_skips_completed_work(tmp_path):
+    calls = []
+
+    def compute(bench):
+        calls.append(bench)
+        return {"bench": bench}
+
+    first = _runner(tmp_path, fault_plan=BenchmarkFaultPlan.parse("b"))
+    first.run(["a", "b", "c"], compute)
+    assert calls == ["a", "c"]
+
+    calls.clear()
+    second = _runner(tmp_path)
+    report = second.run(["a", "b", "c"], compute)
+    assert calls == ["b"]  # only the previously failed benchmark recomputes
+    assert sorted(report.completed) == ["a", "b", "c"]
+    assert sorted(report.resumed) == ["a", "c"]
+    # The recovered benchmark is no longer marked failed in the manifest.
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert "b" in manifest["done"] and "b" not in manifest["failed"]
+
+
+def test_results_in_suite_order(tmp_path):
+    runner = _runner(tmp_path, fault_plan=BenchmarkFaultPlan.parse("b"))
+    report = runner.run(["c", "b", "a"], lambda bench: bench)
+    assert report.results(["c", "b", "a"]) == ["c", "a"]
+
+
+def test_serializers_round_trip_custom_types(tmp_path):
+    first = _runner(tmp_path)
+    first.run(["a"], lambda bench: (bench, 1), serialize=list)
+    second = _runner(tmp_path)
+    report = second.run(["a"], lambda bench: (bench, 1), deserialize=tuple)
+    assert report.completed["a"] == ("a", 1)
+    assert report.resumed == ["a"]
+
+
+def test_corrupt_manifest_costs_only_recomputation(tmp_path):
+    (tmp_path / "manifest.json").write_text("{{{ corrupt")
+    calls = []
+    runner = _runner(tmp_path)
+    report = runner.run(["a"], lambda bench: calls.append(bench) or "r")
+    assert calls == ["a"]
+    assert report.ok
+
+
+def test_deadline_budget_degrades_remaining_benchmarks():
+    now = [0.0]
+    budget = DeadlineBudget(10.0, clock=lambda: now[0])
+
+    def compute(bench):
+        now[0] += 6.0
+        return bench
+
+    runner = _runner(budget=budget)
+    report = runner.run(["a", "b", "c"], compute)
+    assert "a" in report.completed and "b" in report.completed
+    assert report.failed_benchmarks() == ["c"]
+    assert report.failures[0].error_type == "DeadlineExceeded"
+    assert report.deadline_hit
+
+
+def test_unexpected_exception_is_captured_with_traceback(tmp_path):
+    def compute(bench):
+        raise ZeroDivisionError("boom")
+
+    runner = _runner(tmp_path)
+    report = runner.run(["a"], compute)
+    failure = report.failures[0]
+    assert failure.error_type == "ZeroDivisionError"
+    assert "ZeroDivisionError" in failure.traceback
+    # Structured failure also lands in the manifest for post-mortems.
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["failed"]["a"]["error_type"] == "ZeroDivisionError"
+
+
+def test_runner_without_manifest_is_purely_in_memory():
+    runner = _runner(fault_plan=BenchmarkFaultPlan.parse("x"))
+    report = runner.run(["x", "y"], lambda bench: bench)
+    assert report.failed_benchmarks() == ["x"]
+    assert report.completed == {"y": "y"}

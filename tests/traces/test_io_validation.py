@@ -1,0 +1,144 @@
+"""Trace I/O hardening: TraceFormatError context and atomic writes."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    TraceFormatError,
+    atomic_replace,
+    atomic_write_text,
+    load_csv,
+    load_npz,
+    save_csv,
+    save_npz,
+)
+from repro.traces.trace import Trace
+
+
+def _trace(n=20):
+    return Trace(
+        name="io",
+        pcs=np.arange(n, dtype=np.uint64) * 4,
+        addresses=np.arange(n, dtype=np.uint64) * 64,
+    )
+
+
+# -- CSV ---------------------------------------------------------------------
+
+
+def test_csv_round_trip_still_works(tmp_path):
+    path = save_csv(_trace(), tmp_path / "t.csv")
+    loaded = load_csv(path)
+    assert np.array_equal(loaded.pcs, _trace().pcs)
+
+
+def test_malformed_csv_row_names_file_and_line(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("pc,address,is_write\n0x10,0x40,0\n0x20,notanumber,0\n")
+    with pytest.raises(TraceFormatError) as info:
+        load_csv(path)
+    message = str(info.value)
+    assert "bad.csv" in message
+    assert "line 3" in message
+    assert "notanumber" in message
+
+
+def test_short_csv_row_rejected_with_line_number(tmp_path):
+    path = tmp_path / "short.csv"
+    path.write_text("pc,address\n0x10\n")
+    with pytest.raises(TraceFormatError, match="line 2"):
+        load_csv(path)
+
+
+def test_malformed_headerless_first_row(tmp_path):
+    path = tmp_path / "nohdr.csv"
+    path.write_text("12,0x4zz\n")
+    with pytest.raises(TraceFormatError, match="line 1"):
+        load_csv(path)
+
+
+def test_negative_values_rejected(tmp_path):
+    path = tmp_path / "neg.csv"
+    path.write_text("pc,address\n-4,0x40\n")
+    with pytest.raises(TraceFormatError, match="negative"):
+        load_csv(path)
+
+
+# -- NPZ ---------------------------------------------------------------------
+
+
+def test_npz_round_trip_still_works(tmp_path):
+    path = save_npz(_trace(), tmp_path / "t.npz")
+    loaded = load_npz(path)
+    assert np.array_equal(loaded.addresses, _trace().addresses)
+    assert loaded.name == "io"
+
+
+def test_npz_garbage_file_raises_trace_format_error(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"this is not a zip archive")
+    with pytest.raises(TraceFormatError, match="junk.npz"):
+        load_npz(path)
+
+
+def test_npz_missing_arrays_rejected(tmp_path):
+    path = tmp_path / "partial.npz"
+    np.savez(path, pcs=np.arange(4, dtype=np.uint64))
+    with pytest.raises(TraceFormatError, match="missing arrays"):
+        load_npz(path)
+
+
+def test_npz_truncated_columns_rejected(tmp_path):
+    path = tmp_path / "trunc.npz"
+    np.savez(
+        path,
+        name=np.array("t"),
+        pcs=np.arange(10, dtype=np.uint64),
+        addresses=np.arange(6, dtype=np.uint64),  # shorter: truncated file
+        is_write=np.zeros(10, dtype=bool),
+        line_size=np.array(64),
+        instructions_per_access=np.array(4.0),
+    )
+    with pytest.raises(TraceFormatError, match="truncated"):
+        load_npz(path)
+
+
+def test_npz_wrong_dtype_rejected(tmp_path):
+    path = tmp_path / "floats.npz"
+    np.savez(
+        path,
+        name=np.array("t"),
+        pcs=np.linspace(0, 1, 10),  # float pcs: not a valid trace
+        addresses=np.arange(10, dtype=np.uint64),
+        is_write=np.zeros(10, dtype=bool),
+        line_size=np.array(64),
+        instructions_per_access=np.array(4.0),
+    )
+    with pytest.raises(TraceFormatError, match="integer"):
+        load_npz(path)
+
+
+# -- atomic writes -----------------------------------------------------------
+
+
+def test_atomic_replace_discards_temp_on_failure(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("original")
+    with pytest.raises(RuntimeError):
+        with atomic_replace(target) as tmp:
+            tmp.write_text("half-written")
+            raise RuntimeError("crash mid-write")
+    assert target.read_text() == "original"
+    assert list(tmp_path.glob("*.tmp*")) == []
+
+
+def test_atomic_write_text(tmp_path):
+    target = tmp_path / "manifest.json"
+    atomic_write_text(target, "{}")
+    assert target.read_text() == "{}"
+
+
+def test_save_npz_leaves_no_debris(tmp_path):
+    save_npz(_trace(), tmp_path / "t")
+    assert (tmp_path / "t.npz").exists()
+    assert list(tmp_path.glob("*.tmp*")) == []
