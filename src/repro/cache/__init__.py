@@ -9,6 +9,12 @@ from .config import (
     paper_hierarchy,
     scaled_hierarchy,
 )
+from .fastsim import (
+    FAST_PATH_POLICIES,
+    EngineParityError,
+    fast_filter_to_llc_stream,
+    verify_parity,
+)
 from .hierarchy import (
     CacheHierarchy,
     LLCStream,
@@ -28,12 +34,16 @@ __all__ = [
     "CacheRequest",
     "CacheStats",
     "DramConfig",
+    "EngineParityError",
+    "FAST_PATH_POLICIES",
     "HierarchyConfig",
     "LLCStream",
     "ReplacementPolicy",
     "SetAssociativeCache",
+    "fast_filter_to_llc_stream",
     "filter_to_llc_stream",
     "paper_hierarchy",
     "scaled_hierarchy",
     "simulate_llc",
+    "verify_parity",
 ]

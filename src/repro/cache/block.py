@@ -70,10 +70,16 @@ class CacheRequest:
 
 @dataclass(slots=True)
 class AccessResult:
-    """Outcome of one cache-level access."""
+    """Outcome of one cache-level access.
+
+    ``way`` is the way that served the access: the hit way on a hit, the
+    fill way on a miss, and -1 on a bypass.  Engine-parity checks key on
+    it (see :mod:`repro.cache.fastsim`).
+    """
 
     hit: bool
     bypassed: bool = False
+    way: int = -1
     evicted_tag: int = -1
     evicted_dirty: bool = False
     evicted_pc: int = 0

@@ -24,12 +24,14 @@ class SetAssociativeCache:
         self.line_size = config.line_size
         self._set_shift = (config.line_size - 1).bit_length()
         self._set_mask = self.num_sets - 1
+        self._tag_shift = self._set_mask.bit_length()
         self.sets: list[list[CacheLine]] = [
             [CacheLine() for _ in range(self.associativity)]
             for _ in range(self.num_sets)
         ]
         self.stats = CacheStats(name=config.name)
         self._access_counter = 0
+        self._valid_lines = 0
         self.policy = policy
         policy.attach(self)
 
@@ -38,18 +40,18 @@ class SetAssociativeCache:
         return address >> self._set_shift
 
     def set_index(self, address: int) -> int:
-        return self.line_number(address) & self._set_mask
+        return self._split(address)[0]
 
     def tag(self, address: int) -> int:
-        return self.line_number(address) >> self._set_mask.bit_length() if self._set_mask else self.line_number(address)
+        return self._split(address)[1]
 
     def _split(self, address: int) -> tuple[int, int]:
         line = address >> self._set_shift
-        return line & self._set_mask, line >> (self._set_mask.bit_length())
+        return line & self._set_mask, line >> self._tag_shift
 
     def line_address(self, set_index: int, tag: int) -> int:
         """Reconstruct the byte address of a cached line."""
-        line = (tag << self._set_mask.bit_length()) | set_index
+        line = (tag << self._tag_shift) | set_index
         return line << self._set_shift
 
     # -- queries ------------------------------------------------------------
@@ -86,7 +88,7 @@ class SetAssociativeCache:
                 # per-line state goes stale.
                 self.policy.on_hit(set_index, way, request)
                 self.stats.record(True, is_demand, request.core)
-                return AccessResult(hit=True)
+                return AccessResult(hit=True, way=way)
         # Miss path.
         self.stats.record(False, is_demand, request.core)
         victim_way = self.policy.victim(set_index, request, ways)
@@ -111,6 +113,8 @@ class SetAssociativeCache:
                 "evicted_pc": line.pc,
                 "evicted_core": line.core,
             }
+        else:
+            self._valid_lines += 1
         line.valid = True
         line.tag = tag
         line.dirty = request.access_type is not AccessType.LOAD
@@ -120,7 +124,7 @@ class SetAssociativeCache:
         line.insert_time = self._access_counter
         line.policy_state = {}
         self.policy.on_fill(set_index, victim_way, request)
-        return AccessResult(hit=False, **result_kwargs)
+        return AccessResult(hit=False, way=victim_way, **result_kwargs)
 
     def evicted_line_address(self, set_index: int, result: AccessResult) -> int:
         """Byte address of the line evicted in ``result`` (if any)."""
@@ -134,6 +138,7 @@ class SetAssociativeCache:
         for line in self.sets[set_index]:
             if line.valid and line.tag == tag:
                 line.reset()
+                self._valid_lines -= 1
                 return True
         return False
 
@@ -144,8 +149,10 @@ class SetAssociativeCache:
                 line.reset()
         self.policy.reset()
         self._access_counter = 0
+        self._valid_lines = 0
 
     @property
     def occupancy(self) -> int:
-        """Number of valid lines currently cached."""
-        return sum(1 for ways in self.sets for line in ways if line.valid)
+        """Number of valid lines currently cached (O(1): counter maintained
+        on the fill/invalidate/flush paths, never by rescanning sets)."""
+        return self._valid_lines

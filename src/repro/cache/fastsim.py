@@ -1,0 +1,559 @@
+"""Fast-path LLC simulation engine (``repro.cache.fastsim``).
+
+The reference simulator (:class:`~repro.cache.cache.SetAssociativeCache`
+driven by :func:`~repro.cache.hierarchy.simulate_llc`) walks lists of
+:class:`~repro.cache.block.CacheLine` objects and allocates a
+``CacheRequest`` per access.  That generality is what lets Hawkeye,
+Glider and the other learned policies hook every event — but for the
+*stateless* policies that dominate the experiment matrix (LRU, MRU,
+random, SRRIP, BRRIP) it is pure overhead: their victim choice is a
+function of a few per-line integers.
+
+This module provides:
+
+* **Fast-path kernels** — flat-list tag/dirty/last-touch/RRPV state per
+  set (no per-line objects, no per-access allocation, set/tag splitting
+  vectorized up front with NumPy) for the stateless policies.
+* **A shared engine protocol** — :func:`replay` dispatches a policy
+  (registry name or instance) to its fast kernel when one exists and
+  falls back *transparently* to the reference engine otherwise, so
+  callers never need to know which policies are accelerated.
+* **A parity harness** — both engines can record a per-access event
+  stream ``(hit, bypassed, way, evicted_tag, evicted_dirty)``;
+  :func:`verify_parity` asserts access-by-access equivalence plus equal
+  :class:`~repro.cache.stats.CacheStats`, and names the first divergent
+  access when they differ.
+* **A fast stream filter** — :func:`fast_filter_to_llc_stream`, a
+  rewrite of the policy-independent L1/L2 LRU filter that dominates
+  stream construction; it produces a bit-identical
+  :class:`~repro.cache.hierarchy.LLCStream`.
+
+Determinism: the stochastic kernels (random, BRRIP) reproduce the
+reference policies' exact RNG draw sequence (``np.random.default_rng``
+seeded identically, drawn at the same events), so fast and reference
+runs are bit-identical, not merely statistically alike.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .config import CacheConfig, HierarchyConfig, scaled_hierarchy
+from .stats import CacheStats
+
+__all__ = [
+    "FAST_PATH_POLICIES",
+    "EngineParityError",
+    "fast_filter_to_llc_stream",
+    "fast_path_kernel",
+    "replay",
+    "reference_replay",
+    "verify_parity",
+]
+
+#: Registry names with a fast-path kernel (with their default parameters).
+FAST_PATH_POLICIES = ("lru", "mru", "random", "srrip", "brrip")
+
+#: Event tuple layout: (hit, bypassed, way, evicted_tag, evicted_dirty).
+_KIND_LOAD, _KIND_STORE, _KIND_WRITEBACK = 0, 1, 2
+
+
+class EngineParityError(AssertionError):
+    """Fast and reference engines diverged (bug in a fast-path kernel)."""
+
+
+# -- policy -> kernel resolution ---------------------------------------------
+
+
+def fast_path_kernel(policy) -> tuple[str, dict] | None:
+    """Resolve a policy (registry name or instance) to a fast kernel.
+
+    Returns ``(kernel, params)`` or None when the policy must take the
+    reference engine.  Instances are matched by *exact* type so that a
+    subclass with overridden hooks is never silently fast-pathed; a
+    stochastic policy instance is assumed fresh (un-drawn RNG), which is
+    how every experiment constructs them.
+    """
+    from ..policies.lru import LRUPolicy, MRUPolicy
+    from ..policies.random_policy import RandomPolicy
+    from ..policies.rrip import BRRIPPolicy, SRRIPPolicy
+
+    if isinstance(policy, str):
+        defaults = {
+            "lru": ("lru", {}),
+            "mru": ("mru", {}),
+            "random": ("random", {"seed": 0}),
+            "srrip": ("rrip", {"max_rrpv": 3, "long_prob": None, "seed": 0}),
+            "brrip": ("rrip", {"max_rrpv": 3, "long_prob": 1 / 32, "seed": 0}),
+        }
+        return defaults.get(policy)
+    kind = type(policy)
+    if kind is LRUPolicy:
+        return "lru", {}
+    if kind is MRUPolicy:
+        return "mru", {}
+    if kind is RandomPolicy:
+        return "random", {"seed": policy._seed}
+    if kind is BRRIPPolicy:  # before SRRIP: BRRIP subclasses it
+        return "rrip", {
+            "max_rrpv": policy.max_rrpv,
+            "long_prob": policy.long_probability,
+            "seed": policy._seed,
+        }
+    if kind is SRRIPPolicy:
+        return "rrip", {"max_rrpv": policy.max_rrpv, "long_prob": None, "seed": 0}
+    return None
+
+
+def _llc_config(config) -> CacheConfig:
+    if config is None:
+        return scaled_hierarchy().llc
+    if isinstance(config, HierarchyConfig):
+        return config.llc
+    return config
+
+
+def _decode_stream(stream, config: CacheConfig):
+    """Vectorized set/tag split of a whole stream into plain-int lists."""
+    shift = (config.line_size - 1).bit_length()
+    set_mask = config.num_sets - 1
+    tag_shift = set_mask.bit_length()
+    lines = stream.addresses.astype(np.uint64) >> np.uint64(shift)
+    sets = (lines & np.uint64(set_mask)).astype(np.int64).tolist()
+    tags = (lines >> np.uint64(tag_shift)).astype(np.int64).tolist()
+    return sets, tags, stream.kinds.tolist(), stream.cores.tolist()
+
+
+# -- fast kernels -------------------------------------------------------------
+
+
+def _finish_stats(
+    name, dh, dm, wh, wm, ev, dev, pch, pcm
+) -> CacheStats:
+    stats = CacheStats(name=name)
+    stats.demand_hits = dh
+    stats.demand_misses = dm
+    stats.writeback_hits = wh
+    stats.writeback_misses = wm
+    stats.evictions = ev
+    stats.dirty_evictions = dev
+    stats.per_core_hits = pch
+    stats.per_core_misses = pcm
+    return stats
+
+
+def _replay_recency(stream, config: CacheConfig, newest: bool, record) -> CacheStats:
+    """LRU (``newest=False``) / MRU (``newest=True``) fast kernel."""
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    touch_t = [[0] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    dh = dm = wh = wm = ev = dev = counter = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        counter += 1
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            touch_t[s][w] = counter
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if k != _KIND_WRITEBACK:
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            tr = touch_t[s]
+            w = tr.index(max(tr)) if newest else tr.index(min(tr))
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        touch_t[s][w] = counter
+        dirty_t[s][w] = k != _KIND_LOAD
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+def _replay_random(stream, config: CacheConfig, seed: int, record) -> CacheStats:
+    """Random-victim fast kernel (reference RNG draw sequence preserved)."""
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    # Batched draws are bit-identical to per-call draws for PCG64, so a
+    # refill buffer preserves the reference policy's exact sequence.
+    rng = np.random.default_rng(seed)
+    draw_buf: list[int] = []
+    draw_pos = 0
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if k != _KIND_WRITEBACK:
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            if draw_pos == len(draw_buf):
+                draw_buf = rng.integers(assoc, size=4096).tolist()
+                draw_pos = 0
+            w = draw_buf[draw_pos]
+            draw_pos += 1
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = k != _KIND_LOAD
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+def _replay_rrip(
+    stream, config: CacheConfig, max_rrpv: int, long_prob, seed: int, record
+) -> CacheStats:
+    """SRRIP (``long_prob=None``) / BRRIP fast kernel."""
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    rrpv_t = [[0] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    rng = np.random.default_rng(seed) if long_prob is not None else None
+    draw_buf: list[float] = []
+    draw_pos = 0
+    long_rrpv = max_rrpv - 1
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            rrpv_t[s][w] = 0
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if k != _KIND_WRITEBACK:
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            rr = rrpv_t[s]
+            while True:
+                for w in range(assoc):
+                    if rr[w] >= max_rrpv:
+                        break
+                else:
+                    for j in range(assoc):
+                        rr[j] += 1
+                    continue
+                break
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = k != _KIND_LOAD
+        if rng is None:
+            rrpv_t[s][w] = long_rrpv
+        else:
+            if draw_pos == len(draw_buf):
+                draw_buf = rng.random(size=4096).tolist()
+                draw_pos = 0
+            rrpv_t[s][w] = long_rrpv if draw_buf[draw_pos] < long_prob else max_rrpv
+            draw_pos += 1
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+_KERNELS = {
+    "lru": lambda stream, cfg, record: _replay_recency(stream, cfg, False, record),
+    "mru": lambda stream, cfg, record: _replay_recency(stream, cfg, True, record),
+    "random": lambda stream, cfg, record, **kw: _replay_random(
+        stream, cfg, record=record, **kw
+    ),
+    "rrip": lambda stream, cfg, record, **kw: _replay_rrip(
+        stream, cfg, record=record, **kw
+    ),
+}
+
+
+# -- the engine protocol ------------------------------------------------------
+
+
+def reference_replay(stream, policy, config=None, record: list | None = None) -> CacheStats:
+    """Replay on the reference object-based engine, optionally recording
+    the per-access event stream for parity checking."""
+    from ..policies.registry import make_policy
+    from .cache import SetAssociativeCache
+
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    llc = SetAssociativeCache(_llc_config(config), policy)
+    if record is None:
+        for request in stream.requests():
+            llc.access(request)
+    else:
+        for request in stream.requests():
+            result = llc.access(request)
+            record.append(
+                (
+                    int(result.hit),
+                    int(result.bypassed),
+                    result.way,
+                    result.evicted_tag,
+                    int(result.evicted_dirty),
+                )
+            )
+    return llc.stats
+
+
+def replay(
+    stream,
+    policy,
+    config=None,
+    engine: str = "auto",
+    record: list | None = None,
+) -> CacheStats:
+    """Replay an LLC stream against a policy on the best engine.
+
+    ``policy`` is a registry name or a :class:`ReplacementPolicy`
+    instance; ``config`` a :class:`HierarchyConfig`, a single
+    :class:`CacheConfig` (the LLC geometry), or None for the default
+    scaled hierarchy.  ``engine`` is ``"auto"`` (fast when a kernel
+    exists, reference otherwise), ``"fast"`` (error if unsupported), or
+    ``"reference"``.
+    """
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    llc = _llc_config(config)
+    kernel = fast_path_kernel(policy) if engine != "reference" else None
+    if kernel is None:
+        if engine == "fast":
+            name = policy if isinstance(policy, str) else type(policy).__name__
+            raise ValueError(f"policy {name!r} has no fast-path kernel")
+        return reference_replay(stream, policy, llc, record=record)
+    kind, params = kernel
+    return _KERNELS[kind](stream, llc, record, **params)
+
+
+def verify_parity(stream, policy_name: str, config=None) -> tuple[CacheStats, CacheStats]:
+    """Assert fast/auto and reference engines agree access-by-access.
+
+    ``policy_name`` must be a registry name (fresh instances are built
+    per engine so learned state cannot leak between runs).  Returns the
+    two stats objects; raises :class:`EngineParityError` naming the
+    first divergent access otherwise.
+    """
+    ref_events: list = []
+    fast_events: list = []
+    ref_stats = replay(stream, policy_name, config, engine="reference", record=ref_events)
+    fast_stats = replay(stream, policy_name, config, engine="auto", record=fast_events)
+    if ref_events != fast_events:
+        for i, (r, f) in enumerate(zip(ref_events, fast_events)):
+            if r != f:
+                raise EngineParityError(
+                    f"{policy_name}: engines diverge at access {i}: "
+                    f"reference={r} fast={f} "
+                    "(hit, bypassed, way, evicted_tag, evicted_dirty)"
+                )
+        raise EngineParityError(
+            f"{policy_name}: event streams differ in length: "
+            f"{len(ref_events)} vs {len(fast_events)}"
+        )
+    if ref_stats != fast_stats:
+        raise EngineParityError(
+            f"{policy_name}: stats differ: {ref_stats} vs {fast_stats}"
+        )
+    return ref_stats, fast_stats
+
+
+# -- fast stream filter -------------------------------------------------------
+
+
+def fast_filter_to_llc_stream(trace, config: HierarchyConfig | None = None):
+    """Vectorized rewrite of :func:`repro.cache.hierarchy.filter_to_llc_stream`.
+
+    The L1/L2 filter is policy-independent (both levels are true LRU)
+    and the recorded stream does not depend on the LLC's own state, so
+    this simulates only L1 and L2 with flat per-set lists and skips the
+    LLC entirely.  Output is bit-identical to the reference filter:
+    same access order (each L2 demand miss, then any L2 dirty-eviction
+    writeback), same writeback PC/core attribution, same
+    ``l1_hits``/``l2_hits``.
+    """
+    from .hierarchy import CacheHierarchy, LLCStream
+
+    config = config or scaled_hierarchy()
+    l1c, l2c = config.l1, config.l2
+    if not (l1c.line_size == l2c.line_size == config.llc.line_size):
+        # Mixed line sizes are outside the fast filter's model.
+        hierarchy = CacheHierarchy(config)
+        stream = hierarchy.run(trace, record_llc_stream=True)
+        assert stream is not None
+        return stream
+
+    shift = (l1c.line_size - 1).bit_length()
+    lines = trace.addresses.astype(np.uint64) >> np.uint64(shift)
+    mask1, mask2 = l1c.num_sets - 1, l2c.num_sets - 1
+    tag_shift1, tag_shift2 = mask1.bit_length(), mask2.bit_length()
+    set1 = (lines & np.uint64(mask1)).astype(np.int64).tolist()
+    tag1 = (lines >> np.uint64(tag_shift1)).astype(np.int64).tolist()
+    set2 = (lines & np.uint64(mask2)).astype(np.int64).tolist()
+    tag2 = (lines >> np.uint64(tag_shift2)).astype(np.int64).tolist()
+    pcs = trace.pcs.tolist()
+    addresses = trace.addresses.tolist()
+    writes = trace.is_write.tolist()
+
+    assoc1, assoc2 = l1c.associativity, l2c.associativity
+    l1_tags = [[-1] * assoc1 for _ in range(l1c.num_sets)]
+    l1_touch = [[0] * assoc1 for _ in range(l1c.num_sets)]
+    l1_fill = [0] * l1c.num_sets
+    l2_tags = [[-1] * assoc2 for _ in range(l2c.num_sets)]
+    l2_touch = [[0] * assoc2 for _ in range(l2c.num_sets)]
+    l2_dirty = [[False] * assoc2 for _ in range(l2c.num_sets)]
+    l2_pc = [[0] * assoc2 for _ in range(l2c.num_sets)]
+    l2_core = [[0] * assoc2 for _ in range(l2c.num_sets)]
+    l2_fill = [0] * l2c.num_sets
+
+    r_pcs: list[int] = []
+    r_addresses: list[int] = []
+    r_kinds: list[int] = []
+    r_cores: list[int] = []
+    c1 = c2 = l1_hits = l2_hits = 0
+
+    for i in range(len(lines)):
+        is_write = writes[i]
+        c1 += 1
+        s = set1[i]
+        t = tag1[i]
+        row = l1_tags[s]
+        if t in row:
+            l1_touch[s][row.index(t)] = c1
+            l1_hits += 1
+            continue
+        if l1_fill[s] < assoc1:
+            w = row.index(-1)
+            l1_fill[s] += 1
+        else:
+            tr = l1_touch[s]
+            w = tr.index(min(tr))
+        row[w] = t
+        l1_touch[s][w] = c1
+
+        c2 += 1
+        s = set2[i]
+        t = tag2[i]
+        row = l2_tags[s]
+        if t in row:
+            w = row.index(t)
+            l2_touch[s][w] = c2
+            if is_write:
+                l2_dirty[s][w] = True
+            l2_hits += 1
+            continue
+        pc = pcs[i]
+        r_pcs.append(pc)
+        r_addresses.append(addresses[i])
+        r_kinds.append(_KIND_STORE if is_write else _KIND_LOAD)
+        r_cores.append(0)
+        if l2_fill[s] < assoc2:
+            w = row.index(-1)
+            l2_fill[s] += 1
+        else:
+            tr = l2_touch[s]
+            w = tr.index(min(tr))
+            if l2_dirty[s][w]:
+                r_pcs.append(l2_pc[s][w])
+                r_addresses.append(((row[w] << tag_shift2) | s) << shift)
+                r_kinds.append(_KIND_WRITEBACK)
+                r_cores.append(l2_core[s][w])
+        row[w] = t
+        l2_touch[s][w] = c2
+        l2_dirty[s][w] = is_write
+        l2_pc[s][w] = pc
+        l2_core[s][w] = 0
+
+    return LLCStream(
+        name=trace.name,
+        pcs=np.array(r_pcs, dtype=np.uint64),
+        addresses=np.array(r_addresses, dtype=np.uint64),
+        kinds=np.array(r_kinds, dtype=np.int8),
+        cores=np.array(r_cores, dtype=np.int16),
+        line_size=trace.line_size,
+        source_accesses=trace.num_accesses,
+        source_instructions=trace.num_instructions,
+        l1_hits=l1_hits,
+        l2_hits=l2_hits,
+        metadata=dict(trace.metadata),
+    )

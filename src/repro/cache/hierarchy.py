@@ -215,9 +215,20 @@ class CacheHierarchy:
 
 
 def filter_to_llc_stream(
-    trace: Trace, config: HierarchyConfig | None = None
+    trace: Trace, config: HierarchyConfig | None = None, engine: str = "auto"
 ) -> LLCStream:
-    """Phase 1: record the LLC-bound access stream for ``trace``."""
+    """Phase 1: record the LLC-bound access stream for ``trace``.
+
+    ``engine="auto"`` (the default) uses the vectorized fast filter in
+    :mod:`repro.cache.fastsim`, which produces a bit-identical stream;
+    ``engine="reference"`` forces the original object-based hierarchy.
+    """
+    if engine in ("auto", "fast"):
+        from .fastsim import fast_filter_to_llc_stream
+
+        return fast_filter_to_llc_stream(trace, config)
+    if engine != "reference":
+        raise ValueError(f"unknown engine {engine!r}")
     hierarchy = CacheHierarchy(config)
     stream = hierarchy.run(trace, record_llc_stream=True)
     assert stream is not None
@@ -228,10 +239,15 @@ def simulate_llc(
     stream: LLCStream,
     policy: ReplacementPolicy,
     config: HierarchyConfig | None = None,
+    engine: str = "auto",
 ) -> CacheStats:
-    """Phase 2: replay a recorded LLC stream against one policy."""
-    config = config or scaled_hierarchy()
-    llc = SetAssociativeCache(config.llc, policy)
-    for request in stream.requests():
-        llc.access(request)
-    return llc.stats
+    """Phase 2: replay a recorded LLC stream against one policy.
+
+    Dispatches through :func:`repro.cache.fastsim.replay`: stateless
+    policies (LRU/MRU/random/SRRIP/BRRIP) take an array-backed fast
+    path, everything else runs the reference engine.  Both engines are
+    access-by-access equivalent (see the fastsim parity suite).
+    """
+    from .fastsim import replay
+
+    return replay(stream, policy, config or scaled_hierarchy(), engine=engine)

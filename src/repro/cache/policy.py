@@ -32,6 +32,25 @@ class ReplacementPolicy:
     Policies that train on the demand stream regardless of hit/miss can
     override :meth:`on_access`, which is invoked before the hit/miss
     hooks on every demand access.
+
+    **Event-stream contract** (asymmetric by design — this is what the
+    cache core guarantees, and what ``tests/cache/test_policy_contract.py``
+    pins down):
+
+    * :meth:`on_access` fires for **demand accesses only** (loads and
+      stores), never for writebacks.  It models the training stream a
+      hardware predictor observes; writebacks carry the *inserting* PC,
+      not a program-order PC, so feeding them to a PC-indexed predictor
+      would corrupt it (cf. the SHiP++ writeback rules).
+    * :meth:`on_hit`, :meth:`victim`, :meth:`on_evict` and
+      :meth:`on_fill` fire for **every** access, writebacks included — a
+      writeback that hits still touches the line (and must, or per-line
+      bookkeeping such as Belady's stored next-use goes stale), and a
+      writeback that misses still allocates (write-allocate).
+
+    A policy that must not learn from writebacks therefore checks
+    ``request.access_type is AccessType.WRITEBACK`` in the per-line
+    hooks itself; it cannot rely on the hooks being demand-filtered.
     """
 
     #: Short machine name; the registry keys policies by this.

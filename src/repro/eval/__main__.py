@@ -14,6 +14,13 @@ and labels to a crash-safe artifact store so reruns resume instead of
 recomputing; ``--robust`` retries failing benchmarks and degrades to
 partial aggregates (with a resume manifest under the store); ``--fail
 "mcf,lbm:2"`` injects benchmark failures to drill the machinery.
+
+Performance: ``--jobs N`` fans the per-benchmark work of
+fig9/fig10/fig11/fig12/fig13 across N worker processes (bit-identical
+results; pair with ``--store`` so streams are filtered once).  The
+``bench`` subcommand times the filter/replay/matrix stages on both
+simulation engines and writes ``BENCH_sim.json`` (``--quick`` for the
+CI smoke variant, ``--out`` to choose the path).
 """
 
 from __future__ import annotations
@@ -48,10 +55,21 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "table3", "table4",
+            "fig13", "fig14", "fig15", "table3", "table4", "bench",
         ],
     )
     parser.add_argument("--length", type=int, default=60_000, help="trace length")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for per-benchmark experiment stages",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="bench: small trace, one repeat"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sim.json", metavar="PATH",
+        help="bench: where to write the timing report",
+    )
     parser.add_argument("--benchmarks", default=None, help="comma-separated subset")
     parser.add_argument("--epochs", type=int, default=None, help="LSTM epochs")
     parser.add_argument("--mixes", type=int, default=8, help="fig13 mix count")
@@ -108,25 +126,32 @@ def main(argv: list[str] | None = None) -> int:
         rows = shuffle_experiment(config, benchmarks=subset, cache=cache)
         print(format_table([r.as_row() for r in rows], "Figure 6"))
     elif args.experiment == "fig9":
-        rows = offline_accuracy(config, benchmarks=subset, cache=cache, runner=runner)
+        rows = offline_accuracy(
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
+        )
         print(format_table([r.as_row() for r in rows], "Figure 9"))
     elif args.experiment == "fig10":
-        rows = online_accuracy(config, benchmarks=subset, cache=cache, runner=runner)
+        rows = online_accuracy(
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
+        )
         print(format_table([r.as_row() for r in rows], "Figure 10"))
     elif args.experiment == "fig11":
         results = miss_rate_reduction(
-            config, benchmarks=subset, include_belady=True, cache=cache, runner=runner
+            config, benchmarks=subset, include_belady=True, cache=cache,
+            runner=runner, jobs=args.jobs,
         )
         print(format_table([r.as_row() for r in results], "Figure 11"))
         print(format_table(summarize_by_group(results)))
     elif args.experiment == "fig12":
         results = single_core_speedup(
-            config, benchmarks=subset, cache=cache, runner=runner
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
         )
         print(format_table([r.as_row() for r in results], "Figure 12"))
         print(format_table(summarize_speedups(results)))
     elif args.experiment == "fig13":
-        results = weighted_speedup_sweep(config, num_mixes=args.mixes, cache=cache)
+        results = weighted_speedup_sweep(
+            config, num_mixes=args.mixes, cache=cache, jobs=args.jobs
+        )
         print(format_table([r.as_row() for r in results], "Figure 13"))
         print(summarize_mixes(results))
     elif args.experiment == "fig14":
@@ -145,6 +170,20 @@ def main(argv: list[str] | None = None) -> int:
     elif args.experiment == "table4":
         rows = anchor_pc_analysis(config, cache=cache)
         print(format_table([r.as_row() for r in rows], "Table 4"))
+    elif args.experiment == "bench":
+        from ..perf.bench import run_bench
+
+        report = run_bench(
+            jobs=max(2, args.jobs), quick=args.quick, out=args.out
+        )
+        print(f"bench report -> {args.out}")
+        print(f"filter speedup: {report['filter']['speedup']:.1f}x")
+        for policy, entry in report["replay"].items():
+            print(f"replay {policy}: {entry['speedup']:.1f}x")
+        print(
+            f"matrix jobs={report['matrix']['jobs']}: "
+            f"{report['matrix']['speedup']:.2f}x vs sequential"
+        )
 
     if runner is not None and runner.last_report is not None:
         report = runner.last_report

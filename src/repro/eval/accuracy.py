@@ -9,9 +9,11 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import asdict, dataclass
 
 from ..cache.hierarchy import simulate_llc
+from ..perf.parallel import parallel_map
 from ..ml.svm import OfflineHawkeye, OfflineISVM, OrderedHistorySVM
 from ..ml.training import train_linear_model, train_lstm
 from ..policies.hawkeye import HawkeyePolicy
@@ -41,49 +43,69 @@ class OfflineAccuracyResult:
         }
 
 
+def _offline_accuracy_benchmark(
+    benchmark: str,
+    *,
+    config: ExperimentConfig,
+    linear_epochs: int,
+    cache: ArtifactCache | None = None,
+    store=None,
+) -> OfflineAccuracyResult:
+    """One Figure 9 group (module-level so it pickles into pool workers)."""
+    cache = cache if cache is not None else ArtifactCache(config, store=store)
+    labelled = cache.labelled(benchmark)
+    hawkeye = train_linear_model(OfflineHawkeye(), labelled, epochs=linear_epochs)
+    perceptron = train_linear_model(
+        OrderedHistorySVM(history_length=3), labelled, epochs=linear_epochs
+    )
+    isvm = train_linear_model(OfflineISVM(k=5), labelled, epochs=linear_epochs)
+    _, lstm = train_lstm(
+        labelled,
+        config.lstm_config(labelled.vocab_size),
+        epochs=config.lstm_epochs,
+    )
+    return OfflineAccuracyResult(
+        benchmark=benchmark,
+        hawkeye=hawkeye.test_accuracy,
+        perceptron=perceptron.test_accuracy,
+        offline_isvm=isvm.test_accuracy,
+        attention_lstm=lstm.test_accuracy,
+    )
+
+
 def offline_accuracy(
     config: ExperimentConfig = DEFAULT,
     benchmarks: tuple[str, ...] | None = None,
     cache: ArtifactCache | None = None,
     linear_epochs: int = 10,
     runner: RobustSuiteRunner | None = None,
+    jobs: int = 1,
 ) -> list[OfflineAccuracyResult]:
     """Reproduce Figure 9 (plus the "average" bar, appended last).
 
     With a ``runner``, failing benchmarks degrade to structured failures
     on ``runner.last_report`` and the average covers the completed rows.
+    With ``jobs > 1`` the benchmarks fan out across a process pool with
+    bit-identical results.
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.offline_benchmarks
-
-    def compute(benchmark: str) -> OfflineAccuracyResult:
-        labelled = cache.labelled(benchmark)
-        hawkeye = train_linear_model(OfflineHawkeye(), labelled, epochs=linear_epochs)
-        perceptron = train_linear_model(
-            OrderedHistorySVM(history_length=3), labelled, epochs=linear_epochs
+    kwargs = dict(config=config, linear_epochs=linear_epochs)
+    if jobs > 1:
+        compute = functools.partial(
+            _offline_accuracy_benchmark, store=cache.store, **kwargs
         )
-        isvm = train_linear_model(OfflineISVM(k=5), labelled, epochs=linear_epochs)
-        _, lstm = train_lstm(
-            labelled,
-            config.lstm_config(labelled.vocab_size),
-            epochs=config.lstm_epochs,
-        )
-        return OfflineAccuracyResult(
-            benchmark=benchmark,
-            hawkeye=hawkeye.test_accuracy,
-            perceptron=perceptron.test_accuracy,
-            offline_isvm=isvm.test_accuracy,
-            attention_lstm=lstm.test_accuracy,
-        )
-
+    else:
+        compute = functools.partial(_offline_accuracy_benchmark, cache=cache, **kwargs)
     if runner is None:
-        results = [compute(benchmark) for benchmark in benchmarks]
+        results = parallel_map(compute, benchmarks, jobs=jobs)
     else:
         report = runner.run(
             benchmarks,
             compute,
             serialize=asdict,
             deserialize=lambda payload: OfflineAccuracyResult(**payload),
+            jobs=jobs,
         )
         results = report.results(benchmarks)
     if not results:
@@ -116,41 +138,60 @@ class OnlineAccuracyResult:
         }
 
 
+def _online_accuracy_benchmark(
+    benchmark: str,
+    *,
+    config: ExperimentConfig,
+    cache: ArtifactCache | None = None,
+    store=None,
+) -> OnlineAccuracyResult:
+    """One Figure 10 group (module-level so it pickles into pool workers)."""
+    cache = cache if cache is not None else ArtifactCache(config, store=store)
+    stream = cache.llc_stream(benchmark)
+    hawkeye = HawkeyePolicy()
+    simulate_llc(stream, hawkeye, config.hierarchy())
+    glider = GliderPolicy()
+    simulate_llc(stream, glider, config.hierarchy())
+    return OnlineAccuracyResult(
+        benchmark=benchmark,
+        hawkeye=hawkeye.online_accuracy,
+        glider=glider.online_accuracy,
+    )
+
+
 def online_accuracy(
     config: ExperimentConfig = DEFAULT,
     benchmarks: tuple[str, ...] | None = None,
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
+    jobs: int = 1,
 ) -> list[OnlineAccuracyResult]:
     """Reproduce Figure 10: train-while-running accuracy of both predictors.
 
     Accuracy is measured exactly as the policies experience it: each
     sampler-labelled access scores the prediction that was made when the
-    line was last touched.
+    line was last touched.  With ``jobs > 1`` the benchmarks fan out
+    across a process pool with bit-identical results.
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
-
-    def compute(benchmark: str) -> OnlineAccuracyResult:
-        stream = cache.llc_stream(benchmark)
-        hawkeye = HawkeyePolicy()
-        simulate_llc(stream, hawkeye, config.hierarchy())
-        glider = GliderPolicy()
-        simulate_llc(stream, glider, config.hierarchy())
-        return OnlineAccuracyResult(
-            benchmark=benchmark,
-            hawkeye=hawkeye.online_accuracy,
-            glider=glider.online_accuracy,
+    if jobs > 1:
+        compute = functools.partial(
+            _online_accuracy_benchmark, config=config, store=cache.store
         )
-
+    else:
+        compute = functools.partial(
+            _online_accuracy_benchmark, config=config, cache=cache
+        )
     if runner is None:
-        results = [compute(benchmark) for benchmark in benchmarks]
+        results = parallel_map(compute, benchmarks, jobs=jobs)
     else:
         report = runner.run(
             benchmarks,
             compute,
             serialize=asdict,
             deserialize=lambda payload: OnlineAccuracyResult(**payload),
+            jobs=jobs,
         )
         results = report.results(benchmarks)
     if not results:

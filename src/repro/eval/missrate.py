@@ -9,9 +9,11 @@ SHiP++ 7.5% on their traces).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import asdict, dataclass, field
 
 from ..cache.hierarchy import simulate_llc
+from ..perf.parallel import parallel_map
 from ..policies.belady_policy import BeladyPolicy
 from ..policies.registry import make_policy
 from ..robust.suite import RobustSuiteRunner
@@ -50,6 +52,49 @@ class MissRateResult:
         return row
 
 
+def _missrate_benchmark(
+    benchmark: str,
+    *,
+    config: ExperimentConfig,
+    policies: tuple[str, ...],
+    include_belady: bool,
+    cache: ArtifactCache | None = None,
+    store=None,
+) -> MissRateResult:
+    """One Figure 11 row (module-level so a ``functools.partial`` of it
+    pickles into process-pool workers; parallel callers pass ``store``
+    and each worker rebuilds its own :class:`ArtifactCache`)."""
+    cache = cache if cache is not None else ArtifactCache(config, store=store)
+    hierarchy = config.hierarchy()
+    stream = cache.llc_stream(benchmark)
+    lru_stats = simulate_llc(stream, make_policy("lru"), hierarchy)
+    rates: dict[str, float] = {}
+    hits: dict[str, int] = {"lru": lru_stats.hits}
+    for policy in policies:
+        stats = simulate_llc(stream, make_policy(policy), hierarchy)
+        rates[policy] = stats.demand_miss_rate
+        hits[policy] = stats.hits
+    belady_rate = None
+    belady_hits = None
+    if include_belady:
+        stats = simulate_llc(stream, BeladyPolicy.from_stream(stream), hierarchy)
+        belady_rate = stats.demand_miss_rate
+        belady_hits = stats.hits
+    try:
+        group = suite_group(benchmark)
+    except KeyError:
+        group = "other"
+    return MissRateResult(
+        benchmark=benchmark,
+        group=group,
+        lru_miss_rate=lru_stats.demand_miss_rate,
+        miss_rates=rates,
+        belady_miss_rate=belady_rate,
+        total_hits=hits,
+        belady_total_hits=belady_hits,
+    )
+
+
 def miss_rate_reduction(
     config: ExperimentConfig = DEFAULT,
     benchmarks: tuple[str, ...] | None = None,
@@ -57,6 +102,7 @@ def miss_rate_reduction(
     include_belady: bool = False,
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
+    jobs: int = 1,
 ) -> list[MissRateResult]:
     """Reproduce Figure 11 rows; group averages appended at the end.
 
@@ -64,47 +110,28 @@ def miss_rate_reduction(
     benchmark that still fails is recorded on ``runner.last_report``
     (structured failure + resume manifest) while the rest of the suite
     completes — the returned list then holds the completed subset.
+
+    With ``jobs > 1``, benchmarks fan out across a process pool.  The
+    results are bit-identical to the sequential run (workers rebuild
+    state deterministically from the config); pair with an on-disk
+    store so the expensive stream filter runs once per benchmark
+    instead of once per worker touching it.
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
-    hierarchy = config.hierarchy()
-
-    def compute(benchmark: str) -> MissRateResult:
-        stream = cache.llc_stream(benchmark)
-        lru_stats = simulate_llc(stream, make_policy("lru"), hierarchy)
-        rates: dict[str, float] = {}
-        hits: dict[str, int] = {"lru": lru_stats.hits}
-        for policy in policies:
-            stats = simulate_llc(stream, make_policy(policy), hierarchy)
-            rates[policy] = stats.demand_miss_rate
-            hits[policy] = stats.hits
-        belady_rate = None
-        belady_hits = None
-        if include_belady:
-            stats = simulate_llc(stream, BeladyPolicy.from_stream(stream), hierarchy)
-            belady_rate = stats.demand_miss_rate
-            belady_hits = stats.hits
-        try:
-            group = suite_group(benchmark)
-        except KeyError:
-            group = "other"
-        return MissRateResult(
-            benchmark=benchmark,
-            group=group,
-            lru_miss_rate=lru_stats.demand_miss_rate,
-            miss_rates=rates,
-            belady_miss_rate=belady_rate,
-            total_hits=hits,
-            belady_total_hits=belady_hits,
-        )
-
+    kwargs = dict(config=config, policies=policies, include_belady=include_belady)
+    if jobs > 1:
+        compute = functools.partial(_missrate_benchmark, store=cache.store, **kwargs)
+    else:
+        compute = functools.partial(_missrate_benchmark, cache=cache, **kwargs)
     if runner is None:
-        return [compute(benchmark) for benchmark in benchmarks]
+        return parallel_map(compute, benchmarks, jobs=jobs)
     report = runner.run(
         benchmarks,
         compute,
         serialize=asdict,
         deserialize=lambda payload: MissRateResult(**payload),
+        jobs=jobs,
     )
     return report.results(benchmarks)
 

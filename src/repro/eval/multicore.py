@@ -10,9 +10,11 @@ count here is configurable (benchmarks default to a reduced count).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from ..cpu.system import MultiCoreSystem, SingleCoreSystem
+from ..perf.parallel import parallel_map
 from ..policies.registry import make_policy
 from ..traces.mixes import WorkloadMix, make_mixes
 from .missrate import CONTENDERS
@@ -66,6 +68,33 @@ def _weighted_ipc(
     return weighted
 
 
+def _single_ipc(
+    benchmark: str, *, config: ExperimentConfig, cores: int
+) -> tuple[str, float]:
+    """One benchmark alone on the shared-size cache (pool-worker safe)."""
+    cache = ArtifactCache(config)
+    system = SingleCoreSystem(config.hierarchy(cores=cores), make_policy("lru"))
+    return benchmark, system.run(cache.trace(benchmark)).ipc
+
+
+def _mix_task(
+    mix: WorkloadMix,
+    *,
+    config: ExperimentConfig,
+    policies: tuple[str, ...],
+    quota: int,
+    single_ipcs: dict[str, float],
+) -> MixResult:
+    """One S-curve point: a mix under LRU and every contender."""
+    cache = ArtifactCache(config)
+    lru_weighted = _weighted_ipc(config, cache, mix, "lru", quota, single_ipcs)
+    speedups: dict[str, float] = {}
+    for policy in policies:
+        weighted = _weighted_ipc(config, cache, mix, policy, quota, single_ipcs)
+        speedups[policy] = 100.0 * (weighted / max(1e-9, lru_weighted) - 1.0)
+    return MixResult(mix=mix, weighted_speedup_percent=speedups)
+
+
 def weighted_speedup_sweep(
     config: ExperimentConfig = DEFAULT,
     num_mixes: int = 12,
@@ -74,27 +103,37 @@ def weighted_speedup_sweep(
     quota: int | None = None,
     cache: ArtifactCache | None = None,
     seed: int = 42,
+    jobs: int = 1,
 ) -> list[MixResult]:
-    """Reproduce Figure 13 (sorted per-policy, it forms the S-curves)."""
-    cache = cache or ArtifactCache(config)
+    """Reproduce Figure 13 (sorted per-policy, it forms the S-curves).
+
+    Mixes are mutually independent once the single-core reference IPCs
+    exist, so with ``jobs > 1`` both the reference runs and the mixes
+    fan out across a process pool with bit-identical results.
+    """
     mixes = make_mixes(num_mixes, cores=cores, seed=seed)
     quota = quota or max(10_000, config.trace_length // 4)
     # Single-core reference IPCs: each benchmark alone on the shared cache
     # (paper: "its IPC when executing in isolation on the same cache").
     needed = sorted({b for mix in mixes for b in mix.benchmarks})
-    single_ipcs: dict[str, float] = {}
-    for benchmark in needed:
-        system = SingleCoreSystem(config.hierarchy(cores=cores), make_policy("lru"))
-        single_ipcs[benchmark] = system.run(cache.trace(benchmark)).ipc
-    results: list[MixResult] = []
-    for mix in mixes:
-        lru_weighted = _weighted_ipc(config, cache, mix, "lru", quota, single_ipcs)
-        speedups: dict[str, float] = {}
-        for policy in policies:
-            weighted = _weighted_ipc(config, cache, mix, policy, quota, single_ipcs)
-            speedups[policy] = 100.0 * (weighted / max(1e-9, lru_weighted) - 1.0)
-        results.append(MixResult(mix=mix, weighted_speedup_percent=speedups))
-    return results
+    single_ipcs = dict(
+        parallel_map(
+            functools.partial(_single_ipc, config=config, cores=cores),
+            needed,
+            jobs=jobs,
+        )
+    )
+    return parallel_map(
+        functools.partial(
+            _mix_task,
+            config=config,
+            policies=policies,
+            quota=quota,
+            single_ipcs=single_ipcs,
+        ),
+        mixes,
+        jobs=jobs,
+    )
 
 
 def summarize_mixes(results: list[MixResult]) -> dict[str, float]:

@@ -190,10 +190,22 @@ class ArtifactCache:
             if cached is not None:
                 self._streams[benchmark] = _stream_from_arrays(*cached)
                 return self._streams[benchmark]
+            # Cross-process dedup: when another worker is already filtering
+            # this stream, wait for its artifact instead of recomputing.
+            with self.store.single_flight(benchmark, "llc_stream", digest) as owner:
+                if not owner:
+                    cached = self.store.get(benchmark, "llc_stream", digest)
+                    if cached is not None:
+                        self._streams[benchmark] = _stream_from_arrays(*cached)
+                        return self._streams[benchmark]
+                stream = filter_to_llc_stream(
+                    self.trace(benchmark), self.config.hierarchy()
+                )
+                arrays, meta = _stream_to_arrays(stream)
+                self.store.put(benchmark, "llc_stream", digest, arrays, meta)
+            self._streams[benchmark] = stream
+            return stream
         stream = filter_to_llc_stream(self.trace(benchmark), self.config.hierarchy())
-        if self.store is not None:
-            arrays, meta = _stream_to_arrays(stream)
-            self.store.put(benchmark, "llc_stream", digest, arrays, meta)
         self._streams[benchmark] = stream
         return stream
 
@@ -207,6 +219,22 @@ class ArtifactCache:
             if cached is not None:
                 self._labelled[benchmark] = _labelled_from_arrays(*cached)
                 return self._labelled[benchmark]
+            with self.store.single_flight(benchmark, "labelled", digest) as owner:
+                if not owner:
+                    cached = self.store.get(benchmark, "labelled", digest)
+                    if cached is not None:
+                        self._labelled[benchmark] = _labelled_from_arrays(*cached)
+                        return self._labelled[benchmark]
+                labelled = self._label(benchmark)
+                arrays, meta = _labelled_to_arrays(labelled)
+                self.store.put(benchmark, "labelled", digest, arrays, meta)
+            self._labelled[benchmark] = labelled
+            return labelled
+        labelled = self._label(benchmark)
+        self._labelled[benchmark] = labelled
+        return labelled
+
+    def _label(self, benchmark: str) -> LabelledTrace:
         stream = self.llc_stream(benchmark)
         hierarchy = self.config.hierarchy()
         llc_trace = stream.to_trace()
@@ -219,10 +247,6 @@ class ArtifactCache:
             llc_trace, hierarchy.llc.num_sets, hierarchy.llc.associativity
         )
         labelled.metadata.update(copy.deepcopy(stream.metadata))
-        if self.store is not None:
-            arrays, meta = _labelled_to_arrays(labelled)
-            self.store.put(benchmark, "labelled", digest, arrays, meta)
-        self._labelled[benchmark] = labelled
         return labelled
 
     def clear(self) -> None:

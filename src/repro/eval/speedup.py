@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import asdict, dataclass
 
 from ..cpu.system import SingleCoreSystem
+from ..perf.parallel import parallel_map
 from ..policies.registry import make_policy
 from ..robust.suite import RobustSuiteRunner
 from ..traces.suite import suite_group
@@ -34,43 +36,53 @@ class SpeedupResult:
         return row
 
 
+def _speedup_benchmark(
+    benchmark: str,
+    *,
+    config: ExperimentConfig,
+    policies: tuple[str, ...],
+) -> SpeedupResult:
+    """One Figure 12 row (module-level so it pickles into pool workers;
+    timing runs consume the raw trace, so no artifact cache is needed)."""
+    cache = ArtifactCache(config)
+    trace = cache.trace(benchmark)
+    lru = SingleCoreSystem(config.hierarchy(), make_policy("lru")).run(trace)
+    ipcs: dict[str, float] = {}
+    for policy in policies:
+        result = SingleCoreSystem(config.hierarchy(), make_policy(policy)).run(trace)
+        ipcs[policy] = result.ipc
+    try:
+        group = suite_group(benchmark)
+    except KeyError:
+        group = "other"
+    return SpeedupResult(benchmark=benchmark, group=group, lru_ipc=lru.ipc, ipcs=ipcs)
+
+
 def single_core_speedup(
     config: ExperimentConfig = DEFAULT,
     benchmarks: tuple[str, ...] | None = None,
     policies: tuple[str, ...] = CONTENDERS,
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
+    jobs: int = 1,
 ) -> list[SpeedupResult]:
     """Reproduce Figure 12: full-hierarchy timing runs per policy.
 
     With a ``runner``, per-benchmark failures degrade gracefully (see
-    :func:`repro.eval.missrate.miss_rate_reduction`).
+    :func:`repro.eval.missrate.miss_rate_reduction`).  With ``jobs > 1``
+    the benchmarks fan out across a process pool with bit-identical
+    results (traces are regenerated deterministically per worker).
     """
-    cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
-
-    def compute(benchmark: str) -> SpeedupResult:
-        trace = cache.trace(benchmark)
-        lru = SingleCoreSystem(config.hierarchy(), make_policy("lru")).run(trace)
-        ipcs: dict[str, float] = {}
-        for policy in policies:
-            result = SingleCoreSystem(config.hierarchy(), make_policy(policy)).run(trace)
-            ipcs[policy] = result.ipc
-        try:
-            group = suite_group(benchmark)
-        except KeyError:
-            group = "other"
-        return SpeedupResult(
-            benchmark=benchmark, group=group, lru_ipc=lru.ipc, ipcs=ipcs
-        )
-
+    compute = functools.partial(_speedup_benchmark, config=config, policies=policies)
     if runner is None:
-        return [compute(benchmark) for benchmark in benchmarks]
+        return parallel_map(compute, benchmarks, jobs=jobs)
     report = runner.run(
         benchmarks,
         compute,
         serialize=asdict,
         deserialize=lambda payload: SpeedupResult(**payload),
+        jobs=jobs,
     )
     return report.results(benchmarks)
 

@@ -1,0 +1,23 @@
+"""Performance subsystem: parallel experiment matrices and benchmarking.
+
+Layer 2 of the fast-path work (Layer 1 is :mod:`repro.cache.fastsim`):
+
+* :mod:`repro.perf.parallel` — fan the (benchmark x policy) experiment
+  grid out across worker processes with deterministic per-task seeding.
+* :mod:`repro.perf.bench` — the ``repro.eval bench`` subcommand: time
+  the stream-filter / replay / end-to-end stages on both engines and
+  record the perf trajectory in ``BENCH_sim.json``.
+"""
+
+from .bench import BENCH_SCHEMA, run_bench, validate_bench
+from .parallel import ExperimentMatrix, parallel_map, run_matrix, task_seed
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "ExperimentMatrix",
+    "parallel_map",
+    "run_bench",
+    "run_matrix",
+    "task_seed",
+    "validate_bench",
+]

@@ -1,0 +1,202 @@
+"""The ``repro.eval bench`` subcommand: measure the simulation fast path.
+
+Times the pipeline's three hot stages on both engines and records the
+numbers in ``BENCH_sim.json`` so perf regressions are visible in CI and
+the speedup claims in EXPERIMENTS.md stay tied to measurements:
+
+* **filter** — trace -> LLC stream, reference object hierarchy vs the
+  vectorized :func:`~repro.cache.fastsim.fast_filter_to_llc_stream`;
+* **replay** — LLC stream -> stats for every fast-path policy,
+  reference vs array kernel (results asserted equal before timing is
+  trusted);
+* **matrix** — a Figure 11-style (benchmark x policy) grid end-to-end,
+  sequentially and with ``--jobs N`` workers (demand miss rates
+  asserted bit-identical across the two runs).
+
+Every timing is the **best of ``repeats``** wall-clock measurements
+(minimum is the standard estimator for "how fast can this go" because
+scheduling noise only ever adds time).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, replace
+from pathlib import Path
+
+from ..cache.fastsim import FAST_PATH_POLICIES, reference_replay, replay
+from ..cache.hierarchy import filter_to_llc_stream
+from ..traces.io import atomic_write_text
+from .parallel import run_matrix
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "validate_bench"]
+
+#: Schema identifier stamped into every BENCH_sim.json.
+BENCH_SCHEMA = "repro.perf.bench/v1"
+
+#: Figure 11-style grid used for the end-to-end stage.
+_MATRIX_BENCHMARKS = ("mcf", "omnetpp", "lbm")
+_MATRIX_POLICIES = ("lru", "srrip", "hawkeye")
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _counters(stats) -> tuple:
+    return (
+        stats.demand_hits,
+        stats.demand_misses,
+        stats.writeback_hits,
+        stats.writeback_misses,
+        stats.bypasses,
+        stats.evictions,
+        stats.dirty_evictions,
+    )
+
+
+def _stream_fingerprint(stream) -> tuple:
+    return (
+        stream.pcs.tobytes(),
+        stream.addresses.tobytes(),
+        stream.kinds.tobytes(),
+        stream.cores.tobytes(),
+        stream.l1_hits,
+        stream.l2_hits,
+    )
+
+
+def run_bench(
+    config=None,
+    *,
+    benchmark: str = "mcf",
+    jobs: int = 2,
+    repeats: int = 3,
+    quick: bool = False,
+    out: str | Path | None = "BENCH_sim.json",
+) -> dict:
+    """Run the three-stage perf benchmark; returns (and writes) the report.
+
+    ``quick`` shrinks the trace and drops to one repeat so the whole run
+    fits in a CI smoke job; the schema of the report is identical.
+    """
+    from ..eval.runner import QUICK, ArtifactCache
+
+    config = config or QUICK
+    if quick:
+        config = replace(config, trace_length=min(config.trace_length, 12_000))
+        repeats = 1
+    hierarchy = config.hierarchy()
+    cache = ArtifactCache(config)
+    trace = cache.trace(benchmark)
+
+    report: dict = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "benchmark": benchmark,
+        "repeats": repeats,
+        "config": asdict(config),
+        "fast_path_policies": list(FAST_PATH_POLICIES),
+    }
+
+    # -- stage 1: trace -> LLC stream ----------------------------------------
+    ref_s, ref_stream = _best_of(
+        lambda: filter_to_llc_stream(trace, hierarchy, engine="reference"), repeats
+    )
+    fast_s, fast_stream = _best_of(
+        lambda: filter_to_llc_stream(trace, hierarchy, engine="fast"), repeats
+    )
+    if _stream_fingerprint(ref_stream) != _stream_fingerprint(fast_stream):
+        raise AssertionError("fast filter diverged from reference (bench aborted)")
+    report["filter"] = {
+        "accesses": len(trace),
+        "stream_length": len(ref_stream),
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
+    }
+    stream = fast_stream
+
+    # -- stage 2: LLC replay per fast-path policy ----------------------------
+    report["replay"] = {}
+    for policy in FAST_PATH_POLICIES:
+        ref_s, ref_stats = _best_of(
+            lambda p=policy: reference_replay(stream, p, hierarchy), repeats
+        )
+        fast_s, fast_stats = _best_of(
+            lambda p=policy: replay(stream, p, hierarchy, engine="fast"), repeats
+        )
+        if _counters(ref_stats) != _counters(fast_stats):
+            raise AssertionError(f"engine mismatch for {policy!r} (bench aborted)")
+        report["replay"][policy] = {
+            "reference_s": ref_s,
+            "fast_s": fast_s,
+            "speedup": ref_s / fast_s if fast_s > 0 else float("inf"),
+        }
+
+    # -- stage 3: end-to-end matrix, sequential vs --jobs --------------------
+    seq_s, seq_matrix = _best_of(
+        lambda: run_matrix(
+            _MATRIX_BENCHMARKS, _MATRIX_POLICIES, config, jobs=1
+        ),
+        1,
+    )
+    par_s, par_matrix = _best_of(
+        lambda: run_matrix(
+            _MATRIX_BENCHMARKS, _MATRIX_POLICIES, config, jobs=jobs
+        ),
+        1,
+    )
+    if seq_matrix.demand_miss_rates() != par_matrix.demand_miss_rates():
+        raise AssertionError("parallel matrix diverged from sequential (bench aborted)")
+    report["matrix"] = {
+        "benchmarks": list(_MATRIX_BENCHMARKS),
+        "policies": list(_MATRIX_POLICIES),
+        "jobs": jobs,
+        "sequential_s": seq_s,
+        "parallel_s": par_s,
+        "speedup": seq_s / par_s if par_s > 0 else float("inf"),
+    }
+
+    if out is not None:
+        atomic_write_text(Path(out), json.dumps(report, indent=1))
+    return report
+
+
+def validate_bench(report: dict) -> list[str]:
+    """Structural check of a BENCH_sim.json report; returns problems found.
+
+    Used by the CI perf-smoke job: an empty list means the report is
+    well-formed (schema, all three stages, positive timings, replay
+    entries for every fast-path policy).
+    """
+    problems: list[str] = []
+    if report.get("schema") != BENCH_SCHEMA:
+        problems.append(f"schema != {BENCH_SCHEMA}")
+    for stage in ("filter", "replay", "matrix"):
+        if stage not in report:
+            problems.append(f"missing stage {stage!r}")
+    for policy in report.get("fast_path_policies", []):
+        entry = report.get("replay", {}).get(policy)
+        if entry is None:
+            problems.append(f"no replay timing for {policy!r}")
+        elif not (entry.get("reference_s", 0) > 0 and entry.get("fast_s", 0) > 0):
+            problems.append(f"non-positive replay timing for {policy!r}")
+    fil = report.get("filter", {})
+    if fil and not (fil.get("reference_s", 0) > 0 and fil.get("fast_s", 0) > 0):
+        problems.append("non-positive filter timing")
+    mat = report.get("matrix", {})
+    if mat and not (mat.get("sequential_s", 0) > 0 and mat.get("parallel_s", 0) > 0):
+        problems.append("non-positive matrix timing")
+    return problems

@@ -1,0 +1,144 @@
+"""Parallel experiment-matrix runner (``repro.perf.parallel``).
+
+The paper's evaluation is a (benchmark x policy) grid — 33 workloads
+by 6+ policies in Sections 5.2-5.4 — and every cell is independent
+once the per-benchmark LLC stream exists.  This module fans that grid
+out across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* :func:`parallel_map` — order-preserving process-pool map used by the
+  per-benchmark experiment drivers (``--jobs N`` on the eval CLI).
+  ``jobs <= 1`` degrades to a plain loop, so sequential and parallel
+  runs share one code path and produce bit-identical results.
+* :func:`run_matrix` — explicit grid runner returning an
+  :class:`ExperimentMatrix` of :class:`~repro.cache.stats.CacheStats`
+  per cell, at ``"benchmark"`` granularity (one task per benchmark,
+  stream computed once, every policy replayed on it) or ``"cell"``
+  granularity (one task per grid cell; pair with a disk
+  :class:`~repro.robust.store.ArtifactStore` so the stream is computed
+  once under the store's single-flight guard instead of once per cell).
+* :func:`task_seed` — deterministic per-task seed derivation, so a
+  task's stochastic components depend only on its (benchmark, policy,
+  base-seed) identity, never on scheduling order or worker identity.
+
+Determinism: every worker rebuilds its state from the picklable task
+description (config + names + seeds); nothing is inherited from parent
+mutable state.  A parallel run therefore yields exactly the results of
+the sequential run, in the same order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..cache.stats import CacheStats
+
+__all__ = ["ExperimentMatrix", "parallel_map", "run_matrix", "task_seed"]
+
+
+def task_seed(*parts, base: int = 0) -> int:
+    """Derive a deterministic 63-bit seed from task identity.
+
+    ``task_seed("mcf", "brrip", base=config.seed)`` is a pure function
+    of its arguments — stable across processes, Python hash
+    randomisation, and scheduling order.
+    """
+    payload = "\x1f".join(str(part) for part in parts).encode()
+    digest = hashlib.sha256(payload).digest()
+    return (int.from_bytes(digest[:8], "little") ^ base) & (2**63 - 1)
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+    """Map ``fn`` over ``items``, preserving order.
+
+    With ``jobs > 1``, runs on a process pool — ``fn`` and every item
+    must be picklable (use a module-level function or a
+    ``functools.partial`` of one).  With ``jobs <= 1`` it is a plain
+    loop with identical semantics.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- the (benchmark x policy) grid -------------------------------------------
+
+
+@dataclass
+class ExperimentMatrix:
+    """Replay stats for every (benchmark, policy) cell of a grid."""
+
+    benchmarks: tuple[str, ...]
+    policies: tuple[str, ...]
+    cells: dict[tuple[str, str], CacheStats] = field(default_factory=dict)
+
+    def stats(self, benchmark: str, policy: str) -> CacheStats:
+        return self.cells[(benchmark, policy)]
+
+    def demand_miss_rates(self) -> dict[tuple[str, str], float]:
+        return {key: s.demand_miss_rate for key, s in self.cells.items()}
+
+
+def _matrix_benchmark_task(args) -> tuple[str, dict[str, CacheStats]]:
+    """One benchmark: build/load its stream once, replay every policy."""
+    benchmark, policies, config, store, engine = args
+    from ..cache.fastsim import replay
+    from ..eval.runner import ArtifactCache
+    from ..policies.belady_policy import BeladyPolicy
+
+    cache = ArtifactCache(config, store=store)
+    stream = cache.llc_stream(benchmark)
+    hierarchy = config.hierarchy()
+    out: dict[str, CacheStats] = {}
+    for policy in policies:
+        spec = BeladyPolicy.from_stream(stream) if policy == "belady" else policy
+        out[policy] = replay(stream, spec, hierarchy, engine=engine)
+    return benchmark, out
+
+
+def _matrix_cell_task(args) -> tuple[str, dict[str, CacheStats]]:
+    """One (benchmark, policy) cell (stream via the artifact store)."""
+    benchmark, policies, config, store, engine = args
+    return _matrix_benchmark_task((benchmark, policies, config, store, engine))
+
+
+def run_matrix(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    config=None,
+    *,
+    jobs: int = 1,
+    store=None,
+    engine: str = "auto",
+    granularity: str = "benchmark",
+) -> ExperimentMatrix:
+    """Replay the full (benchmark x policy) grid, optionally in parallel.
+
+    ``policies`` are registry names plus the pseudo-policy ``"belady"``
+    (the offline MIN bound, built from each benchmark's own stream).
+    ``store`` is an :class:`~repro.robust.store.ArtifactStore` (or path)
+    shared by the workers; its atomic writes plus single-flight lock
+    make concurrent same-stream fills compute-once.
+    """
+    from ..eval.runner import DEFAULT
+
+    config = config or DEFAULT
+    benchmarks = tuple(benchmarks)
+    policies = tuple(policies)
+    if granularity == "benchmark":
+        tasks = [(b, policies, config, store, engine) for b in benchmarks]
+        worker = _matrix_benchmark_task
+    elif granularity == "cell":
+        tasks = [(b, (p,), config, store, engine) for b in benchmarks for p in policies]
+        worker = _matrix_cell_task
+    else:
+        raise ValueError(f"unknown granularity {granularity!r}")
+    matrix = ExperimentMatrix(benchmarks=benchmarks, policies=policies)
+    for benchmark, stats_by_policy in parallel_map(worker, tasks, jobs=jobs):
+        for policy, stats in stats_by_policy.items():
+            matrix.cells[(benchmark, policy)] = stats
+    return matrix

@@ -19,9 +19,13 @@ from __future__ import annotations
 import hashlib
 import io as _io
 import json
+import os
 import re
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
@@ -74,6 +78,10 @@ class StoreStats:
     misses: int = 0
     writes: int = 0
     quarantined: int = 0
+    #: single-flight: locks acquired as the computing owner / waits spent
+    #: behind another process's in-flight computation.
+    flights_led: int = 0
+    flights_followed: int = 0
 
 
 @dataclass
@@ -169,6 +177,78 @@ class ArtifactStore:
     def has(self, benchmark: str, stage: str, digest: str) -> bool:
         entry = self._entry(benchmark, stage, digest)
         return entry.payload.exists() and entry.sidecar.exists()
+
+    # -- single-flight -------------------------------------------------------
+    def _lock_path(self, benchmark: str, stage: str, digest: str) -> Path:
+        entry = self._entry(benchmark, stage, digest)
+        return entry.payload.parent / (entry.payload.stem + ".lock")
+
+    @staticmethod
+    def _lock_is_stale(lock: Path, stale_after: float) -> bool:
+        """A lock whose owner died, or that outlived ``stale_after``."""
+        try:
+            content = lock.read_text().split()
+            pid = int(content[0])
+            age = time.time() - lock.stat().st_mtime
+        except (OSError, ValueError, IndexError):
+            # Vanished (owner finished) or unreadable: treat as released.
+            return True
+        if age > stale_after:
+            return True
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except PermissionError:
+            pass  # alive, owned by someone else
+        return False
+
+    @contextmanager
+    def single_flight(
+        self,
+        benchmark: str,
+        stage: str,
+        digest: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+        stale_after: float = 300.0,
+    ) -> Iterator[bool]:
+        """Best-effort cross-process dedup of one artifact computation.
+
+        Yields True when this process holds the fill lock (caller
+        computes and :meth:`put`s while inside the ``with`` block), and
+        False after waiting for another process's in-flight computation
+        — the caller then re-:meth:`get`s, and *recomputes anyway* on a
+        miss.  That fallback makes the guard best-effort: a stale lock
+        (dead owner PID, or older than ``stale_after`` seconds) or a
+        wait past ``timeout`` costs a duplicate computation, never a
+        deadlock or a lost result.  Correctness under duplicates is
+        already guaranteed by the store's atomic same-content writes;
+        this lock only removes the wasted work.
+        """
+        lock = self._lock_path(benchmark, stage, digest)
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            fd = None
+        if fd is not None:
+            self.stats.flights_led += 1
+            try:
+                os.write(fd, f"{os.getpid()} {time.time():.3f}\n".encode())
+                os.close(fd)
+                yield True
+            finally:
+                lock.unlink(missing_ok=True)
+            return
+        self.stats.flights_followed += 1
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.has(benchmark, stage, digest):
+                break
+            if self._lock_is_stale(lock, stale_after):
+                break
+            time.sleep(poll_interval)
+        yield False
 
     # -- maintenance ---------------------------------------------------------
     def _quarantine(self, entry: _Entry, reason: str) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import time
 import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -85,6 +86,31 @@ class SuiteReport:
         return "; ".join(parts)
 
 
+def _pool_benchmark_worker(args) -> tuple[str, str, Any, int]:
+    """One benchmark's attempts inside a worker process (module-level so
+    it pickles).  Returns (benchmark, "ok"|"fail", payload, attempts)
+    where the failure payload is an ``asdict``'d BenchmarkFailure."""
+    compute, benchmark, retry_policy, fault_plan = args
+    retrier = Retrier(retry_policy)
+    try:
+        result = None
+        for attempt in retrier:
+            with attempt:
+                if fault_plan is not None:
+                    fault_plan.maybe_fail(benchmark)
+                result = compute(benchmark)
+        return benchmark, "ok", result, retrier.attempts_made
+    except Exception as error:  # noqa: BLE001 — degrade, don't abort
+        failure = BenchmarkFailure(
+            benchmark=benchmark,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=retrier.attempts_made,
+            traceback=traceback.format_exc(),
+        )
+        return benchmark, "fail", asdict(failure), retrier.attempts_made
+
+
 class RobustSuiteRunner:
     """Run per-benchmark work with retries, failure capture, and resume.
 
@@ -140,6 +166,7 @@ class RobustSuiteRunner:
         compute: Callable[[str], Any],
         serialize: Callable[[Any], Any] | None = None,
         deserialize: Callable[[Any], Any] | None = None,
+        jobs: int = 1,
     ) -> SuiteReport:
         """Map ``compute`` over ``benchmarks`` with full fault handling.
 
@@ -147,11 +174,22 @@ class RobustSuiteRunner:
         JSON-safe payloads checkpointed in the manifest; without them,
         results are stored as-is (they must then be JSON-serialisable
         for the manifest to be written).
+
+        With ``jobs > 1``, benchmarks run on a process pool: ``compute``
+        must then be picklable (a module-level function or a partial of
+        one), retries run inside each worker, the manifest is
+        checkpointed in the parent as results land, and the report is
+        assembled in suite order so a parallel run is indistinguishable
+        from a sequential one.
         """
         serialize = serialize or (lambda result: result)
         deserialize = deserialize or (lambda payload: payload)
         manifest = self._load_manifest()
         report = SuiteReport()
+        if jobs > 1:
+            return self._run_parallel(
+                benchmarks, compute, serialize, deserialize, manifest, report, jobs
+            )
 
         for benchmark in benchmarks:
             if benchmark in manifest["done"]:
@@ -205,5 +243,76 @@ class RobustSuiteRunner:
             manifest["failed"].pop(benchmark, None)
             self._save_manifest(manifest)
 
+        self.last_report = report
+        return report
+
+    def _run_parallel(
+        self,
+        benchmarks: Sequence[str],
+        compute: Callable[[str], Any],
+        serialize: Callable[[Any], Any],
+        deserialize: Callable[[Any], Any],
+        manifest: dict,
+        report: SuiteReport,
+        jobs: int,
+    ) -> SuiteReport:
+        """Process-pool body of :meth:`run` (jobs > 1).
+
+        The deadline budget is enforced at submission time in the
+        parent (a benchmark whose submission happens after expiry is
+        recorded as a deadline failure without running); work already in
+        flight when the budget runs out completes and is kept, matching
+        the sequential runner's "never throw away finished work" rule.
+        """
+        pending: list[str] = []
+        outcomes: dict[str, tuple[str, Any]] = {}
+        for benchmark in benchmarks:
+            if benchmark in manifest["done"]:
+                report.completed[benchmark] = deserialize(manifest["done"][benchmark])
+                report.resumed.append(benchmark)
+            elif self.budget is not None and self.budget.expired:
+                report.deadline_hit = True
+                outcomes[benchmark] = (
+                    "fail",
+                    asdict(
+                        BenchmarkFailure(
+                            benchmark=benchmark,
+                            error_type="DeadlineExceeded",
+                            message="suite deadline exhausted before benchmark ran",
+                            attempts=0,
+                        )
+                    ),
+                )
+            else:
+                pending.append(benchmark)
+        if pending:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = [
+                    pool.submit(
+                        _pool_benchmark_worker,
+                        (compute, benchmark, self.retry_policy, self.fault_plan),
+                    )
+                    for benchmark in pending
+                ]
+                for future in as_completed(futures):
+                    benchmark, status, payload, _attempts = future.result()
+                    outcomes[benchmark] = (status, payload)
+                    if status == "ok":
+                        manifest["done"][benchmark] = serialize(payload)
+                        manifest["failed"].pop(benchmark, None)
+                    else:
+                        manifest["failed"][benchmark] = payload
+                    self._save_manifest(manifest)
+        for benchmark in benchmarks:  # suite order, like the sequential path
+            if benchmark not in outcomes:
+                continue
+            status, payload = outcomes[benchmark]
+            if status == "ok":
+                report.completed[benchmark] = payload
+            else:
+                failure = BenchmarkFailure(**payload)
+                report.failures.append(failure)
+                if failure.error_type == "DeadlineExceeded":
+                    report.deadline_hit = True
         self.last_report = report
         return report

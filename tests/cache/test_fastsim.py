@@ -1,0 +1,193 @@
+"""Parity of the array-backed fast simulation engine with the reference.
+
+The fast path is only allowed to exist because it is *provably* the
+same simulator: every test here asserts access-by-access equivalence
+(hit/miss, bypass, chosen way, evicted tag, evicted dirtiness) between
+:mod:`repro.cache.fastsim` and the object-based reference engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig, HierarchyConfig, filter_to_llc_stream
+from repro.cache.config import DramConfig, scaled_hierarchy
+from repro.cache.fastsim import (
+    FAST_PATH_POLICIES,
+    fast_path_kernel,
+    reference_replay,
+    replay,
+    verify_parity,
+)
+from repro.cache.hierarchy import LLCStream
+from repro.policies import LRUPolicy
+from repro.policies.registry import available_policies, make_policy
+from repro.traces import Trace
+from repro.traces.suite import get_trace
+
+
+def _synthetic_stream(
+    n: int = 4000,
+    seed: int = 0,
+    line_count: int = 512,
+    writeback_fraction: float = 0.15,
+    name: str = "synthetic",
+) -> LLCStream:
+    """A seeded LLC stream with reuse, stores, and writebacks."""
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, line_count, size=n).astype(np.uint64)
+    addresses = lines * np.uint64(64) + rng.integers(0, 64, size=n).astype(np.uint64)
+    kinds = rng.choice(
+        [LLCStream.KIND_LOAD, LLCStream.KIND_STORE, LLCStream.KIND_WRITEBACK],
+        size=n,
+        p=[0.7 - writeback_fraction, 0.3, writeback_fraction],
+    ).astype(np.int64)
+    return LLCStream(
+        name=name,
+        pcs=rng.integers(0, 64, size=n).astype(np.uint64) * np.uint64(4),
+        addresses=addresses,
+        kinds=kinds,
+        cores=np.zeros(n, dtype=np.int64),
+        line_size=64,
+        source_accesses=n,
+        source_instructions=4 * n,
+        l1_hits=0,
+        l2_hits=0,
+    )
+
+
+def _llc(num_sets: int = 16, associativity: int = 4) -> CacheConfig:
+    return CacheConfig(
+        "LLC", num_sets * associativity * 64, associativity, latency=26
+    )
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+def test_fast_path_parity_on_synthetic_stream(policy):
+    stream = _synthetic_stream(seed=7)
+    verify_parity(stream, policy, _llc())
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+def test_fast_path_parity_on_benchmark_stream(policy):
+    trace = get_trace("mcf", length=6000, llc_lines=256, seed=3)
+    stream = filter_to_llc_stream(trace, scaled_hierarchy(scale=32))
+    verify_parity(stream, policy, scaled_hierarchy(scale=32))
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+@pytest.mark.parametrize(
+    "num_sets,associativity",
+    [(1, 4), (16, 1), (1, 1), (2, 8)],
+    ids=["one-set", "assoc-1", "one-line", "2x8"],
+)
+def test_fast_path_parity_corner_geometries(policy, num_sets, associativity):
+    stream = _synthetic_stream(n=1500, seed=11, line_count=8 * num_sets)
+    verify_parity(stream, policy, _llc(num_sets, associativity))
+
+
+@pytest.mark.parametrize("policy", sorted(available_policies()))
+def test_every_registered_policy_replays_identically(policy):
+    """``engine="auto"`` must agree with the reference for *every* policy —
+    fast-path ones via their kernels, stateful ones via the fallback."""
+    stream = _synthetic_stream(n=2500, seed=5, line_count=256)
+    config = _llc()
+    ref = reference_replay(stream, make_policy(policy), config)
+    auto = replay(stream, make_policy(policy), config, engine="auto")
+    assert (ref.demand_hits, ref.demand_misses, ref.writeback_hits,
+            ref.writeback_misses, ref.bypasses, ref.evictions,
+            ref.dirty_evictions) == (
+        auto.demand_hits, auto.demand_misses, auto.writeback_hits,
+        auto.writeback_misses, auto.bypasses, auto.evictions,
+        auto.dirty_evictions)
+
+
+def test_subclass_never_takes_fast_path():
+    """Dispatch is exact-type: a subclass with different behaviour must
+    fall back to the reference engine, not inherit LRU's kernel."""
+
+    class AntiLRU(LRUPolicy):
+        def victim(self, set_index, request, lines):
+            ways = [w for w, line in enumerate(lines) if line.valid]
+            if not ways:
+                return 0
+            return max(ways, key=lambda w: lines[w].last_touch)
+
+    assert fast_path_kernel(AntiLRU()) is None
+    stream = _synthetic_stream(n=1200, seed=2)
+    ref = reference_replay(stream, AntiLRU(), _llc())
+    auto = replay(stream, AntiLRU(), _llc(), engine="auto")
+    assert ref.demand_hits == auto.demand_hits
+    with pytest.raises(ValueError):
+        replay(stream, AntiLRU(), _llc(), engine="fast")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    n=st.integers(64, 800),
+    line_count=st.integers(4, 256),
+    wb=st.floats(0.0, 0.5),
+    geometry=st.sampled_from([(1, 1), (1, 4), (4, 1), (8, 2), (16, 4)]),
+    policy=st.sampled_from(FAST_PATH_POLICIES),
+)
+def test_parity_property(seed, n, line_count, wb, geometry, policy):
+    """Property: for any stream and geometry, both engines emit the same
+    per-access event sequence for every fast-path policy."""
+    stream = _synthetic_stream(
+        n=n, seed=seed, line_count=line_count, writeback_fraction=wb
+    )
+    verify_parity(stream, policy, _llc(*geometry))
+
+
+def _store_heavy_trace(n: int = 5000, seed: int = 9) -> Trace:
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, 400, size=n).astype(np.uint64)
+    return Trace(
+        name="store-heavy",
+        pcs=rng.integers(0, 48, size=n).astype(np.uint64) * np.uint64(4),
+        addresses=lines * np.uint64(64),
+        is_write=rng.random(n) < 0.5,
+    )
+
+
+@pytest.mark.parametrize(
+    "trace",
+    [
+        get_trace("mcf", length=6000, llc_lines=256, seed=1),
+        get_trace("lbm", length=6000, llc_lines=256, seed=1),
+        _store_heavy_trace(),
+    ],
+    ids=["mcf", "lbm", "store-heavy"],
+)
+def test_fast_filter_matches_reference(trace):
+    config = scaled_hierarchy(scale=32)
+    ref = filter_to_llc_stream(trace, config, engine="reference")
+    fast = filter_to_llc_stream(trace, config, engine="fast")
+    assert np.array_equal(ref.pcs, fast.pcs)
+    assert np.array_equal(ref.addresses, fast.addresses)
+    assert np.array_equal(ref.kinds, fast.kinds)
+    assert np.array_equal(ref.cores, fast.cores)
+    assert ref.l1_hits == fast.l1_hits
+    assert ref.l2_hits == fast.l2_hits
+    assert ref.source_accesses == fast.source_accesses
+    assert ref.source_instructions == fast.source_instructions
+
+
+def test_fast_filter_falls_back_on_mixed_line_sizes():
+    """Differing line sizes across levels are outside the fast filter's
+    contract; the dispatcher must transparently use the reference path."""
+    config = HierarchyConfig(
+        l1=CacheConfig("L1D", 2048, 2, latency=4, line_size=32),
+        l2=CacheConfig("L2", 8192, 4, latency=12),
+        llc=CacheConfig("LLC", 32768, 8, latency=26),
+        dram=DramConfig(latency=100, bandwidth_bytes_per_cycle=4.0),
+    )
+    trace = _store_heavy_trace(n=2000)
+    ref = filter_to_llc_stream(trace, config, engine="reference")
+    auto = filter_to_llc_stream(trace, config, engine="auto")
+    assert np.array_equal(ref.addresses, auto.addresses)
+    assert np.array_equal(ref.kinds, auto.kinds)

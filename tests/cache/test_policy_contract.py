@@ -1,0 +1,125 @@
+"""Regression-pin of the ReplacementPolicy event-stream contract.
+
+The base-class docstring (``repro/cache/policy.py``) promises an
+asymmetric hook contract: ``on_access`` models the demand training
+stream a hardware predictor sees (never writebacks), while the
+per-line hooks (``on_hit``/``victim``/``on_evict``/``on_fill``) fire
+for every access including writebacks.  These tests drive a recording
+policy through each access shape and assert the exact hook sequence,
+so a refactor of the cache core cannot silently change what policies
+observe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig, SetAssociativeCache
+from repro.cache.block import AccessType, CacheRequest
+from repro.cache.policy import ReplacementPolicy
+
+
+class RecordingPolicy(ReplacementPolicy):
+    """LRU-by-insertion policy that logs every hook invocation."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[tuple] = []
+
+    def on_access(self, set_index, request):
+        self.events.append(("on_access", request.access_type))
+
+    def on_hit(self, set_index, way, request):
+        self.events.append(("on_hit", request.access_type))
+
+    def victim(self, set_index, request, ways):
+        self.events.append(("victim", request.access_type))
+        invalid = self.first_invalid(ways)
+        return invalid if invalid is not None else 0
+
+    def on_fill(self, set_index, way, request):
+        self.events.append(("on_fill", request.access_type))
+
+    def on_evict(self, set_index, way, line, request):
+        self.events.append(("on_evict", request.access_type))
+
+
+@pytest.fixture
+def cache() -> SetAssociativeCache:
+    # One set, two ways: every access lands in the same set, so the
+    # hit/miss/evict shape of each scenario is fully controlled.
+    return SetAssociativeCache(
+        CacheConfig("probe", size_bytes=2 * 64, associativity=2, latency=1),
+        RecordingPolicy(),
+    )
+
+
+def _req(line: int, access_type: AccessType, pc: int = 0x40) -> CacheRequest:
+    return CacheRequest(pc=pc, address=line * 64, access_type=access_type)
+
+
+def test_demand_miss_fires_access_victim_fill(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.LOAD))
+    assert policy.events == [
+        ("on_access", AccessType.LOAD),
+        ("victim", AccessType.LOAD),
+        ("on_fill", AccessType.LOAD),
+    ]
+
+
+def test_demand_hit_fires_access_then_hit(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.STORE))
+    policy.events.clear()
+    cache.access(_req(1, AccessType.LOAD))
+    assert policy.events == [
+        ("on_access", AccessType.LOAD),
+        ("on_hit", AccessType.LOAD),
+    ]
+
+
+def test_writeback_hit_skips_on_access_but_fires_on_hit(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.LOAD))
+    policy.events.clear()
+    cache.access(_req(1, AccessType.WRITEBACK))
+    assert policy.events == [("on_hit", AccessType.WRITEBACK)]
+
+
+def test_writeback_miss_allocates_without_on_access(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.WRITEBACK))
+    assert policy.events == [
+        ("victim", AccessType.WRITEBACK),
+        ("on_fill", AccessType.WRITEBACK),
+    ]
+    assert ("on_access", AccessType.WRITEBACK) not in policy.events
+
+
+def test_eviction_hook_fires_for_writeback_displacement(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.LOAD))
+    cache.access(_req(2, AccessType.LOAD))
+    policy.events.clear()
+    # Set is full; a missing writeback must evict (write-allocate) and
+    # the displaced line's on_evict must carry the writeback request.
+    cache.access(_req(3, AccessType.WRITEBACK))
+    assert policy.events == [
+        ("victim", AccessType.WRITEBACK),
+        ("on_evict", AccessType.WRITEBACK),
+        ("on_fill", AccessType.WRITEBACK),
+    ]
+
+
+def test_on_access_precedes_hit_resolution_for_every_demand_kind(cache):
+    policy = cache.policy
+    cache.access(_req(1, AccessType.LOAD))
+    cache.access(_req(1, AccessType.STORE))
+    demand_events = [e for e in policy.events if e[1] != AccessType.WRITEBACK]
+    # Each demand access contributes on_access first, then its outcome.
+    assert demand_events[0][0] == "on_access"
+    assert demand_events[3][0] == "on_access"
+    assert [e[0] for e in policy.events].count("on_access") == 2
