@@ -36,6 +36,7 @@ runs are bit-identical, not merely statistically alike.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -384,6 +385,7 @@ def replay(
     config=None,
     engine: str = "auto",
     record: list | None = None,
+    verify: bool = False,
 ) -> CacheStats:
     """Replay an LLC stream against a policy on the best engine.
 
@@ -393,6 +395,16 @@ def replay(
     scaled hierarchy.  ``engine`` is ``"auto"`` (fast when a kernel
     exists, reference otherwise), ``"fast"`` (error if unsupported), or
     ``"reference"``.
+
+    Graceful degradation: with ``engine="auto"``, an
+    :class:`EngineParityError` raised at runtime — by a self-checking
+    kernel, or by the ``verify=True`` cross-check below — does not
+    propagate; the replay falls back to the reference engine with a
+    :class:`RuntimeWarning`, so a fast-path bug costs speed, never a
+    run.  ``verify=True`` (registry-name policies only) runs *both*
+    engines and checks access-by-access parity — a paranoia mode for
+    long unattended sweeps; with ``engine="fast"`` a parity failure
+    still raises.
     """
     if engine not in ("auto", "fast", "reference"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -403,8 +415,33 @@ def replay(
             name = policy if isinstance(policy, str) else type(policy).__name__
             raise ValueError(f"policy {name!r} has no fast-path kernel")
         return reference_replay(stream, policy, llc, record=record)
+    if verify and not isinstance(policy, str):
+        raise ValueError("verify=True requires a registry-name policy")
     kind, params = kernel
-    return _KERNELS[kind](stream, llc, record, **params)
+    try:
+        if verify:
+            fast_events = record if record is not None else []
+            fast_stats = _KERNELS[kind](stream, llc, fast_events, **params)
+            ref_events: list = []
+            ref_stats = reference_replay(stream, policy, llc, record=ref_events)
+            if fast_events != ref_events or fast_stats != ref_stats:
+                raise EngineParityError(
+                    f"{policy}: fast and reference engines diverged at runtime"
+                )
+            return fast_stats
+        return _KERNELS[kind](stream, llc, record, **params)
+    except EngineParityError as error:
+        if engine == "fast":
+            raise
+        warnings.warn(
+            f"fast engine failed parity ({error}); falling back to the "
+            "reference engine for this replay",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if record is not None:
+            record.clear()
+        return reference_replay(stream, policy, llc, record=record)
 
 
 def verify_parity(stream, policy_name: str, config=None) -> tuple[CacheStats, CacheStats]:

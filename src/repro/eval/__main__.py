@@ -16,8 +16,12 @@ partial aggregates (with a resume manifest under the store); ``--fail
 "mcf,lbm:2"`` injects benchmark failures to drill the machinery.
 
 Performance: ``--jobs N`` fans the per-benchmark work of
-fig9/fig10/fig11/fig12/fig13 across N worker processes (bit-identical
-results; pair with ``--store`` so streams are filtered once).  The
+fig9/fig10/fig11/fig12/fig13 across N supervised worker processes
+(bit-identical results; pair with ``--store`` so streams are filtered
+once).  ``--task-timeout`` puts a wall-clock deadline on each task,
+``--max-pool-restarts`` bounds pool recycling after worker crashes, and
+``--no-degrade`` turns the sequential fallback into a hard error; a
+crash journal (JSONL) lands next to the resume manifest.  The
 ``bench`` subcommand times the filter/replay/matrix stages on both
 simulation engines and writes ``BENCH_sim.json`` (``--quick`` for the
 CI smoke variant, ``--out`` to choose the path).
@@ -31,6 +35,7 @@ from pathlib import Path
 from ..robust.faults import BenchmarkFaultPlan
 from ..robust.retry import DeadlineBudget, RetryPolicy
 from ..robust.suite import RobustSuiteRunner
+from ..robust.supervise import SuperviseConfig
 from .accuracy import offline_accuracy, online_accuracy
 from .attention_analysis import attention_cdf, attention_heatmap
 from .convergence import convergence_curves
@@ -92,6 +97,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--deadline", type=float, default=None, help="suite deadline budget, seconds"
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="per-task wall-clock deadline in worker pools (--jobs > 1)",
+    )
+    parser.add_argument(
+        "--max-pool-restarts", type=int, default=2, metavar="N",
+        help="pool recreations after worker crashes before degrading",
+    )
+    parser.add_argument(
+        "--no-degrade", action="store_true",
+        help="raise instead of falling back to sequential after repeated pool breakage",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
@@ -104,6 +121,19 @@ def main(argv: list[str] | None = None) -> int:
     cache = ArtifactCache(config, store=args.store)
     subset = _benchmarks(args)
 
+    supervise = SuperviseConfig(
+        task_timeout=args.task_timeout,
+        max_pool_restarts=args.max_pool_restarts,
+        degrade=not args.no_degrade,
+    )
+    journal = None
+    if args.store:
+        journal = Path(args.store) / f"journal-{args.experiment}.jsonl"
+    repro_command = (
+        f"PYTHONPATH=src python -m repro.eval {args.experiment}"
+        f" --length {args.length} --benchmarks {{task}}"
+    )
+
     runner = None
     if args.robust or args.fail:
         manifest = None
@@ -114,6 +144,9 @@ def main(argv: list[str] | None = None) -> int:
             manifest_path=manifest,
             budget=DeadlineBudget(args.deadline) if args.deadline else None,
             fault_plan=args.fail,
+            supervise=supervise,
+            journal_path=journal,
+            repro_command=repro_command,
         )
 
     if args.experiment == "fig4":
@@ -127,30 +160,34 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table([r.as_row() for r in rows], "Figure 6"))
     elif args.experiment == "fig9":
         rows = offline_accuracy(
-            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
+            supervise=supervise, journal=journal,
         )
         print(format_table([r.as_row() for r in rows], "Figure 9"))
     elif args.experiment == "fig10":
         rows = online_accuracy(
-            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
+            supervise=supervise, journal=journal,
         )
         print(format_table([r.as_row() for r in rows], "Figure 10"))
     elif args.experiment == "fig11":
         results = miss_rate_reduction(
             config, benchmarks=subset, include_belady=True, cache=cache,
-            runner=runner, jobs=args.jobs,
+            runner=runner, jobs=args.jobs, supervise=supervise, journal=journal,
         )
         print(format_table([r.as_row() for r in results], "Figure 11"))
         print(format_table(summarize_by_group(results)))
     elif args.experiment == "fig12":
         results = single_core_speedup(
-            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs
+            config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
+            supervise=supervise, journal=journal,
         )
         print(format_table([r.as_row() for r in results], "Figure 12"))
         print(format_table(summarize_speedups(results)))
     elif args.experiment == "fig13":
         results = weighted_speedup_sweep(
-            config, num_mixes=args.mixes, cache=cache, jobs=args.jobs
+            config, num_mixes=args.mixes, cache=cache, jobs=args.jobs,
+            supervise=supervise, journal=journal,
         )
         print(format_table([r.as_row() for r in results], "Figure 13"))
         print(summarize_mixes(results))

@@ -80,13 +80,16 @@ def offline_accuracy(
     linear_epochs: int = 10,
     runner: RobustSuiteRunner | None = None,
     jobs: int = 1,
+    supervise=None,
+    journal=None,
 ) -> list[OfflineAccuracyResult]:
     """Reproduce Figure 9 (plus the "average" bar, appended last).
 
     With a ``runner``, failing benchmarks degrade to structured failures
     on ``runner.last_report`` and the average covers the completed rows.
-    With ``jobs > 1`` the benchmarks fan out across a process pool with
-    bit-identical results.
+    With ``jobs > 1`` the benchmarks fan out across a supervised process
+    pool (``supervise``/``journal`` tune its watchdogs and crash
+    journal) with bit-identical results.
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.offline_benchmarks
@@ -98,7 +101,10 @@ def offline_accuracy(
     else:
         compute = functools.partial(_offline_accuracy_benchmark, cache=cache, **kwargs)
     if runner is None:
-        results = parallel_map(compute, benchmarks, jobs=jobs)
+        results = parallel_map(
+            compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
+            task_ids=list(benchmarks),
+        )
     else:
         report = runner.run(
             benchmarks,
@@ -165,13 +171,15 @@ def online_accuracy(
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
     jobs: int = 1,
+    supervise=None,
+    journal=None,
 ) -> list[OnlineAccuracyResult]:
     """Reproduce Figure 10: train-while-running accuracy of both predictors.
 
     Accuracy is measured exactly as the policies experience it: each
     sampler-labelled access scores the prediction that was made when the
     line was last touched.  With ``jobs > 1`` the benchmarks fan out
-    across a process pool with bit-identical results.
+    across a supervised process pool with bit-identical results.
     """
     cache = cache or ArtifactCache(config)
     benchmarks = benchmarks or config.suite
@@ -184,7 +192,10 @@ def online_accuracy(
             _online_accuracy_benchmark, config=config, cache=cache
         )
     if runner is None:
-        results = parallel_map(compute, benchmarks, jobs=jobs)
+        results = parallel_map(
+            compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
+            task_ids=list(benchmarks),
+        )
     else:
         report = runner.run(
             benchmarks,

@@ -103,6 +103,8 @@ def miss_rate_reduction(
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
     jobs: int = 1,
+    supervise=None,
+    journal=None,
 ) -> list[MissRateResult]:
     """Reproduce Figure 11 rows; group averages appended at the end.
 
@@ -111,7 +113,9 @@ def miss_rate_reduction(
     (structured failure + resume manifest) while the rest of the suite
     completes — the returned list then holds the completed subset.
 
-    With ``jobs > 1``, benchmarks fan out across a process pool.  The
+    With ``jobs > 1``, benchmarks fan out across a supervised process
+    pool (``supervise``/``journal`` tune its watchdogs and crash
+    journal; a dead or hung worker costs a retry, not the run).  The
     results are bit-identical to the sequential run (workers rebuild
     state deterministically from the config); pair with an on-disk
     store so the expensive stream filter runs once per benchmark
@@ -125,7 +129,10 @@ def miss_rate_reduction(
     else:
         compute = functools.partial(_missrate_benchmark, cache=cache, **kwargs)
     if runner is None:
-        return parallel_map(compute, benchmarks, jobs=jobs)
+        return parallel_map(
+            compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
+            task_ids=list(benchmarks),
+        )
     report = runner.run(
         benchmarks,
         compute,

@@ -104,12 +104,14 @@ def weighted_speedup_sweep(
     cache: ArtifactCache | None = None,
     seed: int = 42,
     jobs: int = 1,
+    supervise=None,
+    journal=None,
 ) -> list[MixResult]:
     """Reproduce Figure 13 (sorted per-policy, it forms the S-curves).
 
     Mixes are mutually independent once the single-core reference IPCs
     exist, so with ``jobs > 1`` both the reference runs and the mixes
-    fan out across a process pool with bit-identical results.
+    fan out across a supervised process pool with bit-identical results.
     """
     mixes = make_mixes(num_mixes, cores=cores, seed=seed)
     quota = quota or max(10_000, config.trace_length // 4)
@@ -121,6 +123,9 @@ def weighted_speedup_sweep(
             functools.partial(_single_ipc, config=config, cores=cores),
             needed,
             jobs=jobs,
+            supervise=supervise,
+            journal=journal,
+            task_ids=list(needed),
         )
     )
     return parallel_map(
@@ -133,6 +138,9 @@ def weighted_speedup_sweep(
         ),
         mixes,
         jobs=jobs,
+        supervise=supervise,
+        journal=journal,
+        task_ids=[mix.name for mix in mixes],
     )
 
 

@@ -65,18 +65,24 @@ def single_core_speedup(
     cache: ArtifactCache | None = None,
     runner: RobustSuiteRunner | None = None,
     jobs: int = 1,
+    supervise=None,
+    journal=None,
 ) -> list[SpeedupResult]:
     """Reproduce Figure 12: full-hierarchy timing runs per policy.
 
     With a ``runner``, per-benchmark failures degrade gracefully (see
     :func:`repro.eval.missrate.miss_rate_reduction`).  With ``jobs > 1``
-    the benchmarks fan out across a process pool with bit-identical
-    results (traces are regenerated deterministically per worker).
+    the benchmarks fan out across a supervised process pool with
+    bit-identical results (traces are regenerated deterministically per
+    worker).
     """
     benchmarks = benchmarks or config.suite
     compute = functools.partial(_speedup_benchmark, config=config, policies=policies)
     if runner is None:
-        return parallel_map(compute, benchmarks, jobs=jobs)
+        return parallel_map(
+            compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
+            task_ids=list(benchmarks),
+        )
     report = runner.run(
         benchmarks,
         compute,

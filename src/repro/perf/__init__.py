@@ -3,7 +3,9 @@
 Layer 2 of the fast-path work (Layer 1 is :mod:`repro.cache.fastsim`):
 
 * :mod:`repro.perf.parallel` — fan the (benchmark x policy) experiment
-  grid out across worker processes with deterministic per-task seeding.
+  grid out across worker processes with deterministic per-task seeding,
+  on the supervised pool of :mod:`repro.robust.supervise` (watchdogs,
+  pool recycling, graceful degradation).
 * :mod:`repro.perf.bench` — the ``repro.eval bench`` subcommand: time
   the stream-filter / replay / end-to-end stages on both engines and
   record the perf trajectory in ``BENCH_sim.json``.

@@ -8,7 +8,13 @@ out across a :class:`~concurrent.futures.ProcessPoolExecutor`:
 * :func:`parallel_map` — order-preserving process-pool map used by the
   per-benchmark experiment drivers (``--jobs N`` on the eval CLI).
   ``jobs <= 1`` degrades to a plain loop, so sequential and parallel
-  runs share one code path and produce bit-identical results.
+  runs share one code path and produce bit-identical results.  The pool
+  is run by a :class:`~repro.robust.supervise.TaskSupervisor`: tasks
+  are submitted individually, watched (deadline + heartbeat), re-queued
+  when a worker dies, and degraded to in-process execution after
+  repeated pool breakage — ``BrokenProcessPool`` never escapes to the
+  caller; a task that ultimately fails raises
+  :class:`~repro.robust.supervise.SupervisedTaskError` instead.
 * :func:`run_matrix` — explicit grid runner returning an
   :class:`ExperimentMatrix` of :class:`~repro.cache.stats.CacheStats`
   per cell, at ``"benchmark"`` granularity (one task per benchmark,
@@ -29,11 +35,17 @@ the sequential run, in the same order.
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from ..cache.stats import CacheStats
+from ..robust.supervise import (
+    CrashJournal,
+    SupervisedTaskError,
+    SuperviseConfig,
+    TaskSupervisor,
+)
 
 __all__ = ["ExperimentMatrix", "parallel_map", "run_matrix", "task_seed"]
 
@@ -50,19 +62,39 @@ def task_seed(*parts, base: int = 0) -> int:
     return (int.from_bytes(digest[:8], "little") ^ base) & (2**63 - 1)
 
 
-def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int = 1,
+    *,
+    supervise: SuperviseConfig | None = None,
+    journal: CrashJournal | str | None = None,
+    task_ids: Sequence[str] | None = None,
+) -> list:
     """Map ``fn`` over ``items``, preserving order.
 
-    With ``jobs > 1``, runs on a process pool — ``fn`` and every item
-    must be picklable (use a module-level function or a
-    ``functools.partial`` of one).  With ``jobs <= 1`` it is a plain
-    loop with identical semantics.
+    With ``jobs > 1``, runs on a supervised process pool — ``fn`` and
+    every item must be picklable (use a module-level function or a
+    ``functools.partial`` of one).  A worker that dies or hangs is
+    killed and its task re-queued on a fresh pool (degrading to
+    in-process execution after repeated breakage), so infrastructure
+    failures cost a retry, not the run; a task that ultimately fails
+    raises :class:`~repro.robust.supervise.SupervisedTaskError` carrying
+    the structured :class:`~repro.robust.supervise.TaskOutcome`.  With
+    ``jobs <= 1`` it is a plain loop with identical result semantics
+    (original exceptions propagate directly).
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    supervisor = TaskSupervisor(supervise, journal=journal)
+    outcomes = supervisor.map(fn, items, jobs=jobs, task_ids=task_ids)
+    results = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise SupervisedTaskError(outcome)
+        results.append(outcome.result)
+    return results
 
 
 # -- the (benchmark x policy) grid -------------------------------------------
@@ -115,6 +147,8 @@ def run_matrix(
     store=None,
     engine: str = "auto",
     granularity: str = "benchmark",
+    supervise: SuperviseConfig | None = None,
+    journal: CrashJournal | str | None = None,
 ) -> ExperimentMatrix:
     """Replay the full (benchmark x policy) grid, optionally in parallel.
 
@@ -122,23 +156,43 @@ def run_matrix(
     (the offline MIN bound, built from each benchmark's own stream).
     ``store`` is an :class:`~repro.robust.store.ArtifactStore` (or path)
     shared by the workers; its atomic writes plus single-flight lock
-    make concurrent same-stream fills compute-once.
+    make concurrent same-stream fills compute-once.  ``"cell"``
+    granularity therefore *requires* a store: without one there is no
+    single-flight guard, every cell would silently recompute its
+    benchmark's stream, and the run falls back to ``"benchmark"``
+    granularity with a warning instead.  ``supervise``/``journal``
+    configure the pool supervisor (see :func:`parallel_map`).
     """
     from ..eval.runner import DEFAULT
 
     config = config or DEFAULT
     benchmarks = tuple(benchmarks)
     policies = tuple(policies)
+    if granularity not in ("benchmark", "cell"):
+        raise ValueError(f"unknown granularity {granularity!r}")
+    if granularity == "cell" and store is None:
+        warnings.warn(
+            "run_matrix(granularity='cell') without a store has no "
+            "single-flight guard and would recompute every benchmark's "
+            "stream once per policy; falling back to granularity="
+            "'benchmark' (pass store=... to keep per-cell tasks)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        granularity = "benchmark"
     if granularity == "benchmark":
         tasks = [(b, policies, config, store, engine) for b in benchmarks]
         worker = _matrix_benchmark_task
-    elif granularity == "cell":
+        ids = [f"{b}" for b in benchmarks]
+    else:
         tasks = [(b, (p,), config, store, engine) for b in benchmarks for p in policies]
         worker = _matrix_cell_task
-    else:
-        raise ValueError(f"unknown granularity {granularity!r}")
+        ids = [f"{b}/{p}" for b in benchmarks for p in policies]
     matrix = ExperimentMatrix(benchmarks=benchmarks, policies=policies)
-    for benchmark, stats_by_policy in parallel_map(worker, tasks, jobs=jobs):
+    rows = parallel_map(
+        worker, tasks, jobs=jobs, supervise=supervise, journal=journal, task_ids=ids
+    )
+    for benchmark, stats_by_policy in rows:
         for policy, stats in stats_by_policy.items():
             matrix.cells[(benchmark, policy)] = stats
     return matrix

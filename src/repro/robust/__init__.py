@@ -14,7 +14,11 @@ makes it survive faults instead of aborting:
 * :mod:`repro.robust.store` — a crash-safe, checksummed, disk-backed
   artifact store with corrupt-entry quarantine;
 * :mod:`repro.robust.suite` — graceful suite degradation: per-benchmark
-  retry, structured failures, partial aggregates, and a resume manifest.
+  retry, structured failures, partial aggregates, and a resume manifest;
+* :mod:`repro.robust.supervise` — supervised process-pool execution:
+  worker watchdogs (deadlines + heartbeats), pool recycling on
+  ``BrokenProcessPool``, poison-task quarantine, sequential
+  degradation, and an append-only crash journal.
 """
 
 from .faults import (
@@ -44,10 +48,26 @@ from .retry import (
 )
 from .store import ArtifactStore, StoreStats
 from .suite import BenchmarkFailure, RobustSuiteRunner, SuiteReport
+from .supervise import (
+    TAXONOMIES,
+    CrashJournal,
+    PoolBrokenError,
+    SupervisedTaskError,
+    SuperviseConfig,
+    TaskOutcome,
+    TaskSupervisor,
+)
 
 __all__ = [
+    "TAXONOMIES",
     "ArtifactStore",
     "BenchmarkFailure",
+    "CrashJournal",
+    "PoolBrokenError",
+    "SupervisedTaskError",
+    "SuperviseConfig",
+    "TaskOutcome",
+    "TaskSupervisor",
     "BenchmarkFaultPlan",
     "DeadlineBudget",
     "DeadlineExceeded",

@@ -13,6 +13,14 @@ instead:
 * checkpoints every completed benchmark's result into an atomic JSON
   *resume manifest*, so a second invocation skips finished work and
   recomputes only what failed (or was never reached).
+
+With ``jobs > 1`` the pool is run by a
+:class:`~repro.robust.supervise.TaskSupervisor`: workers are watched
+(per-task deadlines plus heartbeats), a broken pool is recycled and its
+survivors re-queued, poison benchmarks are quarantined, repeated
+breakage degrades the remainder to in-process sequential execution, and
+every failure lands in a crash journal next to the resume manifest — so
+a SIGKILLed or hung worker costs one benchmark, never the suite.
 """
 
 from __future__ import annotations
@@ -20,7 +28,6 @@ from __future__ import annotations
 import json
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
@@ -28,10 +35,26 @@ from typing import Any, Callable, Sequence
 from ..traces.io import atomic_write_text
 from .faults import BenchmarkFaultPlan
 from .retry import DeadlineBudget, DeadlineExceeded, Retrier, RetryPolicy
+from .supervise import (
+    TAXONOMY_DEADLINE,
+    CrashJournal,
+    SuperviseConfig,
+    TaskOutcome,
+    TaskSupervisor,
+)
 
 __all__ = ["BenchmarkFailure", "RobustSuiteRunner", "SuiteReport"]
 
 _MANIFEST_VERSION = 1
+
+#: BenchmarkFailure.error_type used for supervisor taxonomy classes that
+#: carry no Python exception of their own.
+_TAXONOMY_ERROR_TYPES = {
+    "timeout": "TaskTimeout",
+    "worker-crash": "WorkerCrashed",
+    "poison": "PoisonTask",
+    "deadline": "DeadlineExceeded",
+}
 
 
 @dataclass
@@ -123,6 +146,14 @@ class RobustSuiteRunner:
             benchmarks are recorded as deadline failures without running.
         fault_plan: Injected failures (tests / chaos drills).
         sleep: Injectable sleep for deterministic tests.
+        supervise: Pool-supervision knobs for ``jobs > 1`` (per-task
+            deadline, pool-restart budget, degradation); defaults to
+            :class:`~repro.robust.supervise.SuperviseConfig`'s defaults.
+        journal_path: Crash-journal JSONL location.  Defaults to
+            ``<manifest>.journal.jsonl`` next to the resume manifest
+            (no journal when there is no manifest either).
+        repro_command: ``"...{task}..."`` template stamped into journal
+            entries so every failure carries a reproduction command.
     """
 
     def __init__(
@@ -132,12 +163,22 @@ class RobustSuiteRunner:
         budget: DeadlineBudget | None = None,
         fault_plan: BenchmarkFaultPlan | None = None,
         sleep: Callable[[float], None] | None = None,
+        supervise: SuperviseConfig | None = None,
+        journal_path: str | Path | None = None,
+        repro_command: str | Callable[[str], str] | None = None,
     ) -> None:
         self.retry_policy = retry_policy or RetryPolicy()
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.budget = budget
         self.fault_plan = fault_plan
         self._sleep = sleep if sleep is not None else time.sleep
+        self.supervise = supervise or SuperviseConfig()
+        if journal_path is None and self.manifest_path is not None:
+            journal_path = self.manifest_path.with_name(
+                self.manifest_path.stem + ".journal.jsonl"
+            )
+        self.journal = CrashJournal(journal_path) if journal_path else None
+        self.repro_command = repro_command
         self.last_report: SuiteReport | None = None
 
     # -- manifest ------------------------------------------------------------
@@ -237,6 +278,15 @@ class RobustSuiteRunner:
                 report.failures.append(failure)
                 manifest["failed"][benchmark] = asdict(failure)
                 self._save_manifest(manifest)
+                if self.journal is not None:
+                    self.journal.append(
+                        event="task-failed",
+                        task=benchmark,
+                        taxonomy="compute-error",
+                        error_type=failure.error_type,
+                        message=failure.message,
+                        submissions=failure.attempts,
+                    )
                 continue
             report.completed[benchmark] = result
             manifest["done"][benchmark] = serialize(result)
@@ -256,57 +306,58 @@ class RobustSuiteRunner:
         report: SuiteReport,
         jobs: int,
     ) -> SuiteReport:
-        """Process-pool body of :meth:`run` (jobs > 1).
+        """Supervised process-pool body of :meth:`run` (jobs > 1).
 
-        The deadline budget is enforced at submission time in the
-        parent (a benchmark whose submission happens after expiry is
-        recorded as a deadline failure without running); work already in
-        flight when the budget runs out completes and is kept, matching
-        the sequential runner's "never throw away finished work" rule.
+        Benchmarks run under a :class:`TaskSupervisor`: a worker that
+        raises, dies, hangs past its deadline, or breaks the pool turns
+        into a structured :class:`BenchmarkFailure` (journaled, with the
+        pool recycled and the survivors re-queued) instead of crashing
+        the parent mid-loop.  The deadline budget is enforced at
+        submission time; work already in flight when the budget runs out
+        completes and is kept, matching the sequential runner's "never
+        throw away finished work" rule.  The manifest is checkpointed in
+        the parent as each outcome lands, and the report is assembled in
+        suite order so a parallel run is indistinguishable from a
+        sequential one.
         """
         pending: list[str] = []
-        outcomes: dict[str, tuple[str, Any]] = {}
         for benchmark in benchmarks:
             if benchmark in manifest["done"]:
                 report.completed[benchmark] = deserialize(manifest["done"][benchmark])
                 report.resumed.append(benchmark)
-            elif self.budget is not None and self.budget.expired:
-                report.deadline_hit = True
-                outcomes[benchmark] = (
-                    "fail",
-                    asdict(
-                        BenchmarkFailure(
-                            benchmark=benchmark,
-                            error_type="DeadlineExceeded",
-                            message="suite deadline exhausted before benchmark ran",
-                            attempts=0,
-                        )
-                    ),
-                )
             else:
                 pending.append(benchmark)
+        outcomes_by_benchmark: dict[str, tuple[str, Any]] = {}
+
+        def on_outcome(outcome: TaskOutcome) -> None:
+            """Checkpoint each outcome into the manifest as it lands."""
+            status, payload = self._unpack_outcome(outcome)
+            outcomes_by_benchmark[outcome.task_id] = (status, payload)
+            if status == "ok":
+                manifest["done"][outcome.task_id] = serialize(payload)
+                manifest["failed"].pop(outcome.task_id, None)
+            else:
+                manifest["failed"][outcome.task_id] = payload
+            self._save_manifest(manifest)
+
         if pending:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = [
-                    pool.submit(
-                        _pool_benchmark_worker,
-                        (compute, benchmark, self.retry_policy, self.fault_plan),
-                    )
-                    for benchmark in pending
-                ]
-                for future in as_completed(futures):
-                    benchmark, status, payload, _attempts = future.result()
-                    outcomes[benchmark] = (status, payload)
-                    if status == "ok":
-                        manifest["done"][benchmark] = serialize(payload)
-                        manifest["failed"].pop(benchmark, None)
-                    else:
-                        manifest["failed"][benchmark] = payload
-                    self._save_manifest(manifest)
+            supervisor = TaskSupervisor(
+                self.supervise,
+                journal=self.journal,
+                repro_command=self.repro_command,
+            )
+            supervisor.map(
+                _pool_benchmark_worker,
+                [(compute, b, self.retry_policy, self.fault_plan) for b in pending],
+                jobs=jobs,
+                task_ids=pending,
+                budget=self.budget,
+                on_outcome=on_outcome,
+            )
         for benchmark in benchmarks:  # suite order, like the sequential path
-            if benchmark not in outcomes:
+            if benchmark not in outcomes_by_benchmark:
                 continue
-            status, payload = outcomes[benchmark]
+            status, payload = outcomes_by_benchmark[benchmark]
             if status == "ok":
                 report.completed[benchmark] = payload
             else:
@@ -316,3 +367,36 @@ class RobustSuiteRunner:
                     report.deadline_hit = True
         self.last_report = report
         return report
+
+    def _unpack_outcome(self, outcome: TaskOutcome) -> tuple[str, Any]:
+        """Map a supervisor outcome onto the worker's (status, payload)
+        protocol: ``("ok", result)`` or ``("fail", BenchmarkFailure dict)``."""
+        if outcome.ok:
+            # The worker shim ran _pool_benchmark_worker to completion;
+            # its own retry loop already folded compute errors into a
+            # BenchmarkFailure payload.
+            benchmark, status, payload, _attempts = outcome.result
+            if status != "ok" and self.journal is not None:
+                self.journal.append(
+                    event="task-failed",
+                    task=benchmark,
+                    taxonomy="compute-error",
+                    error_type=payload.get("error_type", ""),
+                    message=payload.get("message", ""),
+                    submissions=outcome.submissions,
+                )
+            return status, payload
+        # The supervisor itself failed the task: crashed/hung/poison
+        # worker, unpicklable compute, or an exhausted suite budget.
+        error_type = outcome.error_type or _TAXONOMY_ERROR_TYPES.get(
+            outcome.taxonomy or "", "TaskFailed"
+        )
+        attempts = 0 if outcome.taxonomy == TAXONOMY_DEADLINE else outcome.submissions
+        failure = BenchmarkFailure(
+            benchmark=outcome.task_id,
+            error_type=error_type,
+            message=outcome.message,
+            attempts=attempts,
+            traceback=outcome.traceback,
+        )
+        return "fail", asdict(failure)

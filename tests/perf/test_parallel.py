@@ -76,6 +76,18 @@ def test_run_matrix_rejects_unknown_granularity():
         run_matrix(BENCHMARKS, POLICIES, CONFIG, granularity="bogus")
 
 
+def test_run_matrix_cell_without_store_warns_and_falls_back():
+    """Per-cell tasks without a store would recompute every benchmark's
+    stream once per policy; the run must warn and degrade to
+    per-benchmark granularity instead of silently doing that."""
+    with pytest.warns(RuntimeWarning, match="granularity"):
+        by_cell = run_matrix(
+            BENCHMARKS, POLICIES, CONFIG, jobs=2, granularity="cell"
+        )
+    seq = run_matrix(BENCHMARKS, POLICIES, CONFIG, jobs=1)
+    assert by_cell.demand_miss_rates() == seq.demand_miss_rates()
+
+
 def test_experiment_driver_parallel_is_bit_identical(tmp_path):
     """The fig11 driver end-to-end: --jobs 2 equals --jobs 1, and the
     shared store means the stream is filtered once, not per worker."""

@@ -1,0 +1,147 @@
+"""Chaos drills for the supervised pool: workers that SIGKILL themselves,
+hang past their deadline, or stop heartbeating.
+
+The acceptance property is that a suite run always terminates with a
+complete, structured report — ``BrokenProcessPool`` never escapes, every
+failure is journaled with the right taxonomy, and after repeated pool
+breakage the remainder degrades to sequential in-process execution with
+bit-identical results.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import time
+
+import pytest
+
+from repro.robust.retry import RetryPolicy
+from repro.robust.suite import RobustSuiteRunner
+from repro.robust.supervise import (
+    TAXONOMY_POISON,
+    TAXONOMY_TIMEOUT,
+    CrashJournal,
+    PoolBrokenError,
+    SuperviseConfig,
+    TaskSupervisor,
+)
+
+
+def _chaos_task(name: str, *, parent: int) -> str:
+    """Misbehaves by name prefix — but only inside a pool worker, so the
+    degraded in-parent path (and jobs=1) always succeeds."""
+    in_worker = os.getpid() != parent
+    kind = name.split("-")[0]
+    if in_worker and kind == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if in_worker and kind == "hang":
+        time.sleep(60.0)
+    if in_worker and kind == "stop":
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return name.upper()
+
+
+def _chaos_pair(payload: tuple[str, int]) -> str:
+    name, parent = payload
+    return _chaos_task(name, parent=parent)
+
+
+def test_chaos_suite_completes_with_journaled_failures(tmp_path):
+    """Acceptance drill: a worker that SIGKILLs itself and one that sleeps
+    past its deadline, in a jobs=4 suite — the run must produce a complete
+    SuiteReport and journal both failures with the right taxonomy."""
+    benchmarks = ["good-a", "sigkill-b", "good-c", "hang-d", "good-e", "good-f"]
+    compute = functools.partial(_chaos_task, parent=os.getpid())
+    runner = RobustSuiteRunner(
+        retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+        manifest_path=tmp_path / "manifest.json",
+        supervise=SuperviseConfig(
+            task_timeout=2.0,
+            max_pool_restarts=8,
+            heartbeat_interval=0.2,
+            poll_interval=0.02,
+        ),
+    )
+    report = runner.run(benchmarks, compute, jobs=4)
+    assert sorted(report.completed) == ["good-a", "good-c", "good-e", "good-f"]
+    assert report.completed["good-a"] == "GOOD-A"
+    failed = {f.benchmark: f for f in report.failures}
+    assert set(failed) == {"sigkill-b", "hang-d"}
+    assert failed["sigkill-b"].error_type == "PoisonTask"
+    assert failed["hang-d"].error_type == "TaskTimeout"
+    # Both failures land in the crash journal next to the resume manifest.
+    journal = CrashJournal(tmp_path / "manifest.journal.jsonl")
+    taxonomies = {e["task"]: e["taxonomy"] for e in journal.tasks()}
+    assert taxonomies["sigkill-b"] == TAXONOMY_POISON
+    assert taxonomies["hang-d"] == TAXONOMY_TIMEOUT
+    events = [e["event"] for e in journal.read()]
+    assert "pool-break" in events
+    assert "timeout-kill" in events
+
+
+def test_double_breakage_degrades_to_sequential_bit_identical(tmp_path):
+    """Acceptance drill: every pool submission breaks the pool, so after
+    ``max_pool_restarts`` the remainder must run in-process and finish
+    with exactly the results a clean sequential run produces."""
+    names = ["sigkill-a", "sigkill-b", "sigkill-c", "sigkill-d"]
+    items = [(n, os.getpid()) for n in names]
+    journal = CrashJournal(tmp_path / "journal.jsonl")
+    supervisor = TaskSupervisor(
+        SuperviseConfig(
+            max_pool_restarts=1,
+            poison_threshold=10,
+            heartbeat_interval=0.2,
+            poll_interval=0.02,
+        ),
+        journal=journal,
+    )
+    outcomes = supervisor.map(_chaos_pair, items, jobs=2, task_ids=names)
+    assert supervisor.degraded
+    assert all(o.ok for o in outcomes)
+    assert any(o.degraded for o in outcomes)
+    sequential = [_chaos_pair(item) for item in items]  # in-parent: clean
+    assert [o.result for o in outcomes] == sequential
+    events = [e["event"] for e in journal.read()]
+    assert "degrade" in events
+    assert events.count("pool-break") >= 2
+
+
+def test_no_degrade_raises_pool_broken_error():
+    items = [(n, os.getpid()) for n in ["sigkill-a", "sigkill-b"]]
+    supervisor = TaskSupervisor(
+        SuperviseConfig(
+            max_pool_restarts=0, degrade=False, poison_threshold=10,
+            poll_interval=0.02,
+        )
+    )
+    with pytest.raises(PoolBrokenError):
+        supervisor.map(_chaos_pair, items, jobs=2, task_ids=["a", "b"])
+
+
+def test_stopped_worker_is_caught_by_the_heartbeat_watchdog(tmp_path):
+    """A SIGSTOPped worker never finishes and never violates a task
+    timeout — only the heartbeat staleness bound can catch it."""
+    journal = CrashJournal(tmp_path / "journal.jsonl")
+    supervisor = TaskSupervisor(
+        SuperviseConfig(
+            heartbeat_interval=0.1,
+            heartbeat_grace=1.0,
+            poison_threshold=1,
+            max_pool_restarts=4,
+            poll_interval=0.02,
+        ),
+        journal=journal,
+    )
+    parent = os.getpid()
+    good, stopped = supervisor.map(
+        _chaos_pair,
+        [("good-a", parent), ("stop-b", parent)],
+        jobs=2,
+        task_ids=["good-a", "stop-b"],
+    )
+    assert good.ok and good.result == "GOOD-A"
+    assert not stopped.ok
+    assert stopped.taxonomy == TAXONOMY_POISON
+    assert any(e["event"] == "hung-kill" for e in journal.read())

@@ -100,6 +100,30 @@ def test_deadline_budget_degrades_remaining_benchmarks():
     assert report.deadline_hit
 
 
+def test_deadline_budget_expiring_mid_retry_stops_immediately():
+    """The budget can run out *between* attempts; the retry loop must
+    stop at once and the failure row record the attempts actually made,
+    not the policy's maximum."""
+    now = [0.0]
+    budget = DeadlineBudget(5.0, clock=lambda: now[0])
+    attempts = []
+
+    def compute(bench):
+        attempts.append(bench)
+        now[0] += 100.0  # the failing attempt burns the whole budget
+        raise ValueError("flaky")
+
+    runner = _runner(
+        retry_policy=RetryPolicy(max_attempts=5, base_delay=0.0), budget=budget
+    )
+    report = runner.run(["a"], compute)
+    assert attempts == ["a"]  # no further attempts after expiry
+    failure = report.failures[0]
+    assert failure.error_type == "DeadlineExceeded"
+    assert failure.attempts == 1
+    assert report.deadline_hit
+
+
 def test_unexpected_exception_is_captured_with_traceback(tmp_path):
     def compute(bench):
         raise ZeroDivisionError("boom")

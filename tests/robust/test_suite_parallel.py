@@ -5,8 +5,6 @@ from __future__ import annotations
 import itertools
 import json
 
-import pytest
-
 from repro.robust.faults import BenchmarkFaultPlan
 from repro.robust.retry import DeadlineBudget, RetryPolicy
 from repro.robust.suite import RobustSuiteRunner
@@ -80,12 +78,15 @@ def test_parallel_deadline_enforced_at_submission():
     assert all(f.attempts == 0 for f in report.failures)
 
 
-def test_parallel_rejects_unpicklable_compute():
+def test_parallel_records_unpicklable_compute_as_failure():
+    # A closure cannot cross the process boundary; the escaping pickling
+    # error must land as a structured failure, not crash the suite.
     runner = RobustSuiteRunner(retry_policy=RetryPolicy(max_attempts=1))
-    with pytest.raises(Exception):
-        # A closure cannot cross the process boundary; the failure must
-        # surface, not silently hang.
-        runner.run(("a",), lambda b: b, jobs=2)
+    report = runner.run(("a",), lambda b: b, jobs=2)
+    assert report.failed_benchmarks() == ["a"]
+    failure = report.failures[0]
+    assert failure.error_type
+    assert "a" == failure.benchmark
 
 
 def test_jobs_one_is_the_sequential_path():
