@@ -36,11 +36,15 @@ runs are bit-identical, not merely statistically alike.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Sequence
 
 import numpy as np
 
+from ..obs import instrument as obs_instrument
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .config import CacheConfig, HierarchyConfig, scaled_hierarchy
 from .stats import CacheStats
 
@@ -387,6 +391,53 @@ def replay(
     record: list | None = None,
     verify: bool = False,
 ) -> CacheStats:
+    """Observability wrapper around :func:`_replay` (same contract).
+
+    When metrics/tracing are off — the default — this is one flag check
+    and a tail call; the kernels themselves are never instrumented, so
+    the fast path pays nothing per access.
+    """
+    if not obs_metrics.ENABLED and obs_trace.get_tracer() is None:
+        return _replay(stream, policy, config, engine, record, verify)
+
+    pname = policy if isinstance(policy, str) else getattr(
+        policy, "name", type(policy).__name__
+    )
+    used = "fast" if engine != "reference" and fast_path_kernel(policy) else "reference"
+    accesses = len(stream.addresses)
+    with obs_trace.span(
+        "sim.replay", policy=str(pname), engine=used, accesses=accesses,
+        benchmark=stream.name,
+    ):
+        t0 = time.perf_counter()
+        stats = _replay(stream, policy, config, engine, record, verify)
+        elapsed = time.perf_counter() - t0
+    if obs_metrics.ENABLED:
+        labels = {"policy": str(pname), "engine": used}
+        obs_metrics.counter("sim.replay.calls", **labels).inc()
+        obs_metrics.counter("sim.replay.accesses", **labels).inc(accesses)
+        if elapsed > 0:
+            obs_metrics.gauge("sim.replay.accesses_per_s", **labels).set(
+                accesses / elapsed
+            )
+        obs_instrument.record_cache_stats(
+            stats, prefix="sim.llc", policy=str(pname), benchmark=stream.name
+        )
+        if not isinstance(policy, str):
+            obs_instrument.record_policy_introspection(
+                policy, benchmark=stream.name
+            )
+    return stats
+
+
+def _replay(
+    stream,
+    policy,
+    config=None,
+    engine: str = "auto",
+    record: list | None = None,
+    verify: bool = False,
+) -> CacheStats:
     """Replay an LLC stream against a policy on the best engine.
 
     ``policy`` is a registry name or a :class:`ReplacementPolicy`
@@ -479,6 +530,26 @@ def verify_parity(stream, policy_name: str, config=None) -> tuple[CacheStats, Ca
 
 
 def fast_filter_to_llc_stream(trace, config: HierarchyConfig | None = None):
+    """Observability wrapper around :func:`_fast_filter` (same contract)."""
+    if not obs_metrics.ENABLED and obs_trace.get_tracer() is None:
+        return _fast_filter(trace, config)
+    accesses = trace.num_accesses
+    with obs_trace.span(
+        "sim.filter", benchmark=trace.name, accesses=accesses
+    ):
+        t0 = time.perf_counter()
+        stream = _fast_filter(trace, config)
+        elapsed = time.perf_counter() - t0
+    if obs_metrics.ENABLED:
+        obs_metrics.counter("sim.filter.calls").inc()
+        obs_metrics.counter("sim.filter.accesses").inc(accesses)
+        obs_metrics.counter("sim.filter.stream_length").inc(len(stream.addresses))
+        if elapsed > 0:
+            obs_metrics.gauge("sim.filter.accesses_per_s").set(accesses / elapsed)
+    return stream
+
+
+def _fast_filter(trace, config: HierarchyConfig | None = None):
     """Vectorized rewrite of :func:`repro.cache.hierarchy.filter_to_llc_stream`.
 
     The L1/L2 filter is policy-independent (both levels are true LRU)

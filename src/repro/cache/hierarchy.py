@@ -191,6 +191,7 @@ class CacheHierarchy:
         pcs, addresses, writes = trace.pcs, trace.addresses, trace.is_write
         for i in range(len(pcs)):
             self.access(int(pcs[i]), int(addresses[i]), bool(writes[i]))
+        self.publish_metrics(benchmark=trace.name)
         if not record_llc_stream:
             return None
         rec = self._recorder
@@ -212,6 +213,22 @@ class CacheHierarchy:
 
     def stats(self) -> dict[str, CacheStats]:
         return {"l1": self.l1.stats, "l2": self.l2.stats, "llc": self.llc.stats}
+
+    def publish_metrics(self, **labels) -> None:
+        """Mirror per-level (and per-core) stats onto the obs registry.
+
+        A no-op unless metric collection is enabled; called once per
+        trace-level run, never per access.
+        """
+        from ..obs import instrument as obs_instrument
+        from ..obs import metrics as obs_metrics
+
+        if not obs_metrics.ENABLED:
+            return
+        for level, stats in self.stats().items():
+            obs_instrument.record_cache_stats(
+                stats, prefix="cache", level=level, **labels
+            )
 
 
 def filter_to_llc_stream(

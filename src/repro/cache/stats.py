@@ -85,6 +85,25 @@ class CacheStats:
                 merged.per_core_misses[core] = merged.per_core_misses.get(core, 0) + n
         return merged
 
+    def as_dict(self) -> dict:
+        """JSON-safe counter dump (per-core maps keyed by stringified id),
+        the shape embedded in metrics snapshots and crash journals."""
+        return {
+            "name": self.name,
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "writeback_hits": self.writeback_hits,
+            "writeback_misses": self.writeback_misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "demand_miss_rate": self.demand_miss_rate,
+            "per_core_hits": {str(c): n for c, n in sorted(self.per_core_hits.items())},
+            "per_core_misses": {
+                str(c): n for c, n in sorted(self.per_core_misses.items())
+            },
+        }
+
     def summary(self) -> str:
         return (
             f"{self.name}: {self.demand_accesses} demand accesses, "

@@ -246,3 +246,28 @@ class GliderPolicy(ReplacementPolicy):
     def predictor_storage_bytes(self) -> int:
         """ISVM table bytes (32.8 KB in the paper's configuration)."""
         return self.isvm.storage_bytes()
+
+    # -- observability ---------------------------------------------------------------
+    def introspect(self) -> dict:
+        """Internal signals for the observability layer (JSON-safe):
+        prediction confusion, ISVM weight health, OPTgen occupancy."""
+        health = self.isvm.health()
+        payload = {
+            "prediction_checks": self.prediction_checks,
+            "prediction_correct": self.prediction_correct,
+            "online_accuracy": self.online_accuracy,
+            "threshold": self.isvm.threshold,
+            "isvm_health": {
+                "num_entries": health.num_entries,
+                "active_entries": health.active_entries,
+                "active_weights": health.active_weights,
+                "saturated_weights": health.saturated_weights,
+                "max_abs_weight": health.max_abs_weight,
+                "saturated_fraction": health.saturated_fraction,
+            },
+        }
+        if self.sampler is not None:
+            payload["optgen_events"] = self.sampler.events_produced
+            payload["optgen_hit_rate"] = self.sampler.opt_hit_rate()
+            payload["optgen_occupancy"] = self.sampler.occupancy_histogram()
+        return payload

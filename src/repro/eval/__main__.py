@@ -25,13 +25,28 @@ crash journal (JSONL) lands next to the resume manifest.  The
 ``bench`` subcommand times the filter/replay/matrix stages on both
 simulation engines and writes ``BENCH_sim.json`` (``--quick`` for the
 CI smoke variant, ``--out`` to choose the path).
+
+Observability: ``--metrics-out PATH`` writes a schema-tagged metrics
+snapshot after the run (``-`` prints JSON on stdout, with all human
+output moved to stderr; a ``.prom`` suffix selects the Prometheus
+textfile format); ``--trace-out PATH`` appends Chrome-compatible span
+events to a JSONL trace log.  Both carry the run's correlation id
+(``--run-id`` to pin it), which is also stamped into the resume
+manifest and crash journal.  ``--jobs N`` sweeps report live per-task
+progress + ETA on stderr (``--quiet`` silences it).  The ``obs``
+subcommand (``obs summarize|diff|chrome``) renders and compares
+snapshot files — see ``python -m repro.eval obs --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.progress import ProgressReporter
 from ..robust.faults import BenchmarkFaultPlan
 from ..robust.retry import DeadlineBudget, RetryPolicy
 from ..robust.suite import RobustSuiteRunner
@@ -55,6 +70,13 @@ def _benchmarks(args) -> tuple[str, ...] | None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        # Snapshot tooling is self-contained: don't drag the ML stack in.
+        from ..obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
+
     parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
     parser.add_argument(
         "experiment",
@@ -109,7 +131,51 @@ def main(argv: list[str] | None = None) -> int:
         "--no-degrade", action="store_true",
         help="raise instead of falling back to sequential after repeated pool breakage",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a metrics snapshot after the run"
+        " ('-' for JSON on stdout, '.prom' suffix for Prometheus textfile)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append Chrome-compatible span events to this JSONL trace log",
+    )
+    parser.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="correlation id stamped into metrics/trace/manifest/journal"
+        " (default: freshly minted)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress human-readable tables and progress (machine output only)",
+    )
     args = parser.parse_args(argv)
+
+    # --- observability wiring -------------------------------------------
+    # One run_id correlates the metrics snapshot, the trace log, the
+    # resume manifest, and the crash journal.
+    if args.run_id:
+        obs_trace.set_run_id(args.run_id)
+    tracer = None
+    if args.metrics_out or args.trace_out:
+        obs_trace.current_run_id(create=True)
+    if args.metrics_out:
+        obs_metrics.enable()
+    if args.trace_out:
+        tracer = obs_trace.install(obs_trace.TraceLog(args.trace_out))
+
+    # Human-readable output: stdout normally, stderr when stdout is
+    # reserved for the machine-parseable snapshot, nowhere under --quiet.
+    human_stream = sys.stderr if args.metrics_out == "-" else sys.stdout
+
+    def emit(text: str = "") -> None:
+        if not args.quiet:
+            print(text, file=human_stream)
+
+    def reporter(total: int, label: str) -> ProgressReporter | None:
+        if args.jobs > 1 and not args.quiet:
+            return ProgressReporter(total, label=label)
+        return None
 
     config = ExperimentConfig(
         trace_length=args.length,
@@ -149,84 +215,126 @@ def main(argv: list[str] | None = None) -> int:
             repro_command=repro_command,
         )
 
+    with obs_trace.span(
+        "eval.experiment", experiment=args.experiment, jobs=args.jobs,
+        length=args.length,
+    ):
+        exit_code = _dispatch(
+            args, config, cache, subset, supervise, journal, runner, emit, reporter
+        )
+
+    if args.metrics_out:
+        snapshot = obs_metrics.registry().snapshot(
+            run_id=obs_trace.current_run_id(),
+            meta={
+                "experiment": args.experiment,
+                "trace_length": args.length,
+                "jobs": args.jobs,
+            }
+        )
+        if args.metrics_out == "-":
+            import json
+
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            obs_metrics.save_snapshot(args.metrics_out, snapshot)
+            emit(f"metrics snapshot -> {args.metrics_out}")
+    if tracer is not None:
+        obs_trace.uninstall()
+        tracer.close()
+        emit(f"trace log -> {args.trace_out}")
+    return exit_code
+
+
+def _dispatch(args, config, cache, subset, supervise, journal, runner, emit, reporter):
+    """Run one experiment subcommand and emit its human-readable tables."""
     if args.experiment == "fig4":
         rows = attention_cdf(config, cache=cache)
-        print(format_table([r.as_row() for r in rows], "Figure 4"))
+        emit(format_table([r.as_row() for r in rows], "Figure 4"))
     elif args.experiment == "fig5":
         heatmap = attention_heatmap(config, cache=cache)
-        print(f"targets={heatmap.matrix.shape[0]} sparsity@0.3={heatmap.sparsity(0.3):.2f}")
+        emit(f"targets={heatmap.matrix.shape[0]} sparsity@0.3={heatmap.sparsity(0.3):.2f}")
     elif args.experiment == "fig6":
         rows = shuffle_experiment(config, benchmarks=subset, cache=cache)
-        print(format_table([r.as_row() for r in rows], "Figure 6"))
+        emit(format_table([r.as_row() for r in rows], "Figure 6"))
     elif args.experiment == "fig9":
+        names = subset or config.offline_benchmarks
         rows = offline_accuracy(
             config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
             supervise=supervise, journal=journal,
+            progress=reporter(len(names), "benchmarks"),
         )
-        print(format_table([r.as_row() for r in rows], "Figure 9"))
+        emit(format_table([r.as_row() for r in rows], "Figure 9"))
     elif args.experiment == "fig10":
+        names = subset or config.suite
         rows = online_accuracy(
             config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
             supervise=supervise, journal=journal,
+            progress=reporter(len(names), "benchmarks"),
         )
-        print(format_table([r.as_row() for r in rows], "Figure 10"))
+        emit(format_table([r.as_row() for r in rows], "Figure 10"))
     elif args.experiment == "fig11":
+        names = subset or config.suite
         results = miss_rate_reduction(
             config, benchmarks=subset, include_belady=True, cache=cache,
             runner=runner, jobs=args.jobs, supervise=supervise, journal=journal,
+            progress=reporter(len(names), "benchmarks"),
         )
-        print(format_table([r.as_row() for r in results], "Figure 11"))
-        print(format_table(summarize_by_group(results)))
+        emit(format_table([r.as_row() for r in results], "Figure 11"))
+        emit(format_table(summarize_by_group(results)))
     elif args.experiment == "fig12":
+        names = subset or config.suite
         results = single_core_speedup(
             config, benchmarks=subset, cache=cache, runner=runner, jobs=args.jobs,
             supervise=supervise, journal=journal,
+            progress=reporter(len(names), "benchmarks"),
         )
-        print(format_table([r.as_row() for r in results], "Figure 12"))
-        print(format_table(summarize_speedups(results)))
+        emit(format_table([r.as_row() for r in results], "Figure 12"))
+        emit(format_table(summarize_speedups(results)))
     elif args.experiment == "fig13":
         results = weighted_speedup_sweep(
             config, num_mixes=args.mixes, cache=cache, jobs=args.jobs,
             supervise=supervise, journal=journal,
+            progress=reporter(args.mixes, "mixes"),
         )
-        print(format_table([r.as_row() for r in results], "Figure 13"))
-        print(summarize_mixes(results))
+        emit(format_table([r.as_row() for r in results], "Figure 13"))
+        emit(str(summarize_mixes(results)))
     elif args.experiment == "fig14":
         curves = sequence_length_sweep(
             config, benchmarks=subset, cache=cache, include_lstm=not args.no_lstm
         )
-        print(format_table(curves.rows(), "Figure 14"))
+        emit(format_table(curves.rows(), "Figure 14"))
     elif args.experiment == "fig15":
         curves = convergence_curves(
             config, benchmarks=subset, cache=cache, include_lstm=not args.no_lstm
         )
-        print(format_table(curves.rows(), "Figure 15"))
+        emit(format_table(curves.rows(), "Figure 15"))
     elif args.experiment == "table3":
         rows = model_cost_table()
-        print(format_table([r.as_row() for r in rows], "Table 3"))
+        emit(format_table([r.as_row() for r in rows], "Table 3"))
     elif args.experiment == "table4":
         rows = anchor_pc_analysis(config, cache=cache)
-        print(format_table([r.as_row() for r in rows], "Table 4"))
+        emit(format_table([r.as_row() for r in rows], "Table 4"))
     elif args.experiment == "bench":
         from ..perf.bench import run_bench
 
         report = run_bench(
             jobs=max(2, args.jobs), quick=args.quick, out=args.out
         )
-        print(f"bench report -> {args.out}")
-        print(f"filter speedup: {report['filter']['speedup']:.1f}x")
+        emit(f"bench report -> {args.out}")
+        emit(f"filter speedup: {report['filter']['speedup']:.1f}x")
         for policy, entry in report["replay"].items():
-            print(f"replay {policy}: {entry['speedup']:.1f}x")
-        print(
+            emit(f"replay {policy}: {entry['speedup']:.1f}x")
+        emit(
             f"matrix jobs={report['matrix']['jobs']}: "
             f"{report['matrix']['speedup']:.2f}x vs sequential"
         )
 
     if runner is not None and runner.last_report is not None:
         report = runner.last_report
-        print(f"suite: {report.summary()}")
+        emit(f"suite: {report.summary()}")
         if report.failures:
-            print(format_table([f.as_row() for f in report.failures], "Failures"))
+            emit(format_table([f.as_row() for f in report.failures], "Failures"))
             return 1
     return 0
 

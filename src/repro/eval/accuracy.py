@@ -82,6 +82,7 @@ def offline_accuracy(
     jobs: int = 1,
     supervise=None,
     journal=None,
+    progress=None,
 ) -> list[OfflineAccuracyResult]:
     """Reproduce Figure 9 (plus the "average" bar, appended last).
 
@@ -103,9 +104,11 @@ def offline_accuracy(
     if runner is None:
         results = parallel_map(
             compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
-            task_ids=list(benchmarks),
+            task_ids=list(benchmarks), progress=progress,
         )
     else:
+        if progress is not None:
+            runner.progress = progress
         report = runner.run(
             benchmarks,
             compute,
@@ -173,6 +176,7 @@ def online_accuracy(
     jobs: int = 1,
     supervise=None,
     journal=None,
+    progress=None,
 ) -> list[OnlineAccuracyResult]:
     """Reproduce Figure 10: train-while-running accuracy of both predictors.
 
@@ -194,9 +198,11 @@ def online_accuracy(
     if runner is None:
         results = parallel_map(
             compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
-            task_ids=list(benchmarks),
+            task_ids=list(benchmarks), progress=progress,
         )
     else:
+        if progress is not None:
+            runner.progress = progress
         report = runner.run(
             benchmarks,
             compute,

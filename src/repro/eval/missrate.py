@@ -105,6 +105,7 @@ def miss_rate_reduction(
     jobs: int = 1,
     supervise=None,
     journal=None,
+    progress=None,
 ) -> list[MissRateResult]:
     """Reproduce Figure 11 rows; group averages appended at the end.
 
@@ -131,8 +132,10 @@ def miss_rate_reduction(
     if runner is None:
         return parallel_map(
             compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
-            task_ids=list(benchmarks),
+            task_ids=list(benchmarks), progress=progress,
         )
+    if progress is not None:
+        runner.progress = progress
     report = runner.run(
         benchmarks,
         compute,

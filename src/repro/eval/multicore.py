@@ -106,6 +106,7 @@ def weighted_speedup_sweep(
     jobs: int = 1,
     supervise=None,
     journal=None,
+    progress=None,
 ) -> list[MixResult]:
     """Reproduce Figure 13 (sorted per-policy, it forms the S-curves).
 
@@ -141,6 +142,7 @@ def weighted_speedup_sweep(
         supervise=supervise,
         journal=journal,
         task_ids=[mix.name for mix in mixes],
+        progress=progress,
     )
 
 

@@ -67,6 +67,7 @@ def single_core_speedup(
     jobs: int = 1,
     supervise=None,
     journal=None,
+    progress=None,
 ) -> list[SpeedupResult]:
     """Reproduce Figure 12: full-hierarchy timing runs per policy.
 
@@ -81,8 +82,10 @@ def single_core_speedup(
     if runner is None:
         return parallel_map(
             compute, benchmarks, jobs=jobs, supervise=supervise, journal=journal,
-            task_ids=list(benchmarks),
+            task_ids=list(benchmarks), progress=progress,
         )
+    if progress is not None:
+        runner.progress = progress
     report = runner.run(
         benchmarks,
         compute,

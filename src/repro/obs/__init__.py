@@ -1,0 +1,24 @@
+"""Observability: metrics, tracing, and run introspection.
+
+``repro.obs`` is a *leaf* package — it imports nothing from the rest of
+``repro`` so every other layer (cache, core, ml, robust, perf, eval)
+can depend on it without cycles.  Collection is opt-in and the disabled
+fast path costs one module-attribute check per instrumentation site.
+
+Typical wiring (what ``python -m repro.eval`` does under
+``--metrics-out`` / ``--trace-out``)::
+
+    from repro import obs
+
+    obs.metrics.enable()
+    obs.trace.install(obs.trace.TraceLog("run.trace.jsonl"))
+    ... run experiments ...
+    snapshot = obs.metrics.registry().snapshot(
+        run_id=obs.trace.current_run_id()
+    )
+    obs.metrics.save_snapshot("metrics.json", snapshot)
+"""
+
+from . import instrument, metrics, progress, trace
+
+__all__ = ["instrument", "metrics", "progress", "trace"]

@@ -1,0 +1,190 @@
+"""The ``python -m repro.eval obs ...`` subcommand.
+
+Three verbs over snapshot/trace files on disk:
+
+``summarize <snapshot>``
+    Validate and render one metrics snapshot as a table (also accepts a
+    ``repro.perf.bench/v1`` report, converting it on the fly).
+
+``diff <a> <b> [--only GLOB ...] [--fail-drop PCT]``
+    Per-metric delta table between two snapshots.  ``--fail-drop``
+    turns the diff into a regression gate: exit 1 if any matched metric
+    dropped by more than PCT percent (used by CI against the committed
+    bench baseline).
+
+``chrome <trace.jsonl> <out.json>``
+    Wrap a JSONL trace into a ``chrome://tracing`` / Perfetto file.
+
+Tables go to stdout; diagnostics to stderr.  Exit codes: 0 ok,
+1 regression gate tripped, 2 schema/usage problems.
+
+This module deliberately avoids importing :mod:`repro.eval` (which
+pulls in the ML stack) — it has its own minimal table renderer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from .metrics import (
+    METRICS_SCHEMA,
+    diff_snapshots,
+    load_snapshot,
+    validate_snapshot,
+)
+from .trace import export_chrome
+
+__all__ = ["main"]
+
+#: Bench reports are accepted wherever a snapshot is, via conversion.
+_BENCH_SCHEMA = "repro.perf.bench/v1"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_table(rows: list[dict], columns: Sequence[str], title: str | None = None) -> str:
+    widths = {c: len(c) for c in columns}
+    rendered = [{c: _fmt(r.get(c)) for c in columns} for r in rows]
+    for row in rendered:
+        for c in columns:
+            widths[c] = max(widths[c], len(row[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rendered:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _load(path: str) -> dict:
+    """Load a metrics snapshot, converting bench reports when needed."""
+    try:
+        payload = load_snapshot(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if isinstance(payload, dict) and payload.get("schema") == _BENCH_SCHEMA:
+        from ..perf.bench import bench_to_metrics_snapshot
+
+        return bench_to_metrics_snapshot(payload)
+    return payload
+
+
+def _check(path: str, snapshot: dict) -> int:
+    problems = validate_snapshot(snapshot)
+    for problem in problems:
+        print(f"obs: {path}: {problem}", file=sys.stderr)
+    return 2 if problems else 0
+
+
+def _summarize(args: argparse.Namespace) -> int:
+    snapshot = _load(args.snapshot)
+    status = _check(args.snapshot, snapshot)
+    if status:
+        return status
+    rows = []
+    for key, entry in snapshot["metrics"].items():
+        if entry["type"] == "histogram":
+            count = entry["count"]
+            mean = entry["sum"] / count if count else None
+            rows.append(
+                {"metric": key, "type": entry["type"], "value": count, "mean": mean}
+            )
+        else:
+            rows.append(
+                {"metric": key, "type": entry["type"], "value": entry["value"], "mean": None}
+            )
+    run_id = snapshot.get("run_id")
+    title = f"snapshot {args.snapshot}" + (f" (run {run_id})" if run_id else "")
+    print(_render_table(rows, ["metric", "type", "value", "mean"], title))
+    return 0
+
+
+def _diff(args: argparse.Namespace) -> int:
+    a, b = _load(args.a), _load(args.b)
+    status = _check(args.a, a) or _check(args.b, b)
+    if status:
+        return status
+    rows = diff_snapshots(a, b, only=args.only or None)
+    if not rows:
+        print("obs: no metrics matched", file=sys.stderr)
+        return 0
+    print(
+        _render_table(
+            rows, ["metric", "a", "b", "delta", "pct"], f"{args.a} -> {args.b}"
+        )
+    )
+    if args.fail_drop is not None:
+        tripped = [
+            r for r in rows if r["pct"] is not None and r["pct"] < -args.fail_drop
+        ]
+        if tripped:
+            for row in tripped:
+                print(
+                    f"obs: regression: {row['metric']} dropped "
+                    f"{-row['pct']:.1f}% (> {args.fail_drop:.0f}% allowed)",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
+def _chrome(args: argparse.Namespace) -> int:
+    count = export_chrome(args.trace, args.out)
+    print(f"obs: wrote {count} events -> {args.out}", file=sys.stderr)
+    return 0 if count else 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_sum = sub.add_parser("summarize", help="validate and render one snapshot")
+    p_sum.add_argument("snapshot")
+    p_sum.set_defaults(fn=_summarize)
+
+    p_diff = sub.add_parser("diff", help="per-metric delta between two snapshots")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+    p_diff.add_argument(
+        "--only", action="append", metavar="GLOB",
+        help="restrict to metrics matching this fnmatch pattern (repeatable)",
+    )
+    p_diff.add_argument(
+        "--fail-drop", type=float, default=None, metavar="PCT",
+        help="exit 1 if any matched metric dropped by more than PCT percent",
+    )
+    p_diff.set_defaults(fn=_diff)
+
+    p_chrome = sub.add_parser("chrome", help="export a JSONL trace for chrome://tracing")
+    p_chrome.add_argument("trace")
+    p_chrome.add_argument("out")
+    p_chrome.set_defaults(fn=_chrome)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Bridges from runtime objects onto the metrics registry.
+
+Everything here is duck-typed and guarded by the :data:`metrics.ENABLED`
+flag at the call site, so the simulator/training/supervisor layers can
+call these helpers unconditionally.  The helpers read whatever
+introspection the object offers (``CacheStats`` counters, a policy's
+``introspect()`` payload, ``ISVMTable.health()``) and mirror it onto
+counters/gauges/histograms — they never mutate the source object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from . import metrics
+
+__all__ = [
+    "record_cache_stats",
+    "record_guard_report",
+    "record_policy_introspection",
+]
+
+
+def record_cache_stats(stats: Any, prefix: str = "cache", **labels: Any) -> None:
+    """Mirror a :class:`repro.cache.stats.CacheStats` onto the registry.
+
+    ``prefix`` namespaces the metrics (``cache``, ``sim`` ...); extra
+    labels typically carry the level (``level=llc``) and benchmark.
+    """
+    if not metrics.ENABLED:
+        return
+    for field in (
+        "demand_hits",
+        "demand_misses",
+        "writeback_hits",
+        "writeback_misses",
+        "bypasses",
+        "evictions",
+        "dirty_evictions",
+    ):
+        value = getattr(stats, field, None)
+        if value is not None:
+            metrics.counter(f"{prefix}.{field}", **labels).inc(value)
+    for field in ("per_core_hits", "per_core_misses"):
+        per_core = getattr(stats, field, None)
+        if per_core:
+            name = f"{prefix}.{field[len('per_core_'):]}"
+            for core, value in per_core.items():
+                metrics.counter(name, core=core, **labels).inc(value)
+    miss_rate = getattr(stats, "demand_miss_rate", None)
+    if miss_rate is not None:
+        metrics.gauge(f"{prefix}.demand_miss_rate", **labels).set(miss_rate)
+
+
+def _record_isvm_health(health: Any, **labels: Any) -> None:
+    for field in (
+        "num_entries",
+        "active_entries",
+        "active_weights",
+        "saturated_weights",
+        "max_abs_weight",
+        "saturated_fraction",
+    ):
+        value = getattr(health, field, None)
+        if value is not None:
+            metrics.gauge(f"policy.isvm.{field}", **labels).set(value)
+
+
+def _record_occupancy(sampler: Any, **labels: Any) -> None:
+    histogram_fn = getattr(sampler, "occupancy_histogram", None)
+    if histogram_fn is None:
+        return
+    occupancy: Mapping[int, int] = histogram_fn()
+    if not occupancy:
+        return
+    assoc = getattr(sampler, "associativity", max(occupancy))
+    hist = metrics.histogram(
+        "policy.optgen.occupancy",
+        buckets=[float(i) for i in range(int(assoc) + 1)],
+        **labels,
+    )
+    for level, count in occupancy.items():
+        hist.observe(level, n=count)
+
+
+def record_policy_introspection(policy: Any, **labels: Any) -> None:
+    """Publish a policy's internal signals (confusion, ISVM health,
+    OPTgen occupancy) after a simulation run.
+
+    Works for any policy; policies without a given signal contribute
+    nothing for it.  Labels usually carry ``policy=`` and ``benchmark=``.
+    """
+    if not metrics.ENABLED:
+        return
+    name = getattr(policy, "name", type(policy).__name__)
+    labels.setdefault("policy", name)
+
+    checks = getattr(policy, "prediction_checks", None)
+    correct = getattr(policy, "prediction_correct", None)
+    if checks is not None and correct is not None:
+        metrics.counter("policy.predictions.checked", **labels).inc(checks)
+        metrics.counter("policy.predictions.correct", **labels).inc(correct)
+        metrics.counter("policy.predictions.wrong", **labels).inc(checks - correct)
+        if checks:
+            metrics.gauge("policy.predictions.accuracy", **labels).set(
+                correct / checks
+            )
+
+    isvm = getattr(policy, "isvm", None)
+    if isvm is not None and hasattr(isvm, "health"):
+        _record_isvm_health(isvm.health(), **labels)
+        stats = getattr(isvm, "stats", None)
+        if stats is not None:
+            for field in ("trainings", "gated_updates", "predictions"):
+                value = getattr(stats, field, None)
+                if value is not None:
+                    metrics.counter(f"policy.isvm.{field}", **labels).inc(value)
+
+    sampler = getattr(policy, "sampler", None)
+    if sampler is not None:
+        _record_occupancy(sampler, **labels)
+
+
+def record_guard_report(report: Any, **labels: Any) -> None:
+    """Mirror a :class:`repro.robust.guards.GuardReport` onto counters."""
+    if not metrics.ENABLED:
+        return
+    for event in getattr(report, "events", ()):
+        kind = getattr(event, "kind", None) or str(event)
+        metrics.counter("train.guard.events", kind=kind, **labels).inc()

@@ -146,3 +146,13 @@ class OptGenSampler:
         hits = sum(g.opt_hits for g in self._optgen.values())
         total = sum(g.accesses for g in self._optgen.values())
         return hits / max(1, total)
+
+    def occupancy_histogram(self) -> dict[int, int]:
+        """Occupancy-level -> count over every sampled set's current
+        occupancy vector (Figure 6 territory: how full OPT's cache is).
+        """
+        histogram: dict[int, int] = {}
+        for optgen in self._optgen.values():
+            for level in optgen.occupancy:
+                histogram[level] = histogram.get(level, 0) + 1
+        return histogram

@@ -28,10 +28,17 @@ from pathlib import Path
 
 from ..cache.fastsim import FAST_PATH_POLICIES, reference_replay, replay
 from ..cache.hierarchy import filter_to_llc_stream
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..traces.io import atomic_write_text
 from .parallel import run_matrix
 
-__all__ = ["BENCH_SCHEMA", "run_bench", "validate_bench"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_to_metrics_snapshot",
+    "run_bench",
+    "validate_bench",
+]
 
 #: Schema identifier stamped into every BENCH_sim.json.
 BENCH_SCHEMA = "repro.perf.bench/v1"
@@ -101,6 +108,7 @@ def run_bench(
 
     report: dict = {
         "schema": BENCH_SCHEMA,
+        "run_id": obs_trace.current_run_id(),
         "created_unix": time.time(),
         "quick": quick,
         "cpu_count": os.cpu_count(),
@@ -172,6 +180,44 @@ def run_bench(
     if out is not None:
         atomic_write_text(Path(out), json.dumps(report, indent=1))
     return report
+
+
+def bench_to_metrics_snapshot(report: dict) -> dict:
+    """View a ``repro.perf.bench/v1`` report as a metrics snapshot.
+
+    Timings become gauges and speedups become gauges too, so two bench
+    reports (or a bench report and a live run's snapshot) can be fed to
+    ``repro.eval obs diff``.  Speedup ratios are machine-independent —
+    the CI regression gate diffs those, never raw seconds, because the
+    committed baseline and the CI runner are different machines.
+    """
+    registry = obs_metrics.MetricsRegistry()
+    fil = report.get("filter", {})
+    for field in ("reference_s", "fast_s", "speedup"):
+        if field in fil:
+            registry.gauge(f"bench.filter.{field}").set(fil[field])
+    if "stream_length" in fil:
+        registry.gauge("bench.filter.stream_length").set(fil["stream_length"])
+    for policy, entry in report.get("replay", {}).items():
+        for field in ("reference_s", "fast_s", "speedup"):
+            if field in entry:
+                registry.gauge(f"bench.replay.{field}", policy=policy).set(
+                    entry[field]
+                )
+    mat = report.get("matrix", {})
+    for field in ("sequential_s", "parallel_s", "speedup"):
+        if field in mat:
+            registry.gauge(f"bench.matrix.{field}").set(mat[field])
+    snapshot = registry.snapshot(
+        run_id=report.get("run_id") or obs_trace.current_run_id(),
+        meta={
+            "source": "bench-report",
+            "quick": report.get("quick"),
+            "benchmark": report.get("benchmark"),
+            "cpu_count": report.get("cpu_count"),
+        },
+    )
+    return snapshot
 
 
 def validate_bench(report: dict) -> list[str]:

@@ -70,6 +70,7 @@ def parallel_map(
     supervise: SuperviseConfig | None = None,
     journal: CrashJournal | str | None = None,
     task_ids: Sequence[str] | None = None,
+    progress: Callable | None = None,
 ) -> list:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -83,11 +84,20 @@ def parallel_map(
     the structured :class:`~repro.robust.supervise.TaskOutcome`.  With
     ``jobs <= 1`` it is a plain loop with identical result semantics
     (original exceptions propagate directly).
+
+    ``progress`` is an optional callable invoked once per finished item
+    (with the task id or :class:`~repro.robust.supervise.TaskOutcome`) —
+    e.g. a :class:`repro.obs.progress.ProgressReporter`.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    supervisor = TaskSupervisor(supervise, journal=journal)
+        results = []
+        for index, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(task_ids[index] if task_ids else None)
+        return results
+    supervisor = TaskSupervisor(supervise, journal=journal, progress=progress)
     outcomes = supervisor.map(fn, items, jobs=jobs, task_ids=task_ids)
     results = []
     for outcome in outcomes:
@@ -149,6 +159,7 @@ def run_matrix(
     granularity: str = "benchmark",
     supervise: SuperviseConfig | None = None,
     journal: CrashJournal | str | None = None,
+    progress: Callable | None = None,
 ) -> ExperimentMatrix:
     """Replay the full (benchmark x policy) grid, optionally in parallel.
 
@@ -190,7 +201,8 @@ def run_matrix(
         ids = [f"{b}/{p}" for b in benchmarks for p in policies]
     matrix = ExperimentMatrix(benchmarks=benchmarks, policies=policies)
     rows = parallel_map(
-        worker, tasks, jobs=jobs, supervise=supervise, journal=journal, task_ids=ids
+        worker, tasks, jobs=jobs, supervise=supervise, journal=journal,
+        task_ids=ids, progress=progress,
     )
     for benchmark, stats_by_policy in rows:
         for policy, stats in stats_by_policy.items():

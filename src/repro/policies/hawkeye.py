@@ -168,3 +168,22 @@ class HawkeyePolicy(ReplacementPolicy):
             self.attach(self.cache)
         self.prediction_checks = 0
         self.prediction_correct = 0
+
+    def introspect(self) -> dict:
+        """Internal signals for the observability layer (JSON-safe)."""
+        counters = self.predictor.table
+        midpoint = (self.predictor.counter_max + 1) // 2
+        payload = {
+            "prediction_checks": self.prediction_checks,
+            "prediction_correct": self.prediction_correct,
+            "online_accuracy": self.online_accuracy,
+            "predictor_friendly_entries": sum(1 for c in counters if c >= midpoint),
+            "predictor_saturated_entries": sum(
+                1 for c in counters if c in (0, self.predictor.counter_max)
+            ),
+        }
+        if self.sampler is not None:
+            payload["optgen_events"] = self.sampler.events_produced
+            payload["optgen_hit_rate"] = self.sampler.opt_hit_rate()
+            payload["optgen_occupancy"] = self.sampler.occupancy_histogram()
+        return payload

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
 __all__ = [
     "GuardConfig",
     "GuardEvent",
@@ -110,6 +113,12 @@ class TrainingGuard:
         self._checkpoint: dict | None = None
         self.snapshot()
 
+    def _observe(self, kind: str, epoch: int, detail: str) -> None:
+        """Mirror a guard intervention onto metrics/trace (no-op when off)."""
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("train.guard.events", kind=kind).inc()
+        obs_trace.event("train.guard", kind=kind, epoch=epoch, detail=detail)
+
     # -- checkpointing -------------------------------------------------------
     def snapshot(self) -> None:
         """Record the current parameters and optimiser state as last-good."""
@@ -145,6 +154,7 @@ class TrainingGuard:
         self.report.events.append(
             GuardEvent(epoch, batch, "bad_gradient", f"non-finite gradients in {bad}")
         )
+        self._observe("bad_gradient", epoch, f"batch {batch}")
         return False
 
     def loss_ok(self, loss: float, epoch: int, batch: int) -> bool:
@@ -155,6 +165,7 @@ class TrainingGuard:
         self.report.events.append(
             GuardEvent(epoch, batch, "bad_loss", f"non-finite loss {loss!r}")
         )
+        self._observe("bad_loss", epoch, f"batch {batch}")
         return False
 
     # -- per-epoch check -----------------------------------------------------
@@ -181,6 +192,7 @@ class TrainingGuard:
                 f"loss {train_loss!r} vs best {self.best_loss!r}",
             )
         )
+        self._observe("divergence", epoch, f"loss {train_loss!r}")
         self.restore()
         opt = self.model.optimizer
         opt.learning_rate = max(
@@ -189,6 +201,9 @@ class TrainingGuard:
         self.report.events.append(
             GuardEvent(epoch, -1, "recovery", f"restored; lr -> {opt.learning_rate:g}")
         )
+        self._observe("recovery", epoch, f"lr -> {opt.learning_rate:g}")
+        if obs_metrics.ENABLED:
+            obs_metrics.gauge("train.learning_rate").set(opt.learning_rate)
         return False
 
     def finish(self) -> GuardReport:

@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from ..obs import trace as obs_trace
 from ..traces.io import atomic_write_text
 from .faults import BenchmarkFaultPlan
 from .retry import DeadlineBudget, DeadlineExceeded, Retrier, RetryPolicy
@@ -166,6 +167,7 @@ class RobustSuiteRunner:
         supervise: SuperviseConfig | None = None,
         journal_path: str | Path | None = None,
         repro_command: str | Callable[[str], str] | None = None,
+        progress: Callable[[Any], None] | None = None,
     ) -> None:
         self.retry_policy = retry_policy or RetryPolicy()
         self.manifest_path = Path(manifest_path) if manifest_path else None
@@ -179,6 +181,7 @@ class RobustSuiteRunner:
             )
         self.journal = CrashJournal(journal_path) if journal_path else None
         self.repro_command = repro_command
+        self.progress = progress
         self.last_report: SuiteReport | None = None
 
     # -- manifest ------------------------------------------------------------
@@ -198,6 +201,11 @@ class RobustSuiteRunner:
 
     def _save_manifest(self, manifest: dict) -> None:
         if self.manifest_path is not None:
+            run_id = obs_trace.current_run_id()
+            if run_id is not None:
+                # Correlates the manifest with this run's metrics
+                # snapshot, trace log, and crash journal entries.
+                manifest["run_id"] = run_id
             atomic_write_text(self.manifest_path, json.dumps(manifest, indent=1))
 
     # -- execution -----------------------------------------------------------
@@ -292,6 +300,8 @@ class RobustSuiteRunner:
             manifest["done"][benchmark] = serialize(result)
             manifest["failed"].pop(benchmark, None)
             self._save_manifest(manifest)
+            if self.progress is not None:
+                self.progress(benchmark)
 
         self.last_report = report
         return report
@@ -345,6 +355,7 @@ class RobustSuiteRunner:
                 self.supervise,
                 journal=self.journal,
                 repro_command=self.repro_command,
+                progress=self.progress,
             )
             supervisor.map(
                 _pool_benchmark_worker,

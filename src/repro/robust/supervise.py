@@ -58,6 +58,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
 __all__ = [
     "TAXONOMIES",
     "CrashJournal",
@@ -175,6 +178,9 @@ class CrashJournal:
 
     def append(self, **entry: Any) -> dict:
         entry.setdefault("ts", time.time())
+        run_id = obs_trace.current_run_id()
+        if run_id is not None:
+            entry.setdefault("run_id", run_id)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, default=str) + "\n")
@@ -332,6 +338,10 @@ class TaskSupervisor:
             None to disable journaling.
         repro_command: ``"...{task}..."`` template (or callable) used to
             stamp each journal entry with a reproduction command.
+        progress: Optional callable invoked in the parent with each
+            final :class:`TaskOutcome` (e.g. a
+            :class:`repro.obs.progress.ProgressReporter` for live
+            per-task progress + ETA on ``--jobs N`` sweeps).
     """
 
     def __init__(
@@ -339,12 +349,14 @@ class TaskSupervisor:
         config: SuperviseConfig | None = None,
         journal: CrashJournal | str | Path | None = None,
         repro_command: str | Callable[[str], str] | None = None,
+        progress: Callable[[TaskOutcome], None] | None = None,
     ) -> None:
         self.config = config or SuperviseConfig()
         if isinstance(journal, (str, Path)):
             journal = CrashJournal(journal)
         self.journal = journal
         self._repro_command = repro_command
+        self.progress = progress
         self.pool_restarts = 0
         self.degraded = False
 
@@ -396,8 +408,16 @@ class TaskSupervisor:
         state.outcome = outcome
         if not outcome.ok:
             self._journal_outcome(outcome)
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("supervisor.tasks", status=outcome.status).inc()
+            if outcome.taxonomy:
+                obs_metrics.counter(
+                    "supervisor.failures", taxonomy=outcome.taxonomy
+                ).inc()
         if on_outcome is not None:
             on_outcome(outcome)
+        if self.progress is not None:
+            self.progress(outcome)
 
     def _repro(self, task_id: str) -> str:
         if callable(self._repro_command):
@@ -428,6 +448,8 @@ class TaskSupervisor:
         )
 
     def _journal_event(self, event: str, **extra: Any) -> None:
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("supervisor.events", event=event).inc()
         if self.journal is not None:
             self.journal.append(event=event, **extra)
 
@@ -539,8 +561,12 @@ class TaskSupervisor:
         queue: deque[_TaskState] = deque(tasks)
         inflight: dict[Any, _TaskState] = {}
         pool: ProcessPoolExecutor | None = None
+        failed = False
         try:
             while queue or inflight:
+                if obs_metrics.ENABLED:
+                    obs_metrics.gauge("supervisor.queue_depth").set(len(queue))
+                    obs_metrics.gauge("supervisor.inflight").set(len(inflight))
                 careful = any(t.breaks > 0 for t in queue) or any(
                     t.breaks > 0 for t in inflight.values()
                 )
@@ -626,10 +652,33 @@ class TaskSupervisor:
                             self._run_in_process(
                                 fn, queue.popleft(), budget, on_outcome, degraded=True
                             )
+        except BaseException:
+            failed = True
+            raise
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            if failed:
+                # Abandon ship without waiting for workers; keep the
+                # heartbeat/marker files for postmortem inspection.
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                self._journal_event("run-dir-kept", run_dir=run_dir)
+            else:
+                # Clean exit: join the workers first so their daemon
+                # heartbeat threads die with them — otherwise a beat
+                # written mid-rmtree leaves a repro-supervise-* residue
+                # directory behind (the old silent leak).
+                if pool is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                self._cleanup_run_dir(run_dir)
+
+    def _cleanup_run_dir(self, run_dir: str) -> None:
+        """Remove the heartbeat/marker dir, retrying a straggler write."""
+        for attempt in range(5):
             shutil.rmtree(run_dir, ignore_errors=True)
+            if not os.path.isdir(run_dir):
+                return
+            time.sleep(0.05 * (attempt + 1))
+        self._journal_event("run-dir-kept", run_dir=run_dir, reason="cleanup-failed")
 
     def _pop_next(self, queue: deque, careful: bool) -> _TaskState:
         """Suspects first in careful mode, FIFO otherwise."""
@@ -721,6 +770,11 @@ class TaskSupervisor:
         if state.hb_seen is None or mtime != state.hb_seen[0]:
             state.hb_seen = (mtime, now)
             return False
+        if obs_metrics.ENABLED:
+            # Seconds since the last *observed* beat (both monotonic).
+            obs_metrics.gauge("supervisor.heartbeat_age_s").max(
+                now - state.hb_seen[1]
+            )
         return now - state.hb_seen[1] > self.config.heartbeat_grace
 
     def _watchdog(self, inflight: dict, run_dir: str) -> bool:

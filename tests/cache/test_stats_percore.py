@@ -1,0 +1,71 @@
+"""Per-core CacheStats counters under the multicore path, and the
+algebra of snapshot merging (associativity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.cpu import MultiCoreSystem
+from repro.policies import LRUPolicy
+
+from ..conftest import make_trace
+
+
+def _four_traces():
+    traces = []
+    for c in range(4):
+        pairs = [(10 + c, (c * 1000 + i) % (300 + 50 * c)) for i in range(2000)]
+        traces.append(make_trace(pairs, f"w{c}"))
+    return traces
+
+
+class TestPerCoreCountersMulticore:
+    @pytest.fixture()
+    def llc_stats(self, small_hierarchy):
+        system = MultiCoreSystem(_four_traces(), small_hierarchy, LRUPolicy())
+        system.run(quota_accesses=1000)
+        return system.llc.stats
+
+    def test_all_four_cores_are_attributed(self, llc_stats):
+        seen = set(llc_stats.per_core_hits) | set(llc_stats.per_core_misses)
+        assert seen == {0, 1, 2, 3}
+
+    def test_per_core_hits_and_misses_sum_to_demand_totals(self, llc_stats):
+        assert sum(llc_stats.per_core_hits.values()) == llc_stats.demand_hits
+        assert sum(llc_stats.per_core_misses.values()) == llc_stats.demand_misses
+
+    def test_per_core_counts_are_positive(self, llc_stats):
+        assert all(n >= 0 for n in llc_stats.per_core_hits.values())
+        assert llc_stats.demand_accesses > 0
+
+    def test_as_dict_keys_are_strings(self, llc_stats):
+        dump = llc_stats.as_dict()
+        assert set(dump["per_core_hits"]) <= {"0", "1", "2", "3"}
+        assert all(isinstance(v, int) for v in dump["per_core_hits"].values())
+
+
+class TestMergeAlgebra:
+    def _stats(self, core_hits):
+        stats = CacheStats(name="LLC")
+        for core, hits in core_hits.items():
+            for _ in range(hits):
+                stats.record(hit=True, is_demand=True, core=core)
+        return stats
+
+    def test_merge_sums_per_core_maps(self):
+        merged = self._stats({0: 2, 1: 1}).merge(self._stats({1: 3, 2: 1}))
+        assert merged.per_core_hits == {0: 2, 1: 4, 2: 1}
+        assert merged.demand_hits == 7
+
+    def test_merge_is_associative(self):
+        a = self._stats({0: 1})
+        b = self._stats({0: 2, 1: 5})
+        c = self._stats({2: 3})
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.as_dict() == right.as_dict()
+
+    def test_merge_preserves_totals_invariant(self):
+        merged = self._stats({0: 4}).merge(self._stats({1: 6}))
+        assert sum(merged.per_core_hits.values()) == merged.demand_hits

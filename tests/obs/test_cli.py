@@ -1,0 +1,106 @@
+"""The ``obs`` CLI verbs: summarize, diff (incl. the regression gate),
+chrome export, and the bench-report auto-conversion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics, trace
+from repro.obs.cli import main
+
+
+def _write_snapshot(path, **counters):
+    reg = metrics.MetricsRegistry()
+    for name, value in counters.items():
+        reg.counter(name).inc(value)
+    metrics.save_snapshot(path, reg.snapshot(run_id="r1"))
+    return path
+
+
+class TestSummarize:
+    def test_valid_snapshot_exits_zero(self, tmp_path, capsys):
+        path = _write_snapshot(tmp_path / "s.json", a=3)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "a" in out and "3" in out
+
+    def test_invalid_snapshot_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert main(["summarize", str(path)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_unparseable_file_exits_two(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summarize", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_bench_report_is_converted(self, tmp_path, capsys):
+        report = {
+            "schema": "repro.perf.bench/v1",
+            "filter": {"reference_s": 2.0, "fast_s": 1.0, "speedup": 2.0},
+            "replay": {"lru": {"speedup": 30.0}},
+            "matrix": {"speedup": 1.8},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench.filter.speedup" in out
+        assert "bench.replay.speedup{policy=lru}" in out
+
+
+class TestDiff:
+    def test_identical_snapshots_exit_zero(self, tmp_path, capsys):
+        a = _write_snapshot(tmp_path / "a.json", x=5)
+        b = _write_snapshot(tmp_path / "b.json", x=5)
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "x" in capsys.readouterr().out
+
+    def test_fail_drop_gate_trips(self, tmp_path, capsys):
+        a = _write_snapshot(tmp_path / "a.json", x=100)
+        b = _write_snapshot(tmp_path / "b.json", x=50)
+        assert main(["diff", str(a), str(b), "--fail-drop", "25"]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_fail_drop_tolerates_small_drops(self, tmp_path):
+        a = _write_snapshot(tmp_path / "a.json", x=100)
+        b = _write_snapshot(tmp_path / "b.json", x=90)
+        assert main(["diff", str(a), str(b), "--fail-drop", "25"]) == 0
+
+    def test_only_glob_restricts_the_gate(self, tmp_path):
+        a = _write_snapshot(tmp_path / "a.json", **{"keep.x": 100, "noise.y": 100})
+        b = _write_snapshot(tmp_path / "b.json", **{"keep.x": 100, "noise.y": 1})
+        assert (
+            main(["diff", str(a), str(b), "--only", "keep.*", "--fail-drop", "25"])
+            == 0
+        )
+
+    def test_increase_never_trips_the_gate(self, tmp_path):
+        a = _write_snapshot(tmp_path / "a.json", x=10)
+        b = _write_snapshot(tmp_path / "b.json", x=1000)
+        assert main(["diff", str(a), str(b), "--fail-drop", "25"]) == 0
+
+
+class TestChrome:
+    def test_export(self, tmp_path):
+        log_path = tmp_path / "t.jsonl"
+        with trace.TraceLog(log_path, run_id="r1") as log:
+            with log.span("a"):
+                pass
+        out = tmp_path / "chrome.json"
+        assert main(["chrome", str(log_path), str(out)]) == 0
+        assert json.loads(out.read_text())["traceEvents"]
+
+
+class TestEvalEntrypoint:
+    def test_obs_subcommand_dispatches_without_ml_stack(self, tmp_path, capsys):
+        from repro.eval.__main__ import main as eval_main
+
+        path = _write_snapshot(tmp_path / "s.json", a=1)
+        assert eval_main(["obs", "summarize", str(path)]) == 0
+        assert "a" in capsys.readouterr().out

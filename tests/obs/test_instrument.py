@@ -1,0 +1,105 @@
+"""Instrumentation adapters: cache stats, policy introspection, and the
+boundary wrappers' disabled-path guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.core.glider import GliderPolicy
+from repro.obs import metrics
+from repro.obs.instrument import record_cache_stats, record_policy_introspection
+from repro.policies.hawkeye import HawkeyePolicy
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    metrics.disable()
+    metrics.registry().clear()
+    yield
+    metrics.disable()
+    metrics.registry().clear()
+
+
+def _stats() -> CacheStats:
+    stats = CacheStats(name="LLC")
+    for core in (0, 0, 1):
+        stats.record(hit=True, is_demand=True, core=core)
+    stats.record(hit=False, is_demand=True, core=1)
+    stats.record(hit=False, is_demand=False)
+    stats.evictions = 3
+    return stats
+
+
+class TestRecordCacheStats:
+    def test_counters_and_per_core_labels(self):
+        with metrics.collecting() as reg:
+            record_cache_stats(_stats(), prefix="sim.llc", benchmark="mcf")
+            snap = reg.snapshot()["metrics"]
+        assert snap["sim.llc.demand_hits{benchmark=mcf}"]["value"] == 3
+        assert snap["sim.llc.demand_misses{benchmark=mcf}"]["value"] == 1
+        assert snap["sim.llc.hits{benchmark=mcf,core=0}"]["value"] == 2
+        assert snap["sim.llc.hits{benchmark=mcf,core=1}"]["value"] == 1
+        assert snap["sim.llc.misses{benchmark=mcf,core=1}"]["value"] == 1
+        assert snap["sim.llc.demand_miss_rate{benchmark=mcf}"]["value"] == (
+            pytest.approx(0.25)
+        )
+
+    def test_noop_when_disabled(self):
+        record_cache_stats(_stats())
+        assert len(metrics.registry()) == 0
+
+
+class TestRecordPolicyIntrospection:
+    def test_glider_isvm_health_gauges(self):
+        policy = GliderPolicy()
+        with metrics.collecting() as reg:
+            record_policy_introspection(policy, benchmark="mcf")
+            snap = reg.snapshot()["metrics"]
+        label = "{benchmark=mcf,policy=" + policy.name + "}"
+        assert f"policy.isvm.num_entries{label}" in snap
+        assert f"policy.isvm.saturated_weights{label}" in snap
+        assert f"policy.predictions.checked{label}" in snap
+
+    def test_hawkeye_confusion_counters(self):
+        policy = HawkeyePolicy()
+        policy.prediction_checks = 10
+        policy.prediction_correct = 7
+        with metrics.collecting() as reg:
+            record_policy_introspection(policy, benchmark="lbm")
+            snap = reg.snapshot()["metrics"]
+        label = "{benchmark=lbm,policy=" + policy.name + "}"
+        assert snap[f"policy.predictions.checked{label}"]["value"] == 10
+        assert snap[f"policy.predictions.correct{label}"]["value"] == 7
+        assert snap[f"policy.predictions.wrong{label}"]["value"] == 3
+
+
+class TestBoundaryWrappers:
+    def test_replay_records_nothing_when_disabled(self, mixed_llc_stream):
+        from repro.cache.fastsim import replay
+
+        stats = replay(mixed_llc_stream, "lru")
+        assert stats.demand_accesses > 0
+        assert len(metrics.registry()) == 0
+
+    def test_replay_records_sim_metrics_when_enabled(self, mixed_llc_stream):
+        from repro.cache.fastsim import replay
+
+        with metrics.collecting() as reg:
+            disabled = replay(mixed_llc_stream, "lru")
+            snap = reg.snapshot()["metrics"]
+        key = "sim.replay.calls{engine=fast,policy=lru}"
+        assert snap[key]["value"] == 1
+        name = mixed_llc_stream.name
+        assert (
+            snap[f"sim.llc.demand_hits{{benchmark={name},policy=lru}}"]["value"]
+            == disabled.demand_hits
+        )
+
+    def test_replay_results_identical_with_and_without_obs(self, mixed_llc_stream):
+        from repro.cache.fastsim import replay
+
+        plain = replay(mixed_llc_stream, "lru")
+        with metrics.collecting():
+            observed = replay(mixed_llc_stream, "lru")
+        assert observed.as_dict() == plain.as_dict()

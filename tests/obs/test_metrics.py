@@ -1,0 +1,170 @@
+"""Metrics core: registry semantics, the disabled no-op path, and the
+snapshot algebra (validate / merge / diff / export)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts disabled with an empty global registry."""
+    metrics.disable()
+    metrics.registry().clear()
+    yield
+    metrics.disable()
+    metrics.registry().clear()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        with metrics.collecting() as reg:
+            metrics.counter("x").inc()
+            metrics.counter("x").inc(4)
+            assert reg.counter("x").value == 5
+
+    def test_labels_define_identity_and_sort(self):
+        with metrics.collecting() as reg:
+            metrics.counter("x", b="2", a="1").inc()
+            metrics.counter("x", a="1", b="2").inc()
+            metrics.counter("x", a="other").inc()
+            assert reg.counter("x", a="1", b="2").value == 2
+            assert "x{a=1,b=2}" in reg
+            assert "x{a=other}" in reg
+
+    def test_gauge_set_and_max(self):
+        with metrics.collecting() as reg:
+            g = metrics.gauge("g")
+            g.set(3.0)
+            g.max(1.0)  # lower value: keeps 3.0
+            g.max(7.0)
+            assert reg.gauge("g").value == 7.0
+
+    def test_histogram_buckets_and_sum(self):
+        with metrics.collecting() as reg:
+            h = metrics.histogram("h", buckets=(1.0, 10.0))
+            h.observe(0.5)
+            h.observe(5.0, n=2)
+            h.observe(100.0)
+            snap = reg.histogram("h", buckets=(1.0, 10.0)).as_dict()
+            assert snap["count"] == 4
+            assert snap["sum"] == pytest.approx(0.5 + 2 * 5.0 + 100.0)
+            # Non-cumulative per-bucket counts, +Inf overflow bucket.
+            assert snap["buckets"] == {"1.0": 1, "10.0": 2, "+Inf": 1}
+            assert snap["min"] == 0.5 and snap["max"] == 100.0
+
+    def test_kind_mismatch_raises(self):
+        with metrics.collecting() as reg:
+            reg.counter("m")
+            with pytest.raises(TypeError):
+                reg.gauge("m")
+
+    def test_disabled_helpers_allocate_nothing(self):
+        assert not metrics.ENABLED
+        metrics.counter("x").inc()
+        metrics.gauge("g").set(1.0)
+        metrics.histogram("h").observe(2.0)
+        assert len(metrics.registry()) == 0
+
+    def test_split_key_roundtrip(self):
+        with metrics.collecting() as reg:
+            reg.counter("name", a="1", b="two")
+            (key,) = reg.snapshot()["metrics"].keys()
+        assert metrics.split_key(key) == ("name", {"a": "1", "b": "two"})
+        assert metrics.split_key("plain") == ("plain", {})
+
+
+class TestSnapshotAlgebra:
+    def _snap(self, **counters):
+        reg = metrics.MetricsRegistry()
+        for name, value in counters.items():
+            reg.counter(name).inc(value)
+        return reg.snapshot(run_id="r1")
+
+    def test_snapshot_is_schema_valid_and_json_safe(self):
+        snap = self._snap(a=1)
+        assert metrics.validate_snapshot(snap) == []
+        json.dumps(snap)  # must not raise
+
+    def test_validate_flags_problems(self):
+        assert metrics.validate_snapshot([]) != []
+        assert metrics.validate_snapshot({"schema": "wrong"})
+        bad = self._snap(a=1)
+        bad["run_id"] = 42
+        assert any("run_id" in p for p in metrics.validate_snapshot(bad))
+
+    def test_merge_adds_counters(self):
+        merged = metrics.merge_snapshots([self._snap(a=1, b=2), self._snap(a=10)])
+        assert merged["metrics"]["a"]["value"] == 11
+        assert merged["metrics"]["b"]["value"] == 2
+        assert metrics.validate_snapshot(merged) == []
+
+    def test_merge_is_associative(self):
+        s1, s2, s3 = self._snap(a=1), self._snap(a=2), self._snap(a=4)
+        left = metrics.merge_snapshots([metrics.merge_snapshots([s1, s2]), s3])
+        right = metrics.merge_snapshots([s1, metrics.merge_snapshots([s2, s3])])
+        assert left["metrics"] == right["metrics"]
+
+    def test_merge_adds_histograms(self):
+        def hist():
+            reg = metrics.MetricsRegistry()
+            reg.histogram("h", buckets=(1.0,)).observe(0.5)
+            return reg.snapshot()
+
+        merged = metrics.merge_snapshots([hist(), hist()])
+        assert merged["metrics"]["h"]["count"] == 2
+        assert merged["metrics"]["h"]["buckets"] == {"1.0": 2, "+Inf": 0}
+
+    def test_diff_reports_delta_and_pct(self):
+        rows = metrics.diff_snapshots(self._snap(a=10), self._snap(a=15))
+        (row,) = rows
+        assert row["metric"] == "a"
+        assert row["delta"] == 5
+        assert row["pct"] == pytest.approx(50.0)
+
+    def test_diff_only_globs(self):
+        a = self._snap(**{"sim.x": 1, "train.y": 1})
+        b = self._snap(**{"sim.x": 2, "train.y": 2})
+        rows = metrics.diff_snapshots(a, b, only=["sim.*"])
+        assert [r["metric"] for r in rows] == ["sim.x"]
+
+    def test_diff_handles_one_sided_metrics(self):
+        rows = metrics.diff_snapshots(self._snap(a=1), self._snap(b=1))
+        by_name = {r["metric"]: r for r in rows}
+        assert by_name["a"]["b"] is None
+        assert by_name["b"]["a"] is None
+
+
+class TestExport:
+    def test_prometheus_text_is_cumulative_and_sanitized(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("sim.replay.calls", policy="ship++").inc(3)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        text = metrics.to_prometheus(reg.snapshot())
+        assert 'repro_sim_replay_calls{policy="ship++"} 3' in text
+        # Prometheus buckets are cumulative with an explicit +Inf.
+        assert 'repro_h_bucket{le="2.0"} 2' in text
+        assert 'repro_h_bucket{le="+Inf"} 2' in text
+        assert "repro_h_count 2" in text
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        reg = metrics.MetricsRegistry()
+        reg.counter("a").inc()
+        snap = reg.snapshot(run_id="abc")
+        path = tmp_path / "snap.json"
+        metrics.save_snapshot(path, snap)
+        loaded = metrics.load_snapshot(path)
+        assert loaded["run_id"] == "abc"
+        assert loaded["metrics"] == snap["metrics"]
+
+    def test_save_prom_suffix_writes_textfile(self, tmp_path):
+        reg = metrics.MetricsRegistry()
+        reg.counter("a").inc()
+        path = tmp_path / "snap.prom"
+        metrics.save_snapshot(path, reg.snapshot())
+        assert "repro_a 1" in path.read_text()

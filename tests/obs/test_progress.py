@@ -1,0 +1,65 @@
+"""ProgressReporter: line format, ETA, and pipeline duck-typing."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+from repro.obs.progress import ProgressReporter, _fmt_seconds
+
+
+class TestFormat:
+    def test_seconds_formatting(self):
+        assert _fmt_seconds(5.4) == "5s"
+        assert _fmt_seconds(65) == "1m05s"
+        assert _fmt_seconds(3700) == "1h01m"
+
+    def test_counts_and_eta_line(self):
+        out = io.StringIO()
+        report = ProgressReporter(3, label="benchmarks", stream=out)
+        report("mcf")
+        line = out.getvalue().splitlines()[0]
+        assert line.startswith("[1/3] benchmarks mcf")
+        assert "elapsed" in line and "eta" in line
+
+    def test_last_task_has_no_eta(self):
+        out = io.StringIO()
+        report = ProgressReporter(1, stream=out)
+        report("only")
+        assert "eta" not in out.getvalue()
+
+    def test_outcome_object_shows_status(self):
+        out = io.StringIO()
+        report = ProgressReporter(2, stream=out)
+        report(SimpleNamespace(task_id="lbm", status="timeout"))
+        line = out.getvalue()
+        assert "lbm" in line and "(timeout)" in line
+
+    def test_ok_status_is_not_rendered(self):
+        out = io.StringIO()
+        report = ProgressReporter(2, stream=out)
+        report(SimpleNamespace(task_id="mcf", status="ok"))
+        assert "(ok)" not in out.getvalue()
+
+    def test_disabled_reporter_counts_silently(self):
+        out = io.StringIO()
+        report = ProgressReporter(2, stream=out, enabled=False)
+        report("a")
+        report.finish()
+        assert out.getvalue() == ""
+        assert report.done == 1
+
+    def test_finish_summary(self):
+        out = io.StringIO()
+        report = ProgressReporter(2, stream=out)
+        report("a")
+        report("b")
+        report.finish()
+        assert "[2/2]" in out.getvalue().splitlines()[-1]
+
+    def test_closed_stream_does_not_raise(self):
+        out = io.StringIO()
+        report = ProgressReporter(2, stream=out)
+        out.close()
+        report("a")  # must swallow the ValueError and disable itself
+        assert not report.enabled

@@ -1,0 +1,115 @@
+"""Tracing: span/event emission, the run-id contract, the module-level
+null tracer, and the Chrome trace-event export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_run_id():
+    """Tests control the run id explicitly; restore afterwards."""
+    trace.set_run_id(None)
+    yield
+    trace.uninstall()
+    trace.set_run_id(None)
+
+
+class TestRunId:
+    def test_current_is_none_until_created(self):
+        assert trace.current_run_id() is None
+        run_id = trace.current_run_id(create=True)
+        assert isinstance(run_id, str) and run_id
+        assert trace.current_run_id() == run_id
+
+    def test_set_pins_the_id(self):
+        trace.set_run_id("abc123")
+        assert trace.current_run_id() == "abc123"
+
+    def test_new_run_ids_are_distinct(self):
+        assert trace.new_run_id() != trace.new_run_id()
+
+
+class TestTraceLog:
+    def test_span_emits_complete_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace.TraceLog(path, run_id="r1") as log:
+            with log.span("work", benchmark="mcf"):
+                pass
+        (event,) = trace.read_events(path)
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["run_id"] == "r1"
+        assert event["dur"] >= 0
+        assert event["args"]["benchmark"] == "mcf"
+
+    def test_span_records_error_and_reraises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = trace.TraceLog(path, run_id="r1")
+        with pytest.raises(RuntimeError):
+            with log.span("boom"):
+                raise RuntimeError("nope")
+        log.close()
+        (event,) = trace.read_events(path)
+        assert "RuntimeError" in event["args"]["error"]
+
+    def test_instant_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace.TraceLog(path, run_id="r1") as log:
+            log.event("marker", k="v")
+        (event,) = trace.read_events(path)
+        assert event["ph"] == "i"
+        assert event["args"]["k"] == "v"
+
+    def test_read_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace.TraceLog(path, run_id="r1") as log:
+            log.event("ok")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "torn')
+        assert [e["name"] for e in trace.read_events(path)] == ["ok"]
+
+    def test_append_mode_preserves_prior_runs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace.TraceLog(path, run_id="r1") as log:
+            log.event("first")
+        with trace.TraceLog(path, run_id="r2") as log:
+            log.event("second")
+        assert [e["run_id"] for e in trace.read_events(path)] == ["r1", "r2"]
+
+
+class TestModuleTracer:
+    def test_span_without_tracer_is_a_noop(self):
+        assert trace.get_tracer() is None
+        with trace.span("anything", k=1):
+            pass
+        trace.event("anything")  # must not raise
+
+    def test_installed_tracer_receives_module_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        log = trace.install(trace.TraceLog(path, run_id="r1"))
+        assert trace.get_tracer() is log
+        with trace.span("via-module"):
+            pass
+        trace.uninstall()
+        log.close()
+        assert trace.get_tracer() is None
+        assert [e["name"] for e in trace.read_events(path)] == ["via-module"]
+
+
+class TestChromeExport:
+    def test_export_wraps_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace.TraceLog(path, run_id="r1") as log:
+            with log.span("a"):
+                pass
+            log.event("b")
+        out = tmp_path / "chrome.json"
+        count = trace.export_chrome(path, out)
+        assert count == 2
+        doc = json.loads(out.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} == {"a", "b"}

@@ -8,6 +8,7 @@ structured outcomes, journaling, budgets, and configuration.
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 
@@ -137,6 +138,41 @@ def test_parallel_map_raises_structured_error_and_journals(tmp_path):
 def test_parallel_map_sequential_path_propagates_original_error():
     with pytest.raises(ValueError):
         parallel_map(_fail_on_three, [3], jobs=1)
+
+
+def test_clean_run_leaves_no_supervise_temp_dirs(tmp_path, monkeypatch):
+    """The heartbeat/marker run dir must be gone after a successful map —
+    workers are joined first, so no daemon heartbeat thread can write a
+    straggler file mid-rmtree (the old silent leak)."""
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    outcomes = TaskSupervisor().map(_double, [1, 2, 3, 4], jobs=2)
+    assert [o.result for o in outcomes] == [2, 4, 6, 8]
+    residue = list(tmp_path.glob("repro-supervise-*"))
+    assert residue == []
+
+
+def test_structured_failures_still_clean_up_run_dir(tmp_path, monkeypatch):
+    """In-band compute errors are a *clean* exit: no postmortem dir."""
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    TaskSupervisor().map(_fail_on_three, [1, 3], jobs=2)
+    assert list(tmp_path.glob("repro-supervise-*")) == []
+
+
+def test_crashed_run_keeps_dir_and_journals_it(tmp_path, monkeypatch):
+    """An exception escaping the supervisor keeps the run dir for
+    postmortem inspection and records where it lives in the journal."""
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    journal = CrashJournal(tmp_path / "journal.jsonl")
+    supervisor = TaskSupervisor(journal=journal)
+
+    def boom(outcome):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        supervisor.map(_double, [1, 2], jobs=2, on_outcome=boom)
+    kept = [e for e in journal.read() if e["event"] == "run-dir-kept"]
+    assert kept, "crash exit must journal the kept run dir"
+    assert list(tmp_path.glob("repro-supervise-*"))
 
 
 def test_config_rejects_nonsense():
