@@ -11,6 +11,8 @@ Subpackages:
 * :mod:`repro.ml`      — NumPy LSTM+attention and the offline linear models.
 * :mod:`repro.cpu`     — core/DRAM timing, IPC and weighted speedup.
 * :mod:`repro.eval`    — one experiment per paper table/figure.
+* :mod:`repro.conformance` — differential fuzzing, invariant checking,
+  and the minimized regression corpus keeping engines and oracle honest.
 
 Quick start::
 
@@ -26,7 +28,7 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import cache, core, cpu, eval, ml, optgen, policies, traces  # noqa: F401
+from . import cache, conformance, core, cpu, eval, ml, optgen, policies, traces  # noqa: F401
 
 __all__ = [
     "cache",

@@ -50,6 +50,7 @@ from .stats import CacheStats
 
 __all__ = [
     "FAST_PATH_POLICIES",
+    "REFERENCE_ONLY_POLICIES",
     "EngineParityError",
     "fast_filter_to_llc_stream",
     "fast_path_kernel",
@@ -61,12 +62,57 @@ __all__ = [
 #: Registry names with a fast-path kernel (with their default parameters).
 FAST_PATH_POLICIES = ("lru", "mru", "random", "srrip", "brrip")
 
+#: Registry names that deliberately have *no* fast-path kernel: stateful
+#: learned/adaptive policies whose victim choice depends on hook-level
+#: state the flat kernels do not model.  Every registered policy must
+#: appear in exactly one of FAST_PATH_POLICIES or this tuple — enforced
+#: by the conformance registry-drift guard — so a newly registered
+#: policy cannot silently skip parity coverage.
+REFERENCE_ONLY_POLICIES = (
+    "drrip",
+    "ship",
+    "ship++",
+    "sdbp",
+    "perceptron",
+    "mpppb",
+    "hawkeye",
+    "glider",
+)
+
 #: Event tuple layout: (hit, bypassed, way, evicted_tag, evicted_dirty).
 _KIND_LOAD, _KIND_STORE, _KIND_WRITEBACK = 0, 1, 2
 
 
 class EngineParityError(AssertionError):
-    """Fast and reference engines diverged (bug in a fast-path kernel)."""
+    """Fast and reference engines diverged (bug in a fast-path kernel).
+
+    Besides the human-readable message, carries the structured location
+    of the first divergence when known: ``index`` (access number),
+    ``set_index``, the two event tuples ``ref_event`` / ``fast_event``
+    (hit, bypassed, way, evicted_tag, evicted_dirty), and ``set_state``
+    — the reference engine's per-way ``{way, tag, dirty, last_touch}``
+    snapshot of the divergent set *immediately before* the divergent
+    access — so a shrunk repro is debuggable without re-instrumenting.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        policy: str | None = None,
+        index: int | None = None,
+        set_index: int | None = None,
+        ref_event: tuple | None = None,
+        fast_event: tuple | None = None,
+        set_state: list | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.policy = policy
+        self.index = index
+        self.set_index = set_index
+        self.ref_event = ref_event
+        self.fast_event = fast_event
+        self.set_state = set_state
 
 
 # -- policy -> kernel resolution ---------------------------------------------
@@ -495,13 +541,73 @@ def _replay(
         return reference_replay(stream, policy, llc, record=record)
 
 
+def _set_state_before(stream, policy_name: str, config, index: int) -> tuple[int, list]:
+    """Reference-engine snapshot of the divergent set just before ``index``.
+
+    Returns ``(set_index, per_way_state)`` where each way is a dict of
+    ``{way, tag, dirty, last_touch}`` (invalid ways report ``tag=None``).
+    Cost is one partial replay — negligible for the shrunk repros this
+    diagnostic exists for.
+    """
+    from ..policies.registry import make_policy
+    from .cache import SetAssociativeCache
+
+    llc_config = _llc_config(config)
+    llc = SetAssociativeCache(llc_config, make_policy(policy_name))
+    for i, request in enumerate(stream.requests()):
+        if i >= index:
+            set_index = llc.set_index(request.address)
+            break
+        llc.access(request)
+    else:  # index past the end: report the last access's set
+        set_index = llc.set_index(int(stream.addresses[-1]))
+    state = [
+        {
+            "way": way,
+            "tag": line.tag if line.valid else None,
+            "dirty": bool(line.dirty) if line.valid else False,
+            "last_touch": line.last_touch if line.valid else None,
+        }
+        for way, line in enumerate(llc.sets[set_index])
+    ]
+    return set_index, state
+
+
+def _describe_divergence(
+    policy_name: str, index: int, set_index: int, ref, fast, set_state
+) -> str:
+    """Victim-way/tag diff plus the set snapshot, as one message."""
+    fields = ("hit", "bypassed", "way", "evicted_tag", "evicted_dirty")
+    delta = ", ".join(
+        f"{name}: ref={r} fast={f}"
+        for name, r, f in zip(fields, ref, fast)
+        if r != f
+    )
+    ways = "; ".join(
+        (
+            f"way {w['way']}: tag={w['tag']:#x} dirty={w['dirty']} "
+            f"touch={w['last_touch']}"
+        )
+        if w["tag"] is not None
+        else f"way {w['way']}: invalid"
+        for w in set_state
+    )
+    return (
+        f"{policy_name}: engines diverge at access {index} (set {set_index}): "
+        f"reference={ref} fast={fast} "
+        "(hit, bypassed, way, evicted_tag, evicted_dirty); "
+        f"delta [{delta}]; set {set_index} before the access: [{ways}]"
+    )
+
+
 def verify_parity(stream, policy_name: str, config=None) -> tuple[CacheStats, CacheStats]:
     """Assert fast/auto and reference engines agree access-by-access.
 
     ``policy_name`` must be a registry name (fresh instances are built
     per engine so learned state cannot leak between runs).  Returns the
     two stats objects; raises :class:`EngineParityError` naming the
-    first divergent access otherwise.
+    first divergent access — including the victim-way/tag delta and the
+    reference engine's snapshot of the divergent set — otherwise.
     """
     ref_events: list = []
     fast_events: list = []
@@ -510,18 +616,25 @@ def verify_parity(stream, policy_name: str, config=None) -> tuple[CacheStats, Ca
     if ref_events != fast_events:
         for i, (r, f) in enumerate(zip(ref_events, fast_events)):
             if r != f:
+                set_index, set_state = _set_state_before(stream, policy_name, config, i)
                 raise EngineParityError(
-                    f"{policy_name}: engines diverge at access {i}: "
-                    f"reference={r} fast={f} "
-                    "(hit, bypassed, way, evicted_tag, evicted_dirty)"
+                    _describe_divergence(policy_name, i, set_index, r, f, set_state),
+                    policy=policy_name,
+                    index=i,
+                    set_index=set_index,
+                    ref_event=r,
+                    fast_event=f,
+                    set_state=set_state,
                 )
         raise EngineParityError(
             f"{policy_name}: event streams differ in length: "
-            f"{len(ref_events)} vs {len(fast_events)}"
+            f"{len(ref_events)} vs {len(fast_events)}",
+            policy=policy_name,
         )
     if ref_stats != fast_stats:
         raise EngineParityError(
-            f"{policy_name}: stats differ: {ref_stats} vs {fast_stats}"
+            f"{policy_name}: stats differ: {ref_stats} vs {fast_stats}",
+            policy=policy_name,
         )
     return ref_stats, fast_stats
 

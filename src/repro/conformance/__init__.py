@@ -1,0 +1,51 @@
+"""Conformance subsystem: differential fuzzing, oracle cross-validation,
+and the minimized regression corpus.
+
+The two LLC engines (:mod:`repro.cache.cache` reference and
+:mod:`repro.cache.fastsim` kernels) and the OPTgen oracle are only
+trustworthy together: this package continuously proves they agree.
+
+* :mod:`~repro.conformance.generators` — seeded adversarial stream
+  generators (pointer-chase, scan, zipf, set-camp, thrash, mix).
+* :mod:`~repro.conformance.differential` — per-case checks: engine
+  parity, invariant-checked replay, Belady upper bound, OPTgen vs
+  brute-force MIN.
+* :mod:`~repro.conformance.invariants` — runtime invariant checkers
+  (occupancy conservation, RRPV bounds, ISVM saturation, OPTgen
+  occupancy vector) attachable to any run.
+* :mod:`~repro.conformance.shrink` — ddmin delta-debugging of failing
+  traces to near-minimal repros.
+* :mod:`~repro.conformance.corpus` — the checked-in regression corpus
+  under ``tests/corpus/`` (ArtifactStore format).
+* :mod:`~repro.conformance.fuzzer` — the time-budgeted fuzz loop with
+  supervised parallel workers.
+* :mod:`~repro.conformance.cli` — ``python -m repro.eval conformance``.
+"""
+
+from .differential import CaseResult, Divergence, cross_validate_optgen, run_case
+from .fuzzer import FuzzConfig, FuzzReport, fuzz, parse_budget
+from .generators import GENERATOR_FAMILIES, CaseSpec, generate_stream, spec_config
+from .invariants import InvariantViolation, checked_replay, run_all_checks
+from .shrink import ShrinkResult, failure_predicate, shrink_stream, take
+
+__all__ = [
+    "CaseResult",
+    "CaseSpec",
+    "Divergence",
+    "FuzzConfig",
+    "FuzzReport",
+    "GENERATOR_FAMILIES",
+    "InvariantViolation",
+    "ShrinkResult",
+    "checked_replay",
+    "cross_validate_optgen",
+    "failure_predicate",
+    "fuzz",
+    "generate_stream",
+    "parse_budget",
+    "run_all_checks",
+    "run_case",
+    "shrink_stream",
+    "spec_config",
+    "take",
+]

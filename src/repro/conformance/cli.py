@@ -1,0 +1,253 @@
+"""``python -m repro.eval conformance`` — fuzz, shrink, corpus tooling.
+
+Subcommands::
+
+    conformance fuzz --seed 0 --budget 30s [--jobs N] [--corpus DIR]
+                     [--out report.json] [--metrics-out PATH]
+    conformance shrink --from-report report.json [--index 0] [--corpus DIR]
+    conformance shrink --family thrash --case-seed 7 --kind engine-parity
+                       --policy lru [--corpus DIR]
+    conformance corpus replay|list|seed [--corpus DIR]
+
+``fuzz`` exits non-zero when any divergence is found; ``corpus replay``
+exits non-zero when any checked-in repro fails its checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from .differential import Divergence, default_policies
+from .fuzzer import FuzzConfig, fuzz, parse_budget, shrink_divergence
+from .generators import GENERATOR_FAMILIES
+
+__all__ = ["main"]
+
+
+def _add_geometry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sets", type=int, default=16, help="LLC sets")
+    parser.add_argument("--assoc", type=int, default=4, help="LLC ways per set")
+    parser.add_argument(
+        "--case-length", type=int, default=1200, help="accesses per fuzz case"
+    )
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval conformance", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="run the differential fuzzer")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="master fuzz seed")
+    p_fuzz.add_argument(
+        "--budget", default="30s", help='time budget, e.g. "30s", "2m"'
+    )
+    p_fuzz.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_fuzz.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy subset (default: all registry policies)",
+    )
+    p_fuzz.add_argument(
+        "--max-cases", type=int, default=None, help="stop after N cases"
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report divergences unminimized"
+    )
+    p_fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="archive shrunk repros into this corpus directory",
+    )
+    p_fuzz.add_argument(
+        "--out", default=None, metavar="PATH", help="write the JSON fuzz report"
+    )
+    p_fuzz.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write an obs metrics snapshot after the run",
+    )
+    p_fuzz.add_argument("--quiet", action="store_true")
+    _add_geometry(p_fuzz)
+
+    p_shrink = sub.add_parser("shrink", help="minimise one divergence")
+    p_shrink.add_argument(
+        "--from-report", default=None, metavar="PATH",
+        help="fuzz report JSON holding the divergence to shrink",
+    )
+    p_shrink.add_argument(
+        "--index", type=int, default=0, help="divergence index in the report"
+    )
+    p_shrink.add_argument("--family", choices=GENERATOR_FAMILIES, default=None)
+    p_shrink.add_argument("--case-seed", type=int, default=0)
+    p_shrink.add_argument(
+        "--kind", default="engine-parity",
+        help="divergence kind (engine-parity, invariant, optgen-*, belady-bound)",
+    )
+    p_shrink.add_argument("--policy", default=None)
+    p_shrink.add_argument("--corpus", default=None, metavar="DIR")
+    _add_geometry(p_shrink)
+
+    p_corpus = sub.add_parser("corpus", help="inspect/replay the corpus")
+    p_corpus.add_argument("action", choices=["replay", "list", "seed"])
+    p_corpus.add_argument("--corpus", default=None, metavar="DIR")
+    return parser
+
+
+def _cmd_fuzz(args) -> int:
+    if args.metrics_out:
+        obs_metrics.enable()
+    policies = tuple(args.policies.split(",")) if args.policies else None
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=parse_budget(args.budget),
+        jobs=args.jobs,
+        case_length=args.case_length,
+        num_sets=args.sets,
+        associativity=args.assoc,
+        policies=policies,
+        max_cases=args.max_cases,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus,
+    )
+    with obs_trace.span(
+        "conformance.fuzz", seed=args.seed, budget=config.budget, jobs=args.jobs
+    ):
+        report = fuzz(config)
+
+    def emit(text: str) -> None:
+        if not args.quiet:
+            print(text)
+
+    emit(
+        f"fuzz: {report.cases_run} cases, {report.checks_run} checks, "
+        f"{len(report.divergences)} divergences in {report.elapsed:.1f}s "
+        f"(seed={args.seed}, policies={len(policies or default_policies())})"
+    )
+    for divergence in report.divergences:
+        emit(f"  DIVERGENCE {json.dumps(divergence.as_row())}")
+    for row in report.shrunk:
+        emit(f"  shrunk {json.dumps(row)}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        emit(f"fuzz report -> {args.out}")
+    if args.metrics_out:
+        snapshot = obs_metrics.registry().snapshot(
+            run_id=obs_trace.current_run_id(create=True),
+            meta={"command": "conformance.fuzz", "seed": args.seed},
+        )
+        obs_metrics.save_snapshot(args.metrics_out, snapshot)
+        emit(f"metrics snapshot -> {args.metrics_out}")
+    return 0 if report.clean else 1
+
+
+def _cmd_shrink(args) -> int:
+    if args.from_report:
+        with open(args.from_report) as fh:
+            report = json.load(fh)
+        rows = report.get("divergences", [])
+        if not rows:
+            print("report holds no divergences; nothing to shrink")
+            return 0
+        if not 0 <= args.index < len(rows):
+            print(f"--index {args.index} out of range 0..{len(rows) - 1}")
+            return 2
+        row = rows[args.index]
+        divergence = Divergence(
+            kind=row["kind"],
+            policy=row.get("policy"),
+            spec=row["spec"],
+            message=row.get("message", ""),
+            index=row.get("index"),
+        )
+    else:
+        if args.family is None:
+            print("shrink needs --from-report or --family/--case-seed/--kind")
+            return 2
+        spec = {
+            "family": args.family,
+            "seed": args.case_seed,
+            "length": args.case_length,
+            "num_sets": args.sets,
+            "associativity": args.assoc,
+        }
+        divergence = Divergence(
+            kind=args.kind, policy=args.policy, spec=spec, message="manual"
+        )
+    try:
+        shrunk, path = shrink_divergence(divergence, corpus_dir=args.corpus)
+    except ValueError as error:
+        print(f"shrink failed: {error}")
+        return 1
+    print(
+        f"shrunk {shrunk.original_length} -> {shrunk.length} accesses "
+        f"({shrunk.reduction:.0%} removed, {shrunk.predicate_calls} replays)"
+    )
+    if path is not None:
+        print(f"corpus entry -> {path}")
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from .corpus import (
+        default_corpus_dir,
+        list_entries,
+        load_entry,
+        replay_entry,
+        seed_corpus,
+    )
+
+    corpus_dir = args.corpus or default_corpus_dir()
+    if args.action == "seed":
+        paths = seed_corpus(corpus_dir)
+        print(f"seeded {len(paths)} sentinel entries in {corpus_dir}")
+        return 0
+    keys = list_entries(corpus_dir)
+    if args.action == "list":
+        for benchmark, digest in keys:
+            entry = load_entry(corpus_dir, benchmark, digest)
+            if entry is None:
+                print(f"{benchmark} [{digest}] UNREADABLE")
+                continue
+            print(
+                f"{entry.name} [{digest}] kind={entry.kind} "
+                f"accesses={entry.length} policies={','.join(entry.policies)}"
+            )
+        print(f"{len(keys)} entries in {corpus_dir}")
+        return 0
+    # replay
+    failures: list[str] = []
+    replayed = 0
+    for benchmark, digest in keys:
+        entry = load_entry(corpus_dir, benchmark, digest)
+        if entry is None:
+            failures.append(f"{benchmark} [{digest}]: unreadable entry")
+            continue
+        problems = replay_entry(entry)
+        replayed += 1
+        status = "ok" if not problems else "FAIL"
+        print(f"replay {entry.name}: {entry.length} accesses {status}")
+        failures.extend(problems)
+    print(f"corpus replay: {replayed}/{len(keys)} entries, {len(failures)} failures")
+    for failure in failures:
+        print(f"  {failure}")
+    if not keys:
+        print(f"no corpus entries found in {corpus_dir}")
+        return 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
+    if args.command == "shrink":
+        return _cmd_shrink(args)
+    return _cmd_corpus(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

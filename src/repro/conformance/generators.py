@@ -1,0 +1,235 @@
+"""Adversarial LLC-stream generators for the differential fuzzer.
+
+Each generator *family* produces access streams engineered to stress a
+specific corner of the simulation engines: eviction ordering under
+capacity pressure, per-set bookkeeping, RRPV ageing loops, writeback
+dirty-state propagation, RNG draw alignment.  A stream is described by
+a :class:`CaseSpec` — a small, picklable, JSON-serialisable record —
+and :func:`generate_stream` turns a spec into the same
+:class:`~repro.cache.hierarchy.LLCStream` bit-for-bit every time, so a
+fuzz case can be shipped to a worker process, replayed in CI, or
+regenerated years later from five integers and a string.
+
+Families:
+
+* ``pointer-chase`` — a seeded permutation walk whose reuse distance is
+  the full working set; maximally order-sensitive.
+* ``scan`` — cyclic scans slightly larger than the cache interleaved
+  with a hot loop; the classic LRU-thrash / scan-resistance pattern.
+* ``zipf`` — Zipf-skewed line popularity; head lines live forever,
+  tail lines are one-shot, which exercises bypass/insertion choices.
+* ``set-camp`` — all traffic concentrated on a handful of sets (line
+  numbers congruent mod ``num_sets``), hammering per-set state where
+  the rest of the cache stays cold.
+* ``thrash`` — per-set working sets of exactly ``associativity + 1``
+  lines, the adversarial pattern for which LRU achieves a 0% hit rate
+  while MIN does not; maximises divergence amplification.
+* ``mix`` — a chunked interleave of all of the above, for cross-family
+  interactions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..cache.config import CacheConfig
+from ..cache.hierarchy import LLCStream
+
+__all__ = ["CaseSpec", "GENERATOR_FAMILIES", "generate_stream", "spec_config"]
+
+#: Every generator family, in the order the fuzzer cycles through them.
+GENERATOR_FAMILIES = (
+    "pointer-chase",
+    "scan",
+    "zipf",
+    "set-camp",
+    "thrash",
+    "mix",
+)
+
+_LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """A complete, regenerable description of one fuzz case."""
+
+    family: str
+    seed: int
+    length: int = 1200
+    num_sets: int = 16
+    associativity: int = 4
+    store_fraction: float = 0.2
+    writeback_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.family not in GENERATOR_FAMILIES:
+            raise ValueError(
+                f"unknown generator family {self.family!r}; "
+                f"available: {list(GENERATOR_FAMILIES)}"
+            )
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("num_sets must be a power of two")
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}-s{self.seed}-n{self.length}"
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.associativity
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CaseSpec":
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CaseSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def spec_config(spec: CaseSpec) -> CacheConfig:
+    """The LLC geometry a spec's stream is meant to be replayed against."""
+    return CacheConfig(
+        "LLC",
+        size_bytes=spec.num_sets * spec.associativity * _LINE_SIZE,
+        associativity=spec.associativity,
+        latency=26,
+    )
+
+
+# -- per-family line sequences ------------------------------------------------
+
+
+def _lines_pointer_chase(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    pool = max(4, int(spec.capacity * 1.5))
+    order = rng.permutation(pool)
+    walks = int(np.ceil(spec.length / pool))
+    return np.tile(order, walks)[: spec.length]
+
+
+def _lines_scan(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    scan_lines = spec.capacity + max(1, spec.capacity // 8)
+    hot_lines = max(2, spec.associativity)
+    out = np.empty(spec.length, dtype=np.int64)
+    scan_pos = 0
+    for i in range(spec.length):
+        if i % 3 == 2:  # every third access touches the hot loop
+            out[i] = scan_lines + (i // 3) % hot_lines
+        else:
+            out[i] = scan_pos % scan_lines
+            scan_pos += 1
+    return out
+
+
+def _lines_zipf(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    pool = max(8, spec.capacity * 2)
+    ranks = np.arange(1, pool + 1, dtype=np.float64)
+    weights = 1.0 / ranks**1.2
+    weights /= weights.sum()
+    return rng.choice(pool, size=spec.length, p=weights)
+
+
+def _lines_set_camp(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    camped = rng.choice(spec.num_sets, size=max(1, spec.num_sets // 8), replace=False)
+    depth = spec.associativity + 2  # enough distinct tags per set to evict
+    sets = rng.choice(camped, size=spec.length)
+    tags = rng.integers(0, depth, size=spec.length)
+    return sets + tags * spec.num_sets
+
+
+def _lines_thrash(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    # Round-robin over associativity+1 lines per set: LRU's 0%-hit case.
+    active_sets = max(1, spec.num_sets // 4)
+    ws = spec.associativity + 1
+    out = np.empty(spec.length, dtype=np.int64)
+    for i in range(spec.length):
+        s = (i // ws) % active_sets
+        out[i] = s + ((i % ws) * spec.num_sets)
+    return out
+
+
+def _lines_mix(spec: CaseSpec, rng: np.random.Generator) -> np.ndarray:
+    parts = []
+    chunk = max(32, spec.length // 12)
+    makers = (
+        _lines_pointer_chase,
+        _lines_scan,
+        _lines_zipf,
+        _lines_set_camp,
+        _lines_thrash,
+    )
+    produced = 0
+    while produced < spec.length:
+        maker = makers[int(rng.integers(len(makers)))]
+        sub = CaseSpec(
+            family=spec.family,
+            seed=spec.seed,
+            length=chunk,
+            num_sets=spec.num_sets,
+            associativity=spec.associativity,
+        )
+        parts.append(maker(sub, rng))
+        produced += chunk
+    return np.concatenate(parts)[: spec.length]
+
+
+_FAMILY_MAKERS = {
+    "pointer-chase": _lines_pointer_chase,
+    "scan": _lines_scan,
+    "zipf": _lines_zipf,
+    "set-camp": _lines_set_camp,
+    "thrash": _lines_thrash,
+    "mix": _lines_mix,
+}
+
+
+def generate_stream(spec: CaseSpec) -> LLCStream:
+    """Deterministically materialise the LLC stream described by ``spec``.
+
+    Writebacks target lines the stream has already demanded (as real L2
+    dirty evictions would), so dirty-state propagation and
+    writeback-miss fills are exercised rather than just tolerated.
+    """
+    rng = np.random.default_rng(spec.seed)
+    lines = np.asarray(_FAMILY_MAKERS[spec.family](spec, rng), dtype=np.int64)
+    n = len(lines)
+    kinds = np.where(
+        rng.random(n) < spec.store_fraction, LLCStream.KIND_STORE, LLCStream.KIND_LOAD
+    ).astype(np.int8)
+    if spec.writeback_fraction > 0:
+        wb_mask = rng.random(n) < spec.writeback_fraction
+        # A writeback revisits an earlier line in the stream.
+        for i in np.flatnonzero(wb_mask):
+            if i == 0:
+                continue
+            kinds[i] = LLCStream.KIND_WRITEBACK
+            lines[i] = lines[int(rng.integers(i))]
+    pcs = (rng.integers(0, 64, size=n) * 4 + 0x400000).astype(np.uint64)
+    addresses = lines.astype(np.uint64) * np.uint64(_LINE_SIZE) + rng.integers(
+        0, _LINE_SIZE, size=n
+    ).astype(np.uint64)
+    return LLCStream(
+        name=spec.name,
+        pcs=pcs,
+        addresses=addresses,
+        kinds=kinds,
+        cores=np.zeros(n, dtype=np.int16),
+        line_size=_LINE_SIZE,
+        source_accesses=n,
+        source_instructions=4 * n,
+        l1_hits=0,
+        l2_hits=0,
+        metadata={"spec": spec.to_dict()},
+    )

@@ -36,6 +36,14 @@ manifest and crash journal.  ``--jobs N`` sweeps report live per-task
 progress + ETA on stderr (``--quiet`` silences it).  The ``obs``
 subcommand (``obs summarize|diff|chrome``) renders and compares
 snapshot files — see ``python -m repro.eval obs --help``.
+
+Conformance: the ``conformance`` subcommand (``conformance
+fuzz|shrink|corpus``) runs the differential fuzzer that proves the two
+simulation engines and the OPTgen oracle agree, minimizes any failing
+trace with delta debugging, and replays the checked-in regression
+corpus under ``tests/corpus/`` — see ``python -m repro.eval
+conformance --help`` and the "Conformance & fuzzing" section of
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -76,6 +84,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "conformance":
+        # Fuzz/shrink/corpus tooling has its own argument surface.
+        from ..conformance.cli import main as conformance_main
+
+        return conformance_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
     parser.add_argument(

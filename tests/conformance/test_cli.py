@@ -1,0 +1,122 @@
+"""Smoke tests for ``python -m repro.eval conformance ...``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.cli import main as conformance_main
+from repro.eval.__main__ import main as eval_main
+
+FAST_ARGS = ["--case-length", "200", "--sets", "4", "--assoc", "2"]
+
+
+def test_fuzz_clean_run_writes_report_and_metrics(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    metrics_path = tmp_path / "metrics.json"
+    code = conformance_main(
+        [
+            "fuzz",
+            "--seed", "0",
+            "--budget", "0",
+            "--max-cases", "2",
+            "--policies", "lru,srrip",
+            "--out", str(report_path),
+            "--metrics-out", str(metrics_path),
+            *FAST_ARGS,
+        ]
+    )
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["clean"] is True
+    assert report["cases_run"] == 2
+    assert report["checks_run"] > 0
+    assert report["policies"] == ["lru", "srrip"]
+    snapshot = json.loads(metrics_path.read_text())
+    text = json.dumps(snapshot)
+    assert "conformance.fuzz.cases" in text
+    out = capsys.readouterr().out
+    assert "0 divergences" in out
+
+
+def test_fuzz_exits_nonzero_on_divergence(tmp_path, monkeypatch):
+    from .mutations import install_lru_off_by_one
+
+    install_lru_off_by_one(monkeypatch)
+    report_path = tmp_path / "report.json"
+    code = conformance_main(
+        [
+            "fuzz",
+            "--seed", "0",
+            "--budget", "0",
+            "--max-cases", "2",
+            "--policies", "lru",
+            "--no-shrink",
+            "--quiet",
+            "--out", str(report_path),
+            *FAST_ARGS,
+        ]
+    )
+    assert code == 1
+    report = json.loads(report_path.read_text())
+    assert report["clean"] is False
+    assert report["divergences"]
+
+
+def test_shrink_from_report(tmp_path, monkeypatch, capsys):
+    """fuzz --no-shrink -> shrink --from-report reproduces the workflow."""
+    from .mutations import install_lru_off_by_one
+
+    install_lru_off_by_one(monkeypatch)
+    report_path = tmp_path / "report.json"
+    conformance_main(
+        [
+            "fuzz", "--seed", "0", "--budget", "0", "--max-cases", "1",
+            "--policies", "lru", "--no-shrink", "--quiet",
+            "--out", str(report_path), *FAST_ARGS,
+        ]
+    )
+    capsys.readouterr()
+    code = conformance_main(
+        [
+            "shrink",
+            "--from-report", str(report_path),
+            "--index", "0",
+            "--corpus", str(tmp_path / "corpus"),
+            *FAST_ARGS,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "shrunk" in out and "corpus entry ->" in out
+
+
+def test_shrink_needs_a_target(capsys):
+    assert conformance_main(["shrink"]) == 2
+
+
+def test_corpus_seed_list_replay_cycle(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    assert conformance_main(["corpus", "seed", "--corpus", corpus]) == 0
+    assert conformance_main(["corpus", "list", "--corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "sentinel-" in out
+    assert conformance_main(["corpus", "replay", "--corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "0 failures" in out
+
+
+def test_corpus_replay_empty_dir_fails(tmp_path):
+    assert conformance_main(["corpus", "replay", "--corpus", str(tmp_path)]) == 1
+
+
+def test_eval_main_dispatches_conformance(tmp_path, capsys):
+    code = eval_main(
+        [
+            "conformance", "fuzz",
+            "--seed", "3", "--budget", "0", "--max-cases", "1",
+            "--policies", "lru", "--quiet", *FAST_ARGS,
+        ]
+    )
+    assert code == 0

@@ -1,0 +1,130 @@
+"""Hypothesis property tests tying every policy to the Belady oracle.
+
+Two theorems anchor the conformance story and are checked here on
+randomly generated traces:
+
+1. **MIN optimality** — Belady's MIN (with bypass) achieves at least as
+   many hits as *any* replacement policy on the same trace, so its hit
+   count upper-bounds every registry policy.
+2. **Metamorphic monotonicity** — deleting an access to a line that is
+   never reused cannot decrease MIN's hit count (the deleted access is
+   itself a guaranteed miss, and its absence can only free capacity).
+
+Plus the oracle-consistency pair: unbounded OPTgen reproduces
+``simulate_belady`` exactly, and windowing OPTgen can only forfeit hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import LLCStream
+from repro.conformance.invariants import checked_replay
+from repro.optgen.belady import simulate_belady
+from repro.optgen.optgen import OptGen
+from repro.policies.registry import available_policies
+
+NUM_SETS = 4
+ASSOCIATIVITY = 2
+
+lines_strategy = st.lists(
+    st.integers(min_value=0, max_value=31), min_size=1, max_size=160
+)
+
+
+def _stream_from_lines(lines: list[int]) -> LLCStream:
+    """A loads-only LLC stream touching the given cache lines in order."""
+    n = len(lines)
+    arr = np.asarray(lines, dtype=np.uint64)
+    return LLCStream(
+        name="property",
+        pcs=(arr % np.uint64(7)) * np.uint64(4) + np.uint64(0x400000),
+        addresses=arr * np.uint64(64),
+        kinds=np.zeros(n, dtype=np.int8),
+        cores=np.zeros(n, dtype=np.int16),
+        line_size=64,
+        source_accesses=n,
+        source_instructions=4 * n,
+        l1_hits=0,
+        l2_hits=0,
+    )
+
+
+def _config() -> CacheConfig:
+    return CacheConfig("LLC", NUM_SETS * ASSOCIATIVITY * 64, ASSOCIATIVITY, latency=1)
+
+
+@pytest.mark.parametrize("policy", available_policies())
+@settings(max_examples=15, deadline=None)
+@given(lines=lines_strategy)
+def test_belady_upper_bounds_every_policy(policy, lines):
+    stream = _stream_from_lines(lines)
+    stats = checked_replay(stream, policy, _config(), every=64)
+    optimum = simulate_belady(
+        np.asarray(lines, dtype=np.int64), NUM_SETS, ASSOCIATIVITY
+    ).num_hits
+    assert stats.demand_hits <= optimum, (
+        f"{policy} beat Belady MIN: {stats.demand_hits} > {optimum} on {lines}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(lines=lines_strategy, data=st.data())
+def test_removing_never_reused_access_never_hurts_opt(lines, data):
+    counts: dict[int, int] = {}
+    for line in lines:
+        counts[line] = counts.get(line, 0) + 1
+    singles = [i for i, line in enumerate(lines) if counts[line] == 1]
+    if not singles:
+        return
+    drop = data.draw(st.sampled_from(singles), label="dropped index")
+    reduced = lines[:drop] + lines[drop + 1 :]
+    base = simulate_belady(
+        np.asarray(lines, dtype=np.int64), NUM_SETS, ASSOCIATIVITY
+    ).num_hits
+    after = (
+        simulate_belady(
+            np.asarray(reduced, dtype=np.int64), NUM_SETS, ASSOCIATIVITY
+        ).num_hits
+        if reduced
+        else 0
+    )
+    assert after >= base, (
+        f"dropping never-reused access {drop} (line {lines[drop]}) lost hits: "
+        f"{base} -> {after} on {lines}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(lines=lines_strategy)
+def test_unbounded_optgen_matches_belady_exactly(lines):
+    optgen = OptGen(NUM_SETS, ASSOCIATIVITY, window=None)
+    for line in lines:
+        optgen.access(line)
+    exact = simulate_belady(
+        np.asarray(lines, dtype=np.int64), NUM_SETS, ASSOCIATIVITY
+    ).num_hits
+    assert optgen.opt_hits == exact, (
+        f"unbounded OPTgen {optgen.opt_hits} != Belady {exact} on {lines}"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lines=lines_strategy,
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_windowed_optgen_never_beats_exact(lines, window):
+    exact = OptGen(NUM_SETS, ASSOCIATIVITY, window=None)
+    bounded = OptGen(NUM_SETS, ASSOCIATIVITY, window=window)
+    for line in lines:
+        exact.access(line)
+        bounded.access(line)
+    assert bounded.opt_hits <= exact.opt_hits, (
+        f"window={window} OPTgen {bounded.opt_hits} > exact {exact.opt_hits} "
+        f"on {lines}"
+    )

@@ -1,0 +1,44 @@
+"""Registry-drift guard: fastsim must classify every registry policy.
+
+The conformance fuzzer derives its policy list from
+``FAST_PATH_POLICIES + REFERENCE_ONLY_POLICIES`` (deliberately *not*
+from the registry), so this test is the single point that fails when a
+new policy is registered without deciding its engine story.  Fix a
+failure here by either adding a fast kernel (and FAST_PATH_POLICIES
+entry) or appending the name to REFERENCE_ONLY_POLICIES in fastsim.py —
+both routes put the policy under differential fuzz coverage.
+"""
+
+from __future__ import annotations
+
+from repro.cache.fastsim import FAST_PATH_POLICIES, REFERENCE_ONLY_POLICIES
+from repro.conformance.differential import default_policies
+from repro.policies.registry import available_policies
+
+
+def test_every_registry_policy_is_classified():
+    covered = set(FAST_PATH_POLICIES) | set(REFERENCE_ONLY_POLICIES)
+    missing = sorted(set(available_policies()) - covered)
+    assert not missing, (
+        f"policies registered but unclassified in fastsim.py: {missing} — "
+        "add a fast kernel to FAST_PATH_POLICIES or list them in "
+        "REFERENCE_ONLY_POLICIES so the conformance fuzzer covers them"
+    )
+
+
+def test_no_stale_classifications():
+    """Names listed in fastsim must still exist in the registry."""
+    registered = set(available_policies())
+    stale = sorted(
+        (set(FAST_PATH_POLICIES) | set(REFERENCE_ONLY_POLICIES)) - registered
+    )
+    assert not stale, f"fastsim lists policies no longer registered: {stale}"
+
+
+def test_classifications_are_disjoint():
+    overlap = sorted(set(FAST_PATH_POLICIES) & set(REFERENCE_ONLY_POLICIES))
+    assert not overlap, f"policies in both engine classes: {overlap}"
+
+
+def test_fuzzer_default_covers_whole_registry():
+    assert set(default_policies()) == set(available_policies())
