@@ -44,6 +44,14 @@ trace with delta debugging, and replays the checked-in regression
 corpus under ``tests/corpus/`` — see ``python -m repro.eval
 conformance --help`` and the "Conformance & fuzzing" section of
 EXPERIMENTS.md.
+
+Serving: the ``serve`` subcommand (``serve run|load|bench``) runs the
+fault-tolerant replacement-policy-as-a-service daemon — sharded policy
+workers behind an NDJSON/TCP front end with backpressure, circuit
+breakers, crash recovery, and graceful drain — plus its load generator
+and chaos benchmark (``BENCH_serve.json``).  See ``python -m repro.eval
+serve --help`` and the "Serving & load testing" section of
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -89,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..conformance.cli import main as conformance_main
 
         return conformance_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The prediction daemon / load generator has its own CLI.
+        from ..serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
     parser.add_argument(
@@ -143,6 +156,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-degrade", action="store_true",
         help="raise instead of falling back to sequential after repeated pool breakage",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SEC",
+        help="worker heartbeat period in supervised pools (--jobs > 1)",
+    )
+    parser.add_argument(
+        "--heartbeat-grace", type=float, default=30.0, metavar="SEC",
+        help="unchanged-heartbeat window before a pool worker is declared wedged",
     )
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -204,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         task_timeout=args.task_timeout,
         max_pool_restarts=args.max_pool_restarts,
         degrade=not args.no_degrade,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_grace=args.heartbeat_grace,
     )
     journal = None
     if args.store:

@@ -43,6 +43,7 @@ __all__ = [
     "enable",
     "gauge",
     "histogram",
+    "live_prometheus",
     "load_snapshot",
     "merge_snapshots",
     "registry",
@@ -448,6 +449,17 @@ def to_prometheus(snapshot: dict) -> str:
             lines.append(f"{pname}_sum{_prom_labels(labels)} {entry['sum']}")
             lines.append(f"{pname}_count{_prom_labels(labels)} {entry['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def live_prometheus(run_id: str | None = None) -> str:
+    """Render the *live* global registry in Prometheus exposition format.
+
+    This is the scrape path of long-running processes (the prediction
+    server's ``/metrics`` endpoint): it snapshots the current registry
+    state on every call, so a scraper always sees up-to-date counters
+    without the process having to write textfiles.
+    """
+    return to_prometheus(_REGISTRY.snapshot(run_id=run_id))
 
 
 def save_snapshot(path: str | os.PathLike, snapshot: dict) -> None:

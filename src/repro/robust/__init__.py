@@ -56,6 +56,12 @@ from .supervise import (
     SuperviseConfig,
     TaskOutcome,
     TaskSupervisor,
+    heartbeat_path,
+    kill_process,
+    pid_alive,
+    read_heartbeat,
+    start_heartbeat,
+    sweep_stale_run_dirs,
 )
 
 __all__ = [
@@ -87,7 +93,13 @@ __all__ = [
     "call_with_retry",
     "check_isvm_health",
     "corrupt_trace",
+    "heartbeat_path",
+    "kill_process",
     "non_finite_fraction",
+    "pid_alive",
     "poison_isvm",
+    "read_heartbeat",
+    "start_heartbeat",
+    "sweep_stale_run_dirs",
     "with_retry",
 ]

@@ -62,6 +62,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
 __all__ = [
+    "RUN_DIR_PREFIX",
     "TAXONOMIES",
     "CrashJournal",
     "PoolBrokenError",
@@ -69,7 +70,16 @@ __all__ = [
     "SuperviseConfig",
     "TaskOutcome",
     "TaskSupervisor",
+    "heartbeat_path",
+    "kill_process",
+    "pid_alive",
+    "read_heartbeat",
+    "start_heartbeat",
+    "sweep_stale_run_dirs",
 ]
+
+#: Prefix of the temp directories holding start markers and heartbeats.
+RUN_DIR_PREFIX = "repro-supervise-"
 
 #: Failure taxonomy classes recorded on outcomes and journal entries.
 TAXONOMY_TIMEOUT = "timeout"  # task exceeded its wall-clock deadline
@@ -171,10 +181,65 @@ class CrashJournal:
     Each line is one self-contained JSON event.  Appends are flushed
     immediately so the journal survives a parent crash; reads skip a
     torn final line rather than fail.
+
+    Long-running processes (the prediction server) cap the journal with
+    ``max_bytes`` / ``max_entries``: when a cap would be exceeded the
+    current file is rotated to ``<path>.1`` (replacing any previous
+    archive) and the incoming entry starts a fresh file — the newest
+    entry is always present, and total disk use is bounded at roughly
+    twice the cap.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None)")
         self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._entries: int | None = None  # lazy line count of the live file
+
+    @property
+    def archive_path(self) -> Path:
+        """Where one rotation's worth of older entries is kept."""
+        return self.path.with_name(self.path.name + ".1")
+
+    def _live_entries(self) -> int:
+        if self._entries is None:
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    self._entries = sum(1 for line in handle if line.strip())
+            except OSError:
+                self._entries = 0
+        return self._entries
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        if self.max_bytes is None and self.max_entries is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            self._entries = 0
+            return
+        over_bytes = (
+            self.max_bytes is not None and size > 0 and size + incoming > self.max_bytes
+        )
+        over_entries = (
+            self.max_entries is not None and self._live_entries() >= self.max_entries
+        )
+        if not (over_bytes or over_entries):
+            return
+        try:
+            os.replace(self.path, self.archive_path)
+        except OSError:
+            return  # keep appending to the oversized file rather than lose entries
+        self._entries = 0
 
     def append(self, **entry: Any) -> dict:
         entry.setdefault("ts", time.time())
@@ -182,23 +247,29 @@ class CrashJournal:
         if run_id is not None:
             entry.setdefault("run_id", run_id)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, default=str) + "\n"
+        self._maybe_rotate(len(line.encode("utf-8")))
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, default=str) + "\n")
+            handle.write(line)
             handle.flush()
+        if self._entries is not None:
+            self._entries += 1
         return entry
 
-    def read(self) -> list[dict]:
-        if not self.path.exists():
-            return []
+    def read(self, include_rotated: bool = False) -> list[dict]:
+        paths = [self.archive_path, self.path] if include_rotated else [self.path]
         events: list[dict] = []
-        for line in self.path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
+        for path in paths:
+            if not path.exists():
                 continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue  # torn tail line from a crash mid-append
+            for line in path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a crash mid-append
         return events
 
     def tasks(self, taxonomy: str | None = None) -> list[dict]:
@@ -228,14 +299,33 @@ def _rss_kb() -> int:
         return 0
 
 
-def _start_heartbeat(run_dir: str, interval: float) -> None:
-    """Start this worker's heartbeat thread (idempotent per process)."""
+def heartbeat_path(run_dir: str | Path, pid: int) -> Path:
+    """The heartbeat file a worker with ``pid`` writes under ``run_dir``."""
+    return Path(run_dir) / f"hb-{pid}.json"
+
+
+def read_heartbeat(run_dir: str | Path, pid: int) -> dict | None:
+    """The last beat a worker wrote (``{"pid", "rss_kb", "ts"}``), or None."""
+    try:
+        return json.loads(heartbeat_path(run_dir, pid).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def start_heartbeat(run_dir: str | Path, interval: float) -> None:
+    """Start this process's heartbeat thread (idempotent per process).
+
+    Used by pool workers (via :func:`_supervised_call`) and by any
+    long-lived supervised process — the prediction server's shard
+    workers call this directly so the parent-side watchdog can tell a
+    busy shard from a wedged one.
+    """
     global _HEARTBEAT_STARTED
     if _HEARTBEAT_STARTED:
         return
     _HEARTBEAT_STARTED = True
     pid = os.getpid()
-    path = Path(run_dir) / f"hb-{pid}.json"
+    path = heartbeat_path(run_dir, pid)
 
     def beat() -> None:
         while True:
@@ -249,6 +339,62 @@ def _start_heartbeat(run_dir: str, interval: float) -> None:
 
     thread = threading.Thread(target=beat, daemon=True, name="supervise-heartbeat")
     thread.start()
+
+
+_start_heartbeat = start_heartbeat  # backwards-compatible private alias
+
+
+def pid_alive(pid: int) -> bool:
+    """True unless ``pid`` definitely no longer exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def sweep_stale_run_dirs(
+    root: str | Path | None = None,
+    prefix: str = RUN_DIR_PREFIX,
+    min_age_s: float = 3600.0,
+    journal: "CrashJournal | None" = None,
+) -> list[str]:
+    """Remove leaked heartbeat/marker run dirs from *prior* runs.
+
+    A failed :meth:`TaskSupervisor._cleanup_run_dir` (or a parent crash)
+    keeps its run dir forever; without a sweep those accumulate in the
+    temp root.  A dir is swept only when it is older than ``min_age_s``
+    (never a concurrent run that just started) **and** no heartbeat file
+    in it names a live pid.  Returns the paths removed.
+    """
+    root = Path(root or tempfile.gettempdir())
+    swept: list[str] = []
+    now = time.time()
+    for entry in root.glob(prefix + "*"):
+        try:
+            if not entry.is_dir() or now - entry.stat().st_mtime < min_age_s:
+                continue
+        except OSError:
+            continue  # raced with another sweeper / the owning run
+        live = False
+        for hb in entry.glob("hb-*.json"):
+            try:
+                pid = int(json.loads(hb.read_text())["pid"])
+            except (OSError, ValueError, TypeError, KeyError, json.JSONDecodeError):
+                continue
+            if pid_alive(pid):
+                live = True
+                break
+        if live:
+            continue
+        shutil.rmtree(entry, ignore_errors=True)
+        if not entry.exists():
+            swept.append(str(entry))
+            if journal is not None:
+                journal.append(event="stale-run-dir-swept", run_dir=str(entry))
+    return swept
 
 
 def _supervised_call(
@@ -321,12 +467,16 @@ class _TaskState:
         self.hb_seen: tuple[float, float] | None = None
 
 
-def _kill(pid: int) -> None:
+def kill_process(pid: int) -> None:
+    """SIGKILL ``pid``, tolerating a process that is already gone."""
     sig = getattr(signal, "SIGKILL", signal.SIGTERM)
     try:
         os.kill(pid, sig)
     except (ProcessLookupError, PermissionError):
         pass  # already gone (the pool will break, or has broken, anyway)
+
+
+_kill = kill_process  # backwards-compatible private alias
 
 
 class TaskSupervisor:
@@ -557,7 +707,10 @@ class TaskSupervisor:
         on_outcome: Callable[[TaskOutcome], None] | None,
     ) -> None:
         cfg = self.config
-        run_dir = tempfile.mkdtemp(prefix="repro-supervise-")
+        # Leaked dirs from prior runs ("run-dir-kept" events) are swept
+        # here so a long-lived host never accumulates them.
+        sweep_stale_run_dirs(journal=self.journal)
+        run_dir = tempfile.mkdtemp(prefix=RUN_DIR_PREFIX)
         queue: deque[_TaskState] = deque(tasks)
         inflight: dict[Any, _TaskState] = {}
         pool: ProcessPoolExecutor | None = None

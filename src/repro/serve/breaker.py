@@ -1,0 +1,165 @@
+"""Per-shard circuit breaker (``repro.serve.breaker``).
+
+A shard that keeps failing (crashing, timing out) should not keep
+receiving traffic: requests would pile up behind a corpse, burn their
+deadlines, and mask the recovery.  The breaker is the standard
+three-state machine:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  failures trip it open.
+* **open** — requests are rejected immediately (typed ``breaker-open``
+  errors) until the cooldown expires.  Cooldowns follow the jittered
+  exponential backoff of :class:`repro.robust.retry.RetryPolicy`, so
+  repeated trips back off deterministically per seed — the n-th
+  consecutive open waits ``min(max_delay, base_delay * backoff**n) *
+  (1 + jitter*u)`` seconds.
+* **half-open** — after the cooldown one probe request is admitted; its
+  success closes the breaker (and resets the backoff sequence), its
+  failure re-opens it with the next, longer cooldown.
+
+The breaker is thread-safe and clock-injectable: tests drive it with a
+fake clock and assert the exact trip/probe/close sequence.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from ..robust.retry import RetryPolicy
+
+__all__ = ["BreakerOpen", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpen(RuntimeError):
+    """Raised by :meth:`CircuitBreaker.check` while the breaker is open."""
+
+
+def _cooldowns(policy: RetryPolicy):
+    """Endless cooldown sequence from a retry policy's backoff shape.
+
+    Unlike :meth:`RetryPolicy.delays` this never exhausts (a breaker can
+    trip arbitrarily many times); past ``max_attempts`` the delay stays
+    pinned at the clamped maximum, still jittered.
+    """
+    rng = random.Random(policy.seed)
+    attempt = 0
+    while True:
+        exponent = min(attempt, policy.max_attempts - 1)
+        base = min(policy.max_delay, policy.base_delay * policy.backoff**exponent)
+        yield base * (1.0 + policy.jitter * rng.random())
+        attempt += 1
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with backoff cooldowns."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        retry_policy: RetryPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.retry_policy = retry_policy or RetryPolicy(
+            base_delay=0.5, backoff=2.0, max_delay=15.0, jitter=0.5, max_attempts=6
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._cooldowns = _cooldowns(self.retry_policy)
+        self._open_until = 0.0
+        self._probe_inflight = False
+        self.opens_total = 0
+        self.rejections_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when cooled down."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def _advance(self) -> None:
+        if self._state == OPEN and self._clock() >= self._open_until:
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._open_until = self._clock() + next(self._cooldowns)
+        self._probe_inflight = False
+        self.opens_total += 1
+
+    def allow(self) -> bool:
+        """May a request be dispatched to this shard right now?
+
+        In half-open state exactly one caller gets True (the probe)
+        until :meth:`record_success` / :meth:`record_failure` resolves
+        it.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self.rejections_total += 1
+            return False
+
+    def check(self) -> None:
+        """:meth:`allow` that raises :class:`BreakerOpen` instead."""
+        if not self.allow():
+            raise BreakerOpen(
+                f"circuit breaker is {self._state} "
+                f"({self._consecutive_failures} consecutive failures)"
+            )
+
+    def record_success(self) -> None:
+        """A dispatched request completed (decision *or* worker-typed error)."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures = 0
+            if self._state in (HALF_OPEN, OPEN):
+                # Success closes the breaker and restarts the backoff
+                # sequence for the next episode.
+                self._state = CLOSED
+                self._cooldowns = _cooldowns(self.retry_policy)
+            self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A dispatched request failed in a shard-health-relevant way."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._trip()  # the probe failed: straight back to open
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for ``stats`` responses and journal events."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "opens_total": self.opens_total,
+                "rejections_total": self.rejections_total,
+                "open_for_s": max(0.0, self._open_until - self._clock())
+                if self._state == OPEN
+                else 0.0,
+            }

@@ -1,0 +1,300 @@
+"""``python -m repro.eval serve`` — daemon, load generator, benchmark.
+
+Three subcommands:
+
+``serve run``
+    Start the prediction daemon in the foreground and print the bound
+    data/admin ports (machine-greppable ``serve: listening ...`` line).
+    SIGTERM or SIGINT triggers a graceful drain; the process exits 0
+    only if every shard drained cleanly.
+
+``serve load``
+    Replay a synthetic workload trace against an *already running*
+    server and write the accounting report (``--out``).  Exits nonzero
+    if the accounting invariant fails (a request was silently dropped
+    or answered twice).
+
+``serve bench``
+    Self-contained benchmark: starts an in-process server, runs a
+    healthy load phase, optionally a chaos phase (``--chaos
+    kill-shard`` SIGKILLs a shard mid-load), drains, and writes
+    ``BENCH_serve.json`` with both phases' accounting plus the final
+    server counters.  This is what CI's serve smoke job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+from ..traces import get_trace
+from .loadgen import LoadConfig, run_load, validate_bench_serve
+from .server import PredictionServer, ServeConfig
+
+__all__ = ["main"]
+
+
+def _add_server_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", default="lru", help="registry policy name")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--sets", type=int, default=256, help="cache sets (power of 2)")
+    parser.add_argument("--ways", type=int, default=16, help="cache associativity")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="data port (0: ephemeral)")
+    parser.add_argument(
+        "--admin-port", type=int, default=0, help="admin HTTP port (0: ephemeral)"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="bounded per-shard request queue (backpressure threshold)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=200.0,
+        help="default per-request deadline",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.2, metavar="SEC",
+        help="shard worker heartbeat period",
+    )
+    parser.add_argument(
+        "--heartbeat-grace", type=float, default=2.0, metavar="SEC",
+        help="unchanged-heartbeat window before a shard is declared wedged",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help="consecutive shard failures before the circuit breaker opens",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="directory for snapshots + crash journal (default: temp dir)",
+    )
+    parser.add_argument(
+        "--chaos-delay-ms", type=float, default=0.0,
+        help="fault injection: artificial per-request compute delay in shards",
+    )
+
+
+def _config_from(args) -> ServeConfig:
+    return ServeConfig(
+        policy=args.policy,
+        shards=args.shards,
+        cache_sets=args.sets,
+        cache_ways=args.ways,
+        host=args.host,
+        port=args.port,
+        admin_port=args.admin_port,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_grace=args.heartbeat_grace,
+        breaker_threshold=args.breaker_threshold,
+        store_dir=args.store,
+        chaos_delay_ms=args.chaos_delay_ms,
+    )
+
+
+def _add_load_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="astar", help="workload name to replay")
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--qps", type=float, default=2000.0)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument(
+        "--request-deadline-ms", type=float, default=None,
+        help="client-side per-request deadline (default: server default)",
+    )
+    parser.add_argument(
+        "--predict-ratio", type=float, default=0.0,
+        help="fraction of requests sent as idempotent 'predict'",
+    )
+
+
+def _load_config(args, port: int) -> LoadConfig:
+    return LoadConfig(
+        host=args.host,
+        port=port,
+        requests=args.requests,
+        qps=args.qps,
+        connections=args.connections,
+        deadline_ms=args.request_deadline_ms,
+        predict_ratio=args.predict_ratio,
+    )
+
+
+def _cmd_run(args) -> int:
+    server = PredictionServer(_config_from(args))
+    server.start()
+    if not server.wait_ready(timeout=30.0):
+        print("serve: shards failed to become ready", file=sys.stderr)
+        server.drain()
+        return 1
+    print(
+        f"serve: listening data={server.port} admin={server.admin_port} "
+        f"policy={args.policy} shards={args.shards} pid={os.getpid()}",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def handle_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    stop.wait()
+    print("serve: draining", flush=True)
+    summary = server.drain()
+    counters = summary.get("stats", {}).get("counters", {})
+    print(
+        "serve: drained clean={clean} decisions={d} errors={e}".format(
+            clean=summary.get("clean"),
+            d=counters.get("decisions_total", 0),
+            e=sum(v for k, v in counters.items() if k.startswith("errors_total")),
+        ),
+        flush=True,
+    )
+    return 0 if summary.get("clean") else 1
+
+
+def _cmd_load(args) -> int:
+    trace = get_trace(args.trace, length=max(args.requests, 1000))
+    report = run_load(trace, _load_config(args, args.port))
+    problems = validate_bench_serve(report)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"serve load: report -> {args.out}")
+    print(
+        "serve load: sent={sent} decisions={decisions} typed_errors={typed_errors} "
+        "lost={connection_lost} dup={duplicates} p50={p50}ms p99={p99}ms".format(
+            p50=report["latency_ms"]["p50"], p99=report["latency_ms"]["p99"], **{
+                k: report[k]
+                for k in ("sent", "decisions", "typed_errors",
+                          "connection_lost", "duplicates")
+            },
+        )
+    )
+    if problems:
+        for problem in problems:
+            print(f"serve load: INVARIANT VIOLATION: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    trace = get_trace(args.trace, length=max(args.requests * 2, 1000))
+    server = PredictionServer(_config_from(args))
+    server.start()
+    try:
+        if not server.wait_ready(timeout=30.0):
+            print("serve bench: shards failed to become ready", file=sys.stderr)
+            return 1
+        phases: dict[str, dict] = {}
+        print(f"serve bench: healthy phase ({args.requests} requests)")
+        phases["healthy"] = run_load(trace, _load_config(args, server.port))
+        if args.chaos != "none":
+            chaos_thread = threading.Thread(
+                target=_chaos_injector,
+                args=(server, args.chaos, args.chaos_after_s),
+                daemon=True,
+            )
+            print(
+                f"serve bench: chaos phase ({args.chaos}, "
+                f"{args.requests} requests)"
+            )
+            chaos_thread.start()
+            phases["chaos"] = run_load(trace, _load_config(args, server.port))
+            chaos_thread.join(timeout=10.0)
+    finally:
+        summary = server.drain()
+    report = {
+        "schema": "repro.serve.bench/v1",
+        "chaos_mode": args.chaos,
+        "policy": args.policy,
+        "shards": args.shards,
+        "phases": phases,
+        "drain": {
+            "clean": summary.get("clean"),
+            "counters": summary.get("stats", {}).get("counters", {}),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"serve bench: report -> {args.out}")
+    exit_code = 0
+    for phase_name, phase in phases.items():
+        problems = validate_bench_serve(phase)
+        status = "ok" if not problems else "; ".join(problems)
+        print(
+            f"serve bench [{phase_name}]: sent={phase['sent']} "
+            f"decisions={phase['decisions']} typed_errors={phase['typed_errors']} "
+            f"lost={phase['connection_lost']} p50={phase['latency_ms']['p50']}ms "
+            f"p99={phase['latency_ms']['p99']}ms throughput="
+            f"{phase['throughput_rps']}rps [{status}]"
+        )
+        if problems:
+            exit_code = 1
+    if not summary.get("clean"):
+        print("serve bench: drain was not clean", file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
+def _chaos_injector(server: PredictionServer, mode: str, after_s: float) -> None:
+    """SIGKILL (or SIGSTOP) a live shard partway into the chaos phase."""
+    time.sleep(after_s)
+    victim = next((h for h in server.shards if h.alive()), None)
+    if victim is None or victim.pid is None:
+        return
+    if mode == "kill-shard":
+        os.kill(victim.pid, signal.SIGKILL)
+    elif mode == "stop-shard":
+        os.kill(victim.pid, signal.SIGSTOP)
+        # The watchdog SIGKILLs it once the heartbeat goes stale; the
+        # SIGSTOP only needs to outlive the grace window.
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval serve", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="start the prediction daemon")
+    _add_server_flags(run_parser)
+
+    load_parser = sub.add_parser("load", help="replay a trace against a server")
+    load_parser.add_argument("--host", default="127.0.0.1")
+    load_parser.add_argument("--port", type=int, required=True)
+    _add_load_flags(load_parser)
+    load_parser.add_argument("--out", default="BENCH_serve.json")
+
+    bench_parser = sub.add_parser(
+        "bench", help="in-process server + healthy/chaos load phases"
+    )
+    _add_server_flags(bench_parser)
+    _add_load_flags(bench_parser)
+    bench_parser.add_argument("--out", default="BENCH_serve.json")
+    bench_parser.add_argument(
+        "--chaos", choices=["none", "kill-shard", "stop-shard"], default="none",
+        help="fault to inject during the chaos phase",
+    )
+    bench_parser.add_argument(
+        "--chaos-after-s", type=float, default=0.3,
+        help="seconds into the chaos phase before the fault fires",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "load":
+        return _cmd_load(args)
+    return _cmd_bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

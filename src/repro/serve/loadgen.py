@@ -1,0 +1,331 @@
+"""Load generator and bench-report plumbing (``repro.serve.loadgen``).
+
+Replays a :class:`~repro.traces.trace.Trace` against a running
+prediction server at a configurable request rate and concurrency, and
+produces the ``BENCH_serve.json`` accounting that the chaos suite and
+the CI smoke job assert on.
+
+The accounting is the point: every request the generator *sends* is
+tracked by id until it resolves as a decision, a typed error, or —
+only if the connection itself died — a connection-level loss.  The
+invariant under test is::
+
+    sent == decisions + typed_errors + connection_lost
+    duplicates == 0
+
+i.e. the server never silently drops and never double-answers, even
+while shards are being SIGKILLed under load.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .protocol import ERROR_TYPES, encode
+
+__all__ = ["BENCH_SERVE_SCHEMA", "LoadConfig", "run_load", "validate_bench_serve"]
+
+#: Schema tag of the load-generator report.
+BENCH_SERVE_SCHEMA = "repro.serve.bench/v1"
+
+
+@dataclass
+class LoadConfig:
+    """One load-generation run against a server."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    requests: int = 2000
+    qps: float = 2000.0  # aggregate target rate across connections
+    connections: int = 4
+    deadline_ms: float | None = None
+    predict_ratio: float = 0.0  # fraction of requests sent as 'predict'
+    timeout_s: float = 30.0  # overall wait for outstanding responses
+
+
+class _ConnState:
+    """Per-connection accounting shared between writer and reader."""
+
+    def __init__(self, conn_id: int) -> None:
+        self.conn_id = conn_id
+        self.sent: set[str] = set()
+        self.resolved: dict[str, str] = {}  # id -> "ok" | error type
+        self.latencies: list[float] = []
+        self.sent_at: dict[str, float] = {}
+        self.duplicates = 0
+        self.lost = 0  # connection died with these outstanding
+        self.send_errors = 0
+        self.lock = threading.Lock()
+        self.done = threading.Event()
+
+
+def _writer(
+    state: _ConnState,
+    sock: socket.socket,
+    trace_slice: list[tuple[int, int, bool]],
+    config: LoadConfig,
+) -> None:
+    interval = config.connections / config.qps if config.qps > 0 else 0.0
+    next_send = time.monotonic()
+    for seq, (pc, address, is_write) in enumerate(trace_slice):
+        if interval:
+            now = time.monotonic()
+            if now < next_send:
+                time.sleep(next_send - now)
+            next_send += interval
+        request_id = f"c{state.conn_id}-{seq}"
+        kind = (
+            "predict"
+            if config.predict_ratio and (seq % 1000) < config.predict_ratio * 1000
+            else "access"
+        )
+        msg = {
+            "id": request_id,
+            "kind": kind,
+            "pc": pc,
+            "address": address,
+            "write": is_write,
+        }
+        if config.deadline_ms is not None:
+            msg["deadline_ms"] = config.deadline_ms
+        with state.lock:
+            state.sent.add(request_id)
+            state.sent_at[request_id] = time.monotonic()
+        try:
+            sock.sendall(encode(msg))
+        except OSError:
+            with state.lock:
+                state.sent.discard(request_id)
+                state.sent_at.pop(request_id, None)
+                state.send_errors += 1
+            return
+
+
+def _reader(state: _ConnState, sock: socket.socket) -> None:
+    try:
+        stream = sock.makefile("rb")
+        for line in stream:
+            if not line.strip():
+                continue
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            request_id = response.get("id")
+            now = time.monotonic()
+            outcome = (
+                "ok"
+                if response.get("ok")
+                else response.get("error", {}).get("type", "unknown")
+            )
+            with state.lock:
+                if request_id in state.resolved:
+                    state.duplicates += 1
+                    continue
+                if request_id not in state.sent:
+                    continue  # not ours (or pre-send race); ignore
+                state.resolved[request_id] = outcome
+                sent_at = state.sent_at.pop(request_id, None)
+                if sent_at is not None:
+                    state.latencies.append(now - sent_at)
+                if len(state.resolved) == len(state.sent) and state.done.is_set():
+                    return
+    except OSError:
+        pass
+
+
+def _percentile(values: list[float], fraction: float) -> float | None:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _fetch_stats(host: str, port: int, timeout: float = 5.0) -> dict | None:
+    """One extra connection asking the server for its own counters."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(encode({"id": "loadgen-stats", "kind": "stats"}))
+            stream = sock.makefile("rb")
+            line = stream.readline()
+        response = json.loads(line)
+        return response if response.get("ok") else None
+    except (OSError, json.JSONDecodeError, ValueError):
+        return None
+
+
+def run_load(trace, config: LoadConfig) -> dict:
+    """Replay ``trace`` against the server; return the accounting report.
+
+    ``trace`` is a :class:`repro.traces.trace.Trace` (or anything with
+    ``pcs`` / ``addresses`` / ``is_write`` sequences).  The report is
+    JSON-safe and satisfies :func:`validate_bench_serve`.
+    """
+    total = min(config.requests, len(trace.pcs))
+    rows = [
+        (int(trace.pcs[i]), int(trace.addresses[i]), bool(trace.is_write[i]))
+        for i in range(total)
+    ]
+    per_conn = max(1, (total + config.connections - 1) // config.connections)
+    states: list[_ConnState] = []
+    threads: list[threading.Thread] = []
+    sockets: list[socket.socket] = []
+    started = time.monotonic()
+    for conn_id in range(config.connections):
+        chunk = rows[conn_id * per_conn : (conn_id + 1) * per_conn]
+        if not chunk:
+            break
+        state = _ConnState(conn_id)
+        states.append(state)
+        sock = socket.create_connection(
+            (config.host, config.port), timeout=config.timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sockets.append(sock)
+        reader = threading.Thread(
+            target=_reader, args=(state, sock), daemon=True, name=f"load-r{conn_id}"
+        )
+        writer = threading.Thread(
+            target=_writer,
+            args=(state, sock, chunk, config),
+            daemon=True,
+            name=f"load-w{conn_id}",
+        )
+        reader.start()
+        writer.start()
+        threads.append(writer)
+        state.reader_thread = reader  # type: ignore[attr-defined]
+    for thread in threads:
+        thread.join()
+    for state in states:
+        state.done.set()
+    # Wait (bounded) for the stragglers to resolve.
+    wait_deadline = time.monotonic() + config.timeout_s
+    while time.monotonic() < wait_deadline:
+        outstanding = 0
+        for state in states:
+            with state.lock:
+                outstanding += len(state.sent) - len(state.resolved)
+        if outstanding == 0:
+            break
+        time.sleep(0.05)
+    elapsed = time.monotonic() - started
+    server_stats = _fetch_stats(config.host, config.port)
+    for sock in sockets:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    # -- aggregate ----------------------------------------------------------
+    sent = resolved = duplicates = lost = send_errors = decisions = 0
+    errors: dict[str, int] = {}
+    latencies: list[float] = []
+    for state in states:
+        with state.lock:
+            sent += len(state.sent)
+            resolved += len(state.resolved)
+            duplicates += state.duplicates
+            send_errors += state.send_errors
+            lost += len(state.sent) - len(state.resolved)
+            latencies.extend(state.latencies)
+            for outcome in state.resolved.values():
+                if outcome == "ok":
+                    decisions += 1
+                else:
+                    errors[outcome] = errors.get(outcome, 0) + 1
+    typed_errors = sum(errors.values())
+    report = {
+        "schema": BENCH_SERVE_SCHEMA,
+        "config": {
+            "requests": config.requests,
+            "qps": config.qps,
+            "connections": config.connections,
+            "deadline_ms": config.deadline_ms,
+            "predict_ratio": config.predict_ratio,
+        },
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(sent / elapsed, 2) if elapsed > 0 else None,
+        "sent": sent,
+        "decisions": decisions,
+        "typed_errors": typed_errors,
+        "errors_by_type": dict(sorted(errors.items())),
+        "connection_lost": lost,
+        "duplicates": duplicates,
+        "send_errors": send_errors,
+        "accounted": decisions + typed_errors + lost == sent,
+        "latency_ms": {
+            "p50": _ms(_percentile(latencies, 0.50)),
+            "p90": _ms(_percentile(latencies, 0.90)),
+            "p99": _ms(_percentile(latencies, 0.99)),
+            "max": _ms(max(latencies) if latencies else None),
+            "mean": _ms(statistics.fmean(latencies) if latencies else None),
+        },
+        "server": _server_summary(server_stats),
+    }
+    return report
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else round(seconds * 1000.0, 3)
+
+
+def _server_summary(stats_response: dict | None) -> dict | None:
+    """Compress a ``stats`` response into the report's server section."""
+    if not stats_response:
+        return None
+    counters = stats_response.get("counters", {})
+    shards = stats_response.get("shards", [])
+    return {
+        "counters": counters,
+        "shed_total": counters.get("shed_total", 0),
+        "timeout_total": counters.get("timeout_total", 0),
+        "shard_restarts": counters.get("shard_restarts", 0),
+        "slow_client_drops": counters.get("slow_client_drops", 0),
+        "shards": [
+            {
+                "shard": row.get("shard"),
+                "restarts": row.get("restarts"),
+                "breaker_state": row.get("breaker", {}).get("state"),
+                "breaker_opens": row.get("breaker", {}).get("opens_total"),
+            }
+            for row in shards
+        ],
+    }
+
+
+def validate_bench_serve(report: object) -> list[str]:
+    """Structural + invariant check of a bench report; returns problems."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != BENCH_SERVE_SCHEMA:
+        problems.append(f"schema != {BENCH_SERVE_SCHEMA!r}")
+    for key in ("sent", "decisions", "typed_errors", "connection_lost", "duplicates"):
+        value = report.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{key} must be a non-negative integer")
+    if not problems:
+        if (
+            report["decisions"] + report["typed_errors"] + report["connection_lost"]
+            != report["sent"]
+        ):
+            problems.append(
+                "accounting broken: decisions + typed_errors + connection_lost "
+                f"({report['decisions']} + {report['typed_errors']} + "
+                f"{report['connection_lost']}) != sent ({report['sent']})"
+            )
+        if report["duplicates"]:
+            problems.append(f"{report['duplicates']} duplicate responses")
+    for error_type in report.get("errors_by_type", {}):
+        if error_type not in ERROR_TYPES and error_type != "unknown":
+            problems.append(f"unknown error type in report: {error_type!r}")
+    latency = report.get("latency_ms")
+    if not isinstance(latency, dict) or "p50" not in latency or "p99" not in latency:
+        problems.append("latency_ms must carry p50/p99")
+    return problems

@@ -1,0 +1,220 @@
+"""Wire protocol of the prediction service (``repro.serve.protocol``).
+
+The data plane is newline-delimited JSON (NDJSON) over TCP: one request
+object per line in, one response object per line out.  Responses carry
+the client's ``id`` verbatim, so clients may pipeline arbitrarily many
+requests per connection and match responses by id — ordering across a
+connection is *not* guaranteed once requests fan out to different
+shards.
+
+Request kinds:
+
+``access``
+    A stateful cache access: the shard performs a full policy-driven
+    hit/miss/eviction step and returns the decision.  Not idempotent —
+    if the owning shard dies mid-request, the client receives a typed
+    ``shard-restarted`` error (replaying it could double-train the
+    policy).
+``predict``
+    A pure reuse prediction for a PC (plus a presence probe for the
+    address).  Idempotent: the dispatcher may transparently re-dispatch
+    it with jittered backoff after a shard restart.
+``ping`` / ``stats``
+    Answered by the parent without touching a shard; ``stats`` exposes
+    per-shard pids and restart counts (the chaos harness uses it to
+    pick a victim).
+
+Failure taxonomy — **every** submitted request terminates in exactly
+one response, either a decision (``ok: true``) or one of these typed
+errors (``ok: false``), mirroring the batch pipeline's crash-journal
+taxonomies:
+
+* ``bad-request`` — unparseable or invalid request line;
+* ``shed`` — the shard's bounded queue was full (backpressure; retry
+  later);
+* ``timeout`` — the per-request deadline expired before a decision was
+  produced (in queue, in batch, or awaiting the shard);
+* ``shard-restarted`` — the owning shard died while the request was in
+  flight;
+* ``breaker-open`` — the shard's circuit breaker is open and the
+  request was rejected without being enqueued;
+* ``draining`` — the server is shutting down and no longer accepts new
+  work;
+* ``internal`` — the policy engine raised while computing the decision.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ERR_BAD_REQUEST",
+    "ERR_BREAKER_OPEN",
+    "ERR_DRAINING",
+    "ERR_INTERNAL",
+    "ERR_SHARD_RESTARTED",
+    "ERR_SHED",
+    "ERR_TIMEOUT",
+    "ERROR_TYPES",
+    "IDEMPOTENT_KINDS",
+    "KINDS",
+    "RETRYABLE_ERRORS",
+    "ProtocolError",
+    "Request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "parse_request",
+]
+
+#: Request kinds the server understands.
+KINDS = ("access", "predict", "ping", "stats")
+
+#: Kinds the dispatcher may safely re-dispatch after a shard failure.
+IDEMPOTENT_KINDS = frozenset({"predict"})
+
+ERR_BAD_REQUEST = "bad-request"
+ERR_SHED = "shed"
+ERR_TIMEOUT = "timeout"
+ERR_SHARD_RESTARTED = "shard-restarted"
+ERR_BREAKER_OPEN = "breaker-open"
+ERR_DRAINING = "draining"
+ERR_INTERNAL = "internal"
+
+#: The full typed-error taxonomy.
+ERROR_TYPES = (
+    ERR_BAD_REQUEST,
+    ERR_SHED,
+    ERR_TIMEOUT,
+    ERR_SHARD_RESTARTED,
+    ERR_BREAKER_OPEN,
+    ERR_DRAINING,
+    ERR_INTERNAL,
+)
+
+#: Errors a *client* may retry verbatim without risking double effects.
+RETRYABLE_ERRORS = frozenset(
+    {ERR_SHED, ERR_BREAKER_OPEN, ERR_DRAINING}
+)
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed or validated.
+
+    ``request_id`` carries the client id when one could be recovered, so
+    the error response still correlates with the offending request.
+    """
+
+    def __init__(self, message: str, request_id: str | None = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+@dataclass
+class Request:
+    """A parsed, validated data-plane request.
+
+    ``deadline_ms`` is the client's per-request deadline; None means
+    "use the server default".  The remaining fields are filled in by the
+    dispatcher (internal routing id, shard, absolute deadline).
+    """
+
+    id: str
+    kind: str
+    pc: int = 0
+    address: int = 0
+    write: bool = False
+    core: int = 0
+    deadline_ms: float | None = None
+    # -- dispatcher-internal routing state (never on the wire) --
+    rid: int = field(default=-1, compare=False)
+    shard: int = field(default=-1, compare=False)
+    deadline: float = field(default=0.0, compare=False)
+
+
+def _require_int(obj: dict, key: str, request_id: str | None) -> int:
+    value = obj.get(key)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ProtocolError(
+            f"field {key!r} must be a non-negative integer", request_id
+        )
+    return value
+
+
+def parse_request(line: str | bytes) -> Request:
+    """Parse one NDJSON request line into a :class:`Request`.
+
+    Raises :class:`ProtocolError` (with the client id when recoverable)
+    on malformed JSON, unknown kinds, or invalid fields — the server
+    turns that into a typed ``bad-request`` response, never a dropped
+    line.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("request line is not valid UTF-8") from None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"request line is not valid JSON: {error}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    raw_id = obj.get("id")
+    if raw_id is None or isinstance(raw_id, (dict, list, bool)):
+        raise ProtocolError("request must carry a scalar 'id'")
+    request_id = str(raw_id)
+    kind = obj.get("kind", "access")
+    if kind not in KINDS:
+        raise ProtocolError(
+            f"unknown kind {kind!r}; expected one of {list(KINDS)}", request_id
+        )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ProtocolError("deadline_ms must be a number", request_id)
+        if deadline_ms <= 0:
+            raise ProtocolError("deadline_ms must be positive", request_id)
+    request = Request(id=request_id, kind=kind, deadline_ms=deadline_ms)
+    if kind in ("access", "predict"):
+        request.pc = _require_int(obj, "pc", request_id)
+        request.address = _require_int(obj, "address", request_id)
+        write = obj.get("write", False)
+        if not isinstance(write, bool):
+            raise ProtocolError("field 'write' must be a boolean", request_id)
+        request.write = write
+        core = obj.get("core", 0)
+        if isinstance(core, bool) or not isinstance(core, int) or core < 0:
+            raise ProtocolError("field 'core' must be a non-negative integer", request_id)
+        request.core = core
+    return request
+
+
+def ok_response(request_id: str, kind: str, **fields: Any) -> dict:
+    """A decision response; extra fields ride along verbatim."""
+    return {"id": request_id, "ok": True, "kind": kind, **fields}
+
+
+def error_response(
+    request_id: str | None, error_type: str, message: str, **fields: Any
+) -> dict:
+    """A typed error response (one of :data:`ERROR_TYPES`)."""
+    if error_type not in ERROR_TYPES:
+        raise ValueError(f"unknown error type {error_type!r}")
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "type": error_type,
+            "message": message,
+            "retryable": error_type in RETRYABLE_ERRORS,
+        },
+        **fields,
+    }
+
+
+def encode(obj: dict) -> bytes:
+    """Serialize one response/request object as an NDJSON line."""
+    return (json.dumps(obj, separators=(",", ":"), default=str) + "\n").encode("utf-8")

@@ -1,0 +1,883 @@
+"""The prediction daemon (``repro.serve.server``).
+
+:class:`PredictionServer` accepts NDJSON request streams over TCP,
+routes each request to its owning shard worker, and guarantees that
+**every submitted request terminates in exactly one response** —
+a decision or a typed error — no matter what fails underneath:
+
+* **Backpressure** — each shard has a bounded request queue; a full
+  queue produces an immediate typed ``shed`` response (and bumps
+  ``shed_total``) instead of unbounded memory growth.
+* **Deadlines** — every request carries an absolute deadline (client
+  ``deadline_ms`` clamped to a server maximum).  A sweeper thread times
+  out overdue in-flight requests with typed ``timeout`` responses; the
+  shard worker additionally refuses to compute requests that expired
+  while queued.
+* **Circuit breakers** — each shard has a
+  :class:`~repro.serve.breaker.CircuitBreaker`; while open, requests
+  for that shard are rejected with typed ``breaker-open`` errors
+  without being enqueued.
+* **Crash recovery** — a watchdog thread detects dead or heartbeat-
+  stale shard workers, SIGKILLs them, fails their in-flight requests
+  with typed ``shard-restarted`` errors (idempotent ``predict``
+  requests are instead re-dispatched with
+  :class:`~repro.robust.retry.RetryPolicy` jittered backoff), and
+  restarts the shard re-warmed from its latest snapshot.
+* **Graceful drain** — :meth:`PredictionServer.drain` (wired to
+  SIGTERM by the CLI) stops accepting work, lets in-flight requests
+  finish, flushes shard queues through worker sentinels, writes a
+  final metrics snapshot, and journals the shutdown.
+
+Slow clients cannot stall the control plane: responses are queued per
+connection and written by a dedicated writer thread; if a client stops
+reading and its outbound queue fills, further responses *to that
+client* are dropped and counted (``slow_client_drops``) — accounted,
+never silent, and isolated to the misbehaving connection.
+
+An admin HTTP endpoint exposes ``/healthz``, ``/readyz``, and live
+Prometheus ``/metrics`` (via :func:`repro.obs.metrics.live_prometheus`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+import queue as queue_mod
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from ..obs import metrics as obs_metrics
+from ..robust.retry import RetryPolicy
+from ..robust.supervise import CrashJournal, sweep_stale_run_dirs
+from .breaker import CircuitBreaker
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BREAKER_OPEN,
+    ERR_DRAINING,
+    ERR_SHARD_RESTARTED,
+    ERR_SHED,
+    ERR_TIMEOUT,
+    IDEMPOTENT_KINDS,
+    ProtocolError,
+    Request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .shard import ShardHandle
+
+__all__ = ["PredictionServer", "ServeConfig", "SERVE_RUN_DIR_PREFIX"]
+
+#: Prefix of the temp dirs holding shard heartbeat files.
+SERVE_RUN_DIR_PREFIX = "repro-serve-"
+
+#: Millisecond-scale latency histogram bucket bounds.
+LATENCY_BUCKETS_MS = (0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+@dataclass
+class ServeConfig:
+    """All knobs of the prediction service."""
+
+    policy: str = "lru"
+    policy_kwargs: dict = field(default_factory=dict)
+    shards: int = 2
+    cache_sets: int = 256
+    cache_ways: int = 16
+    line_size: int = 64
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral, bound port in PredictionServer.port
+    admin_port: int | None = 0  # None disables the admin endpoint
+    queue_depth: int = 256
+    default_deadline_ms: float = 200.0
+    max_deadline_ms: float = 5000.0
+    batch_max: int = 64
+    batch_budget_ms: float | None = 1000.0
+    heartbeat_interval: float = 0.2
+    heartbeat_grace: float = 2.0
+    restart_deadline_s: float = 15.0
+    breaker_threshold: int = 5
+    breaker_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            base_delay=0.2, backoff=2.0, max_delay=5.0, jitter=0.5, max_attempts=6
+        )
+    )
+    redispatch_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=3, base_delay=0.05, backoff=2.0, max_delay=0.5, jitter=0.5
+        )
+    )
+    snapshot_every: int = 512
+    store_dir: str | None = None
+    mp_start_method: str = "spawn"
+    poll_interval: float = 0.05
+    drain_timeout_s: float = 15.0
+    client_queue_depth: int = 1024
+    journal_max_bytes: int = 4_000_000
+    chaos_delay_ms: float = 0.0  # fault injection: per-request compute delay
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.cache_sets & (self.cache_sets - 1) or self.cache_sets <= 0:
+            raise ValueError("cache_sets must be a positive power of two")
+        if self.shards > self.cache_sets:
+            raise ValueError("cannot have more shards than cache sets")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.default_deadline_ms <= 0 or self.max_deadline_ms <= 0:
+            raise ValueError("deadlines must be positive")
+
+    def cache_params(self) -> dict:
+        """Constructor kwargs of each shard's full-geometry CacheConfig."""
+        return {
+            "name": f"serve-{self.policy}",
+            "size_bytes": self.cache_sets * self.cache_ways * self.line_size,
+            "associativity": self.cache_ways,
+            "line_size": self.line_size,
+        }
+
+
+class _Conn:
+    """One client connection: socket + outbound queue + writer thread."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sock: socket.socket, server: "PredictionServer") -> None:
+        self.sock = sock
+        self.server = server
+        self.conn_id = next(self._ids)
+        self.closed = threading.Event()
+        self.out_q: queue_mod.Queue = queue_mod.Queue(
+            maxsize=server.config.client_queue_depth
+        )
+        self.writer = threading.Thread(
+            target=self._write_loop, daemon=True, name=f"serve-conn-w{self.conn_id}"
+        )
+        self.reader = threading.Thread(
+            target=self._read_loop, daemon=True, name=f"serve-conn-r{self.conn_id}"
+        )
+
+    def start(self) -> None:
+        self.writer.start()
+        self.reader.start()
+
+    def send(self, response: dict) -> None:
+        """Queue a response; a stalled client drops it *counted*."""
+        try:
+            self.out_q.put_nowait(response)
+        except queue_mod.Full:
+            self.server._count("slow_client_drops")
+
+    def _write_loop(self) -> None:
+        while True:
+            obj = self.out_q.get()
+            if obj is None:
+                break
+            if self.closed.is_set():
+                self.server._count("closed_client_drops")
+                continue
+            try:
+                self.sock.sendall(encode(obj))
+            except OSError:
+                self.closed.set()
+                self.server._count("closed_client_drops")
+
+    def _read_loop(self) -> None:
+        try:
+            reader = self.sock.makefile("rb")
+            for line in reader:
+                if not line.strip():
+                    continue
+                self.server._handle_line(self, line)
+        except OSError:
+            pass
+        finally:
+            self.closed.set()
+            # In-flight requests for this connection still resolve (and
+            # are counted as closed_client_drops); the writer exits once
+            # it sees the sentinel.
+            try:
+                self.out_q.put_nowait(None)
+            except queue_mod.Full:
+                pass
+            self.server._forget_conn(self)
+
+    def close(self) -> None:
+        self.closed.set()
+        try:
+            self.out_q.put_nowait(None)
+        except queue_mod.Full:
+            pass
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Pending:
+    """Parent-side record of one dispatched (or parked) request."""
+
+    __slots__ = (
+        "request",
+        "conn",
+        "shard",
+        "generation",
+        "submitted",
+        "attempts",
+        "delays",
+        "retry_at",
+    )
+
+    def __init__(self, request: Request, conn: _Conn) -> None:
+        self.request = request
+        self.conn = conn
+        self.shard = request.shard
+        self.generation = 0
+        self.submitted = time.monotonic()
+        self.attempts = 0
+        self.delays = None  # lazily-built RetryPolicy.delays() iterator
+        self.retry_at = 0.0
+
+
+class _AdminHandler(BaseHTTPRequestHandler):
+    """``/healthz`` / ``/readyz`` / ``/metrics`` endpoints."""
+
+    server_version = "repro-serve/1.0"
+
+    def _respond(self, code: int, body: str, content_type: str = "text/plain") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        prediction_server: "PredictionServer" = self.server.prediction_server
+        if self.path == "/healthz":
+            self._respond(200, "ok\n")
+        elif self.path == "/readyz":
+            ready, reason = prediction_server.readiness()
+            self._respond(200 if ready else 503, reason + "\n")
+        elif self.path == "/metrics":
+            self._respond(
+                200,
+                obs_metrics.live_prometheus(),
+                content_type="text/plain; version=0.0.4",
+            )
+        elif self.path == "/stats":
+            self._respond(
+                200,
+                json.dumps(prediction_server.stats(), indent=1) + "\n",
+                content_type="application/json",
+            )
+        else:
+            self._respond(404, "not found\n")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # admin probes are high-frequency; stay quiet
+
+
+class PredictionServer:
+    """The sharded, fault-tolerant replacement-policy daemon."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        cfg = self.config
+        self._ctx = multiprocessing.get_context(cfg.mp_start_method)
+        self._rid = itertools.count(1)
+        self._lock = threading.Lock()  # pending table + parked list
+        self._pending: dict[int, _Pending] = {}
+        self._parked: list[_Pending] = []
+        self._counters_lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+        self._conns: set[_Conn] = set()
+        self._conns_lock = threading.Lock()
+        self._stop = threading.Event()
+        self.draining = threading.Event()
+        self.drained = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._admin: ThreadingHTTPServer | None = None
+        self.port: int | None = None
+        self.admin_port: int | None = None
+        self.started_at = 0.0
+        self.shards: list[ShardHandle] = []
+        self.breakers: list[CircuitBreaker] = []
+        self.journal: CrashJournal | None = None
+        self._store_dir: Path | None = None
+        self._own_store = False
+        self.run_dir: str | None = None
+        # Address routing: line -> set of the logical cache -> shard.
+        self._line_shift = (cfg.line_size - 1).bit_length()
+        self._set_mask = cfg.cache_sets - 1
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        with self._counters_lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+        if obs_metrics.ENABLED:
+            obs_metrics.counter(f"serve.{name}", **labels).inc(amount)
+
+    def _observe_latency(self, kind: str, seconds: float) -> None:
+        if obs_metrics.ENABLED:
+            obs_metrics.histogram(
+                "serve.latency_ms", buckets=LATENCY_BUCKETS_MS, kind=kind
+            ).observe(seconds * 1000.0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bring up shards, watchdog, sweeper, data plane, and admin."""
+        cfg = self.config
+        obs_metrics.enable()  # live /metrics must always have instruments
+        if cfg.store_dir:
+            self._store_dir = Path(cfg.store_dir)
+            self._store_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self._store_dir = Path(tempfile.mkdtemp(prefix="repro-serve-store-"))
+            self._own_store = True
+        self.journal = CrashJournal(
+            self._store_dir / "serve-journal.jsonl", max_bytes=cfg.journal_max_bytes
+        )
+        sweep_stale_run_dirs(prefix=SERVE_RUN_DIR_PREFIX, journal=self.journal)
+        self.run_dir = tempfile.mkdtemp(prefix=SERVE_RUN_DIR_PREFIX)
+        self.started_at = time.monotonic()
+        for shard_id in range(cfg.shards):
+            handle = ShardHandle(
+                shard_id,
+                self._ctx,
+                policy=cfg.policy,
+                policy_kwargs=cfg.policy_kwargs,
+                cache_params=cfg.cache_params(),
+                run_dir=self.run_dir,
+                snapshot_path=str(self._store_dir / f"shard-{shard_id}.snapshot"),
+                queue_depth=cfg.queue_depth,
+                heartbeat_interval=cfg.heartbeat_interval,
+                snapshot_every=cfg.snapshot_every,
+                batch_max=cfg.batch_max,
+                batch_budget_s=(
+                    cfg.batch_budget_ms / 1000.0 if cfg.batch_budget_ms else None
+                ),
+                chaos_delay_s=cfg.chaos_delay_ms / 1000.0,
+            )
+            self.shards.append(handle)
+            self.breakers.append(
+                CircuitBreaker(
+                    failure_threshold=cfg.breaker_threshold,
+                    retry_policy=cfg.breaker_policy,
+                )
+            )
+            handle.start()
+            self._start_collector(handle)
+        self._spawn(self._watchdog_loop, "serve-watchdog")
+        self._spawn(self._sweeper_loop, "serve-sweeper")
+        self._start_listener()
+        if cfg.admin_port is not None:
+            self._start_admin()
+        self.journal.append(
+            event="server-start",
+            policy=cfg.policy,
+            shards=cfg.shards,
+            port=self.port,
+            admin_port=self.admin_port,
+            pid=os.getpid(),
+        )
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until every shard reported ready (True) or timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in self.shards:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not handle.ready.wait(remaining):
+                return False
+        return True
+
+    def readiness(self) -> tuple[bool, str]:
+        if self.draining.is_set():
+            return False, "draining"
+        missing = [h.shard_id for h in self.shards if not h.ready.is_set()]
+        if missing:
+            return False, f"shards not ready: {missing}"
+        return True, "ok"
+
+    def _spawn(self, target, name: str) -> threading.Thread:
+        thread = threading.Thread(target=target, daemon=True, name=name)
+        thread.start()
+        self._threads.append(thread)
+        return thread
+
+    def _start_listener(self) -> None:
+        cfg = self.config
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((cfg.host, cfg.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._spawn(self._accept_loop, "serve-accept")
+
+    def _start_admin(self) -> None:
+        admin = ThreadingHTTPServer(
+            (self.config.host, self.config.admin_port), _AdminHandler
+        )
+        admin.daemon_threads = True
+        admin.prediction_server = self
+        self._admin = admin
+        self.admin_port = admin.server_address[1]
+        self._spawn(admin.serve_forever, "serve-admin")
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: drain started
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Conn(sock, self)
+            with self._conns_lock:
+                self._conns.add(conn)
+            conn.start()
+
+    def _forget_conn(self, conn: _Conn) -> None:
+        with self._conns_lock:
+            self._conns.discard(conn)
+
+    # -- request path ----------------------------------------------------------
+
+    def route(self, address: int) -> int:
+        """Owning shard of ``address`` (by set index of the logical cache)."""
+        set_index = (address >> self._line_shift) & self._set_mask
+        return set_index % self.config.shards
+
+    def _handle_line(self, conn: _Conn, line: bytes) -> None:
+        self._count("requests_total")
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            self._count("errors_total", error=ERR_BAD_REQUEST)
+            conn.send(
+                error_response(error.request_id or "?", ERR_BAD_REQUEST, str(error))
+            )
+            return
+        if request.kind == "ping":
+            conn.send(ok_response(request.id, "ping", pong=True))
+            return
+        if request.kind == "stats":
+            conn.send(ok_response(request.id, "stats", **self.stats()))
+            return
+        cfg = self.config
+        now = time.monotonic()
+        deadline_ms = min(
+            request.deadline_ms or cfg.default_deadline_ms, cfg.max_deadline_ms
+        )
+        request.rid = next(self._rid)
+        request.deadline = now + deadline_ms / 1000.0
+        request.shard = self.route(request.address)
+        if self.draining.is_set():
+            self._respond_error(
+                conn, request, ERR_DRAINING, "server is draining; no new work accepted"
+            )
+            return
+        entry = _Pending(request, conn)
+        self._dispatch(entry)
+
+    def _respond_error(
+        self, conn: _Conn, request: Request, error_type: str, message: str, **fields
+    ) -> None:
+        self._count("errors_total", error=error_type)
+        conn.send(error_response(request.id, error_type, message, **fields))
+
+    def _dispatch(self, entry: _Pending) -> None:
+        """Route one request to its shard; every exit path responds."""
+        request = entry.request
+        handle = self.shards[request.shard]
+        breaker = self.breakers[request.shard]
+        if not breaker.allow():
+            self._respond_error(
+                entry.conn,
+                request,
+                ERR_BREAKER_OPEN,
+                f"shard {request.shard} circuit breaker is open",
+                shard=request.shard,
+            )
+            return
+        entry.attempts += 1
+        entry.generation = handle.generation
+        msg = {
+            "rid": request.rid,
+            "id": request.id,
+            "kind": request.kind,
+            "pc": request.pc,
+            "address": request.address,
+            "write": request.write,
+            "core": request.core,
+            "deadline": request.deadline,
+        }
+        with self._lock:
+            self._pending[request.rid] = entry
+        try:
+            handle.enqueue(msg)
+        except queue_mod.Full:
+            with self._lock:
+                self._pending.pop(request.rid, None)
+            self._count("shed_total", shard=request.shard)
+            self._respond_error(
+                entry.conn,
+                request,
+                ERR_SHED,
+                f"shard {request.shard} queue is full ({self.config.queue_depth})",
+                shard=request.shard,
+            )
+        except (OSError, ValueError, AssertionError):
+            # The queue died mid-restart; treat like a shard failure.
+            with self._lock:
+                self._pending.pop(request.rid, None)
+            self._shard_failure_outcome(entry)
+
+    def _shard_failure_outcome(self, entry: _Pending) -> None:
+        """Typed error or backoff re-dispatch after the owning shard died."""
+        request = entry.request
+        if request.kind in IDEMPOTENT_KINDS:
+            if entry.delays is None:
+                entry.delays = self.config.redispatch_policy.delays()
+            delay = next(entry.delays, None)
+            now = time.monotonic()
+            if delay is not None and now + delay < request.deadline:
+                entry.retry_at = now + delay
+                self._count("redispatch_total")
+                with self._lock:
+                    self._parked.append(entry)
+                return
+        self._respond_error(
+            entry.conn,
+            request,
+            ERR_SHARD_RESTARTED,
+            f"shard {request.shard} worker died while the request was in flight",
+            shard=request.shard,
+        )
+
+    # -- collector / sweeper / watchdog ---------------------------------------
+
+    def _start_collector(self, handle: ShardHandle) -> None:
+        generation = handle.generation
+        out_q = handle.out_q
+
+        def collect() -> None:
+            while not self._stop.is_set() and handle.generation == generation:
+                try:
+                    item = out_q.get(timeout=0.2)
+                except queue_mod.Empty:
+                    continue
+                except (OSError, EOFError, ValueError):
+                    return
+                try:
+                    if isinstance(item, dict):  # control message
+                        self._handle_ctrl(handle, item)
+                        continue
+                    _tag, responses = item
+                    for wrapped in responses:
+                        self._resolve(wrapped["rid"], wrapped["response"], handle)
+                except Exception:  # noqa: BLE001 — a bad item must not
+                    self._count("collector_errors")  # kill the collector
+
+        self._spawn(collect, f"serve-collect-{handle.shard_id}.{generation}")
+
+    def _handle_ctrl(self, handle: ShardHandle, ctrl: dict) -> None:
+        if ctrl.get("ctrl") == "ready":
+            handle.ready.set()
+            if ctrl.get("warm"):
+                handle.warm_starts += 1
+            self.journal.append(
+                event="shard-ready",
+                shard=handle.shard_id,
+                pid=ctrl.get("pid"),
+                warm=bool(ctrl.get("warm")),
+                accesses=ctrl.get("accesses"),
+                startup_s=round(time.monotonic() - handle.started_at, 3),
+            )
+            if obs_metrics.ENABLED:
+                obs_metrics.gauge("serve.shards_ready").set(
+                    sum(1 for h in self.shards if h.ready.is_set())
+                )
+        elif ctrl.get("ctrl") == "drained":
+            handle.drained.set()
+
+    def _resolve(self, rid: int, response: dict, handle: ShardHandle) -> None:
+        with self._lock:
+            entry = self._pending.pop(rid, None)
+        if entry is None:
+            self._count("late_responses")  # timed out first; typed, not silent
+            return
+        self.breakers[handle.shard_id].record_success()
+        if response.get("ok"):
+            self._count("decisions_total")
+        else:
+            error_type = response.get("error", {}).get("type", "unknown")
+            self._count("errors_total", error=error_type)
+            if error_type == ERR_TIMEOUT:
+                self._count("timeout_total")
+        self._observe_latency(
+            entry.request.kind, time.monotonic() - entry.submitted
+        )
+        entry.conn.send(response)
+
+    def _sweeper_loop(self) -> None:
+        """Time out overdue requests; re-dispatch parked idempotent ones.
+
+        The sweeper is the exactly-one-response backstop, so it must
+        never die: each tick is exception-guarded.
+        """
+        while not self._stop.is_set():
+            try:
+                self._sweep_once()
+            except Exception:  # noqa: BLE001 — keep the backstop alive
+                self._count("sweeper_errors")
+            self._stop.wait(self.config.poll_interval)
+
+    def _sweep_once(self) -> None:
+        now = time.monotonic()
+        expired: list[_Pending] = []
+        due: list[_Pending] = []
+        with self._lock:
+            for rid, entry in list(self._pending.items()):
+                if now > entry.request.deadline:
+                    del self._pending[rid]
+                    expired.append(entry)
+            keep: list[_Pending] = []
+            for entry in self._parked:
+                if now > entry.request.deadline:
+                    expired.append(entry)
+                elif now >= entry.retry_at:
+                    due.append(entry)
+                else:
+                    keep.append(entry)
+            self._parked = keep
+        for entry in expired:
+            self._count("timeout_total")
+            self.breakers[entry.request.shard].record_failure()
+            self._respond_error(
+                entry.conn,
+                entry.request,
+                ERR_TIMEOUT,
+                f"request deadline expired after {entry.attempts} dispatch(es)",
+                shard=entry.request.shard,
+                stage="dispatch",
+            )
+        for entry in due:
+            self._dispatch(entry)
+        if obs_metrics.ENABLED:
+            with self._lock:
+                obs_metrics.gauge("serve.inflight").set(len(self._pending))
+
+    def _watchdog_loop(self) -> None:
+        """Detect dead / wedged / start-stuck shards; restart them."""
+        cfg = self.config
+        while not self._stop.is_set():
+            now = time.monotonic()
+            for handle in self.shards:
+                if self._stop.is_set() or self.drained.is_set():
+                    return
+                reason = None
+                if handle.process is not None and not handle.alive():
+                    if not self.draining.is_set() or not handle.drained.is_set():
+                        reason = "exited"
+                elif handle.heartbeat_stale(cfg.heartbeat_grace, now):
+                    reason = "heartbeat-stale"
+                elif (
+                    not handle.ready.is_set()
+                    and now - handle.started_at > cfg.restart_deadline_s
+                ):
+                    reason = "start-timeout"
+                if reason is None:
+                    continue
+                if self.draining.is_set():
+                    # No restarts mid-drain: fail its in-flight work and
+                    # let the drain account for it.
+                    self._fail_shard_pending(handle)
+                    handle.drained.set()
+                    continue
+                try:
+                    self._restart_shard(handle, reason)
+                except Exception as error:  # noqa: BLE001
+                    # A transient spawn failure (fork EAGAIN under load)
+                    # must not kill the watchdog: journal it and retry
+                    # on the next poll tick.
+                    self._count("restart_errors")
+                    self.journal.append(
+                        event="shard-restart-error",
+                        shard=handle.shard_id,
+                        reason=reason,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+            self._stop.wait(cfg.poll_interval)
+
+    def _fail_shard_pending(self, handle: ShardHandle) -> list[_Pending]:
+        victims: list[_Pending] = []
+        with self._lock:
+            for rid, entry in list(self._pending.items()):
+                if (
+                    entry.request.shard == handle.shard_id
+                    and entry.generation == handle.generation
+                ):
+                    del self._pending[rid]
+                    victims.append(entry)
+        for entry in victims:
+            self._shard_failure_outcome(entry)
+        return victims
+
+    def _restart_shard(self, handle: ShardHandle, reason: str) -> None:
+        pid = handle.pid
+        self._count("shard_restarts", shard=handle.shard_id)
+        self.breakers[handle.shard_id].record_failure()
+        handle.kill()  # covers heartbeat-stale (e.g. SIGSTOPped) workers
+        victims = self._fail_shard_pending(handle)
+        self.journal.append(
+            event="shard-died",
+            shard=handle.shard_id,
+            pid=pid,
+            reason=reason,
+            generation=handle.generation,
+            inflight_failed=len(victims),
+        )
+        if handle.process is not None:
+            handle.process.join(timeout=2.0)
+        handle.start()
+        self._start_collector(handle)
+        self.journal.append(
+            event="shard-restarting",
+            shard=handle.shard_id,
+            pid=handle.pid,
+            generation=handle.generation,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe service state (the ``stats`` request / ``/stats``)."""
+        shard_rows = []
+        for handle in self.shards:
+            try:
+                depth = handle.in_q.qsize() if handle.in_q is not None else 0
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                depth = -1
+            shard_rows.append(
+                {
+                    "shard": handle.shard_id,
+                    "pid": handle.pid,
+                    "alive": handle.alive(),
+                    "ready": handle.ready.is_set(),
+                    "generation": handle.generation,
+                    "restarts": handle.restarts,
+                    "warm_starts": handle.warm_starts,
+                    "queue_depth": depth,
+                    "breaker": self.breakers[handle.shard_id].snapshot(),
+                }
+            )
+        with self._counters_lock:
+            counters = dict(sorted(self.counters.items()))
+        with self._lock:
+            inflight = len(self._pending)
+            parked = len(self._parked)
+        return {
+            "policy": self.config.policy,
+            "shards": shard_rows,
+            "counters": counters,
+            "inflight": inflight,
+            "parked": parked,
+            "draining": self.draining.is_set(),
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+        }
+
+    # -- drain -----------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> dict:
+        """Graceful shutdown: finish in-flight work, flush, journal, stop.
+
+        Returns a summary dict (final counters + per-shard state).
+        Idempotent: a second call returns the first call's summary.
+        """
+        if self.draining.is_set():
+            self.drained.wait(timeout or self.config.drain_timeout_s)
+            return getattr(self, "_drain_summary", {})
+        timeout = timeout or self.config.drain_timeout_s
+        deadline = time.monotonic() + timeout
+        self.draining.set()
+        self.journal.append(event="drain-start")
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        # 1. Let in-flight requests finish (the sweeper keeps timing out
+        #    stragglers, so this converges within the max deadline).
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending and not self._parked:
+                    break
+            time.sleep(self.config.poll_interval)
+        # 2. Flush shard queues through worker sentinels.
+        for handle in self.shards:
+            try:
+                handle.in_q.put_nowait(None)
+            except (queue_mod.Full, OSError, ValueError, AssertionError):
+                handle.drained.set()  # queue unusable: nothing to flush
+        for handle in self.shards:
+            remaining = max(0.1, deadline - time.monotonic())
+            if not handle.drained.wait(remaining):
+                self.journal.append(
+                    event="drain-shard-timeout", shard=handle.shard_id
+                )
+            handle.kill()
+            if handle.process is not None:
+                handle.process.join(timeout=2.0)
+        # 3. Stop the service threads and close client connections.
+        self._stop.set()
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.close()
+        if self._admin is not None:
+            self._admin.shutdown()
+            self._admin.server_close()
+        # 4. Final metrics snapshot + journal summary.
+        summary = {
+            "stats": self.stats(),
+            "clean": all(h.drained.is_set() for h in self.shards),
+        }
+        snapshot = obs_metrics.registry().snapshot(meta={"source": "serve-drain"})
+        metrics_path = self._store_dir / "serve-metrics-final.json"
+        try:
+            obs_metrics.save_snapshot(metrics_path, snapshot)
+            summary["metrics_path"] = str(metrics_path)
+        except OSError:
+            pass
+        self.journal.append(
+            event="drained",
+            clean=summary["clean"],
+            counters=summary["stats"]["counters"],
+        )
+        if self.run_dir:
+            shutil.rmtree(self.run_dir, ignore_errors=True)
+        if self._own_store:
+            shutil.rmtree(self._store_dir, ignore_errors=True)
+        self._drain_summary = summary
+        self.drained.set()
+        return summary

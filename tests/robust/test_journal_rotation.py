@@ -1,0 +1,147 @@
+"""CrashJournal rotation caps and stale-run-dir sweeping."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.robust.supervise import (
+    CrashJournal,
+    heartbeat_path,
+    sweep_stale_run_dirs,
+)
+
+
+def _entry_ids(events):
+    return [e["n"] for e in events]
+
+
+def test_unbounded_journal_never_rotates(tmp_path):
+    journal = CrashJournal(tmp_path / "j.jsonl")
+    for n in range(200):
+        journal.append(event="x", n=n)
+    assert not journal.archive_path.exists()
+    assert len(journal.read()) == 200
+
+
+def test_rotation_by_bytes_never_loses_the_newest_entry(tmp_path):
+    journal = CrashJournal(tmp_path / "j.jsonl", max_bytes=600)
+    for n in range(100):
+        journal.append(event="x", n=n)
+        # The invariant under test: after *every* append, the entry just
+        # written is readable from the live file.
+        live = journal.read()
+        assert live, "live journal empty right after an append"
+        assert live[-1]["n"] == n
+    assert journal.archive_path.exists()
+    # Live file respects the cap (one entry may straddle it at most).
+    assert (tmp_path / "j.jsonl").stat().st_size <= 600
+    # Archive + live together hold a contiguous recent suffix.
+    both = journal.read(include_rotated=True)
+    ids = _entry_ids(both)
+    assert ids == list(range(ids[0], 100))
+    assert ids[-1] == 99
+
+
+def test_rotation_by_entries(tmp_path):
+    journal = CrashJournal(tmp_path / "j.jsonl", max_entries=10)
+    for n in range(35):
+        journal.append(event="x", n=n)
+    live = journal.read()
+    assert 1 <= len(live) <= 10
+    assert live[-1]["n"] == 34
+    archived = journal.read(include_rotated=True)
+    assert len(archived) <= 20
+    assert _entry_ids(archived)[-1] == 34
+
+
+def test_repeated_rotation_replaces_the_archive(tmp_path):
+    journal = CrashJournal(tmp_path / "j.jsonl", max_entries=5)
+    for n in range(40):
+        journal.append(event="x", n=n)
+    # Exactly one archive file, no .2/.3... accumulation.
+    assert journal.archive_path.exists()
+    assert not (tmp_path / "j.jsonl.1.1").exists()
+    assert not (tmp_path / "j.jsonl.2").exists()
+    siblings = sorted(p.name for p in tmp_path.iterdir())
+    assert siblings == ["j.jsonl", "j.jsonl.1"]
+
+
+def test_rotation_counts_survive_a_reopened_journal(tmp_path):
+    path = tmp_path / "j.jsonl"
+    first = CrashJournal(path, max_entries=10)
+    for n in range(7):
+        first.append(event="x", n=n)
+    # A new instance (fresh process) must count the existing lines, not
+    # assume an empty file.
+    second = CrashJournal(path, max_entries=10)
+    for n in range(7, 14):
+        second.append(event="x", n=n)
+    live = second.read()
+    assert len(live) <= 10
+    assert live[-1]["n"] == 13
+    assert second.archive_path.exists()
+
+
+def test_journal_cap_validation(tmp_path):
+    with pytest.raises(ValueError):
+        CrashJournal(tmp_path / "j.jsonl", max_bytes=0)
+    with pytest.raises(ValueError):
+        CrashJournal(tmp_path / "j.jsonl", max_entries=0)
+
+
+# -- stale run-dir sweeping ----------------------------------------------------
+
+
+def _make_run_dir(root, name, age_s, pid=None):
+    run_dir = root / name
+    run_dir.mkdir()
+    if pid is not None:
+        hb = heartbeat_path(run_dir, pid)
+        hb.write_text(json.dumps({"pid": pid, "ts": time.time()}))
+    old = time.time() - age_s
+    os.utime(run_dir, (old, old))
+    return run_dir
+
+
+def test_sweep_removes_old_dirs_without_live_pids(tmp_path):
+    stale = _make_run_dir(tmp_path, "repro-supervise-stale", age_s=7200)
+    dead_pid_dir = _make_run_dir(
+        tmp_path, "repro-supervise-dead", age_s=7200, pid=2**22 - 7
+    )
+    swept = sweep_stale_run_dirs(root=tmp_path, min_age_s=3600)
+    assert str(stale) in swept
+    assert str(dead_pid_dir) in swept
+    assert not stale.exists() and not dead_pid_dir.exists()
+
+
+def test_sweep_keeps_young_dirs_and_live_pids(tmp_path):
+    young = _make_run_dir(tmp_path, "repro-supervise-young", age_s=10)
+    live = _make_run_dir(
+        tmp_path, "repro-supervise-live", age_s=7200, pid=os.getpid()
+    )
+    unrelated = tmp_path / "not-a-run-dir"
+    unrelated.mkdir()
+    os.utime(unrelated, (time.time() - 7200,) * 2)
+    swept = sweep_stale_run_dirs(root=tmp_path, min_age_s=3600)
+    assert swept == []
+    assert young.exists() and live.exists() and unrelated.exists()
+
+
+def test_sweep_journals_what_it_removed(tmp_path):
+    _make_run_dir(tmp_path, "repro-supervise-gone", age_s=7200)
+    journal = CrashJournal(tmp_path / "sweep.jsonl")
+    swept = sweep_stale_run_dirs(root=tmp_path, min_age_s=3600, journal=journal)
+    assert len(swept) == 1
+    events = [e for e in journal.read() if e["event"] == "stale-run-dir-swept"]
+    assert len(events) == 1
+    assert events[0]["run_dir"] == swept[0]
+
+
+def test_sweep_honors_custom_prefix(tmp_path):
+    serve_dir = _make_run_dir(tmp_path, "repro-serve-old", age_s=7200)
+    supervise_dir = _make_run_dir(tmp_path, "repro-supervise-old", age_s=7200)
+    swept = sweep_stale_run_dirs(root=tmp_path, prefix="repro-serve-", min_age_s=3600)
+    assert swept == [str(serve_dir)]
+    assert supervise_dir.exists()

@@ -150,3 +150,76 @@ def test_invalid_policy_rejected():
         RetryPolicy(max_attempts=0)
     with pytest.raises(ValueError):
         RetryPolicy(base_delay=-1.0)
+
+
+def test_zero_jitter_delays_are_the_exact_exponential_sequence():
+    policy = RetryPolicy(
+        max_attempts=5, base_delay=0.1, backoff=2.0, max_delay=100.0, jitter=0.0
+    )
+    assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.8]
+    # Zero jitter means the seed cannot matter.
+    assert list(policy.delays()) == list(
+        RetryPolicy(
+            max_attempts=5, base_delay=0.1, backoff=2.0, max_delay=100.0,
+            jitter=0.0, seed=12345,
+        ).delays()
+    )
+
+
+def test_max_delay_clamps_before_jitter_multiplies():
+    # The documented formula is min(max_delay, base*backoff**i) * (1+j*u):
+    # the clamp applies to the *base* delay, so a jittered delay may
+    # exceed max_delay by up to the jitter factor — but never the
+    # clamped base times (1 + jitter).
+    policy = RetryPolicy(
+        max_attempts=8, base_delay=1.0, backoff=10.0, max_delay=2.0,
+        jitter=0.5, seed=3,
+    )
+    delays = list(policy.delays())
+    # From the second retry on, the unjittered base is pinned at 2.0.
+    for delay in delays[1:]:
+        assert 2.0 <= delay < 2.0 * 1.5
+    assert any(d > 2.0 for d in delays[1:]), "jitter should exceed the clamp"
+
+
+def test_retryable_checks_the_raised_exception_not_its_cause():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, retry_on=(ValueError,))
+    calls = []
+
+    def raises_wrapped():
+        calls.append(1)
+        try:
+            raise ValueError("inner cause")
+        except ValueError as inner:
+            raise RuntimeError("outer") from inner
+
+    # The outer RuntimeError is not retryable even though its __cause__
+    # is: isinstance() runs on the exception actually raised.
+    with pytest.raises(RuntimeError, match="outer"):
+        call_with_retry(raises_wrapped, policy=policy, sleep=lambda s: None)
+    assert len(calls) == 1
+
+    error = None
+    try:
+        raises_wrapped()
+    except RuntimeError as raised:
+        error = raised
+    assert not policy.retryable(error)
+    assert policy.retryable(error.__cause__)
+
+
+def test_retryable_honors_exception_subclasses():
+    class Transient(ConnectionError):
+        pass
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.0, retry_on=(ConnectionError,))
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise Transient("subclass is retryable")
+        return "done"
+
+    assert call_with_retry(flaky, policy=policy, sleep=lambda s: None) == "done"
+    assert len(calls) == 3

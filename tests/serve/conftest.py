@@ -1,0 +1,98 @@
+"""Shared fixtures for the serving tests.
+
+Server-backed tests spawn real shard worker processes; everything here
+keeps them cheap (tiny caches, few shards) and hermetic (metrics state
+restored, servers drained even on assertion failure).
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.protocol import encode
+from repro.serve.server import PredictionServer, ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_metrics_state():
+    """PredictionServer.start() enables global metrics; undo it."""
+    was_enabled = obs_metrics.ENABLED
+    yield
+    if not was_enabled:
+        obs_metrics.disable()
+    obs_metrics.registry().clear()
+
+
+class ServeClient:
+    """Minimal NDJSON client: pipelined sends, id-matched receives."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.stream = self.sock.makefile("rb")
+        self._responses: dict[str, dict] = {}
+
+    def send(self, **msg) -> None:
+        self.sock.sendall(encode(msg))
+
+    def recv(self) -> dict:
+        line = self.stream.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def recv_for(self, request_id: str) -> dict:
+        """The response for ``request_id``, buffering out-of-order ones."""
+        while request_id not in self._responses:
+            response = self.recv()
+            self._responses[response["id"]] = response
+        return self._responses.pop(request_id)
+
+    def call(self, **msg) -> dict:
+        self.send(**msg)
+        return self.recv_for(msg["id"])
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def make_server():
+    """Factory yielding started servers; drains them all at teardown."""
+    servers = []
+
+    def factory(**overrides) -> PredictionServer:
+        overrides.setdefault("policy", "lru")
+        overrides.setdefault("shards", 2)
+        overrides.setdefault("cache_sets", 64)
+        overrides.setdefault("cache_ways", 4)
+        overrides.setdefault("admin_port", None)
+        server = PredictionServer(ServeConfig(**overrides))
+        servers.append(server)
+        server.start()
+        assert server.wait_ready(timeout=60.0), "shards never became ready"
+        return server
+
+    yield factory
+    for server in servers:
+        if not server.drained.is_set():
+            server.drain(timeout=10.0)
+
+
+@pytest.fixture
+def make_client():
+    clients = []
+
+    def factory(server) -> ServeClient:
+        client = ServeClient(server.port)
+        clients.append(client)
+        return client
+
+    yield factory
+    for client in clients:
+        client.close()

@@ -1,0 +1,145 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.robust.retry import RetryPolicy
+from repro.serve.breaker import BreakerOpen, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, **policy_kwargs):
+    clock = FakeClock()
+    policy_kwargs.setdefault("base_delay", 1.0)
+    policy_kwargs.setdefault("backoff", 2.0)
+    policy_kwargs.setdefault("max_delay", 8.0)
+    policy_kwargs.setdefault("jitter", 0.0)
+    policy_kwargs.setdefault("max_attempts", 4)
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        retry_policy=RetryPolicy(**policy_kwargs),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+def test_closed_until_threshold_consecutive_failures():
+    breaker, _clock = make_breaker(threshold=3)
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert not breaker.allow()
+    with pytest.raises(BreakerOpen):
+        breaker.check()
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _clock = make_breaker(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed"  # never 3 *consecutive*
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = make_breaker(threshold=1)
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock.advance(1.0)  # jitter=0: first cooldown is exactly base_delay
+    assert breaker.state == "half-open"
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else still rejected
+    assert not breaker.allow()
+
+
+def test_probe_success_closes_and_resets_backoff():
+    breaker, clock = make_breaker(threshold=1)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    # The cooldown sequence restarted: a new trip waits base_delay
+    # again, not the next step of the old exponential sequence.
+    breaker.record_failure()
+    snapshot = breaker.snapshot()
+    assert snapshot["state"] == "open"
+    assert snapshot["open_for_s"] == pytest.approx(1.0)
+
+
+def test_probe_failure_reopens_with_longer_cooldown():
+    breaker, clock = make_breaker(threshold=1)
+    breaker.record_failure()  # open, cooldown 1.0
+    clock.advance(1.0)
+    assert breaker.allow()
+    breaker.record_failure()  # probe failed: open, cooldown 2.0
+    assert breaker.state == "open"
+    assert breaker.snapshot()["open_for_s"] == pytest.approx(2.0)
+    clock.advance(1.0)
+    assert breaker.state == "open"  # 2.0 not yet elapsed
+    clock.advance(1.0)
+    assert breaker.state == "half-open"
+
+
+def test_cooldowns_pin_at_the_clamped_maximum():
+    breaker, clock = make_breaker(threshold=1)
+    observed = []
+    for _ in range(6):
+        breaker.record_failure()
+        cooldown = breaker.snapshot()["open_for_s"]
+        observed.append(cooldown)
+        clock.advance(cooldown)
+        assert breaker.allow()  # probe, which we fail again
+    # base 1.0, backoff 2.0, max_delay 8.0, max_attempts 4:
+    # 1, 2, 4, 8 then pinned at 8 forever.
+    assert observed == pytest.approx([1.0, 2.0, 4.0, 8.0, 8.0, 8.0])
+
+
+def test_jittered_cooldowns_stay_in_the_envelope_and_are_seeded():
+    policy = RetryPolicy(
+        base_delay=1.0, backoff=2.0, max_delay=8.0, jitter=0.5, max_attempts=4, seed=11
+    )
+    clock_a = FakeClock()
+    a = CircuitBreaker(failure_threshold=1, retry_policy=policy, clock=clock_a)
+    clock_b = FakeClock()
+    b = CircuitBreaker(failure_threshold=1, retry_policy=policy, clock=clock_b)
+    for step in range(5):
+        a.record_failure()
+        b.record_failure()
+        ca, cb = a.snapshot()["open_for_s"], b.snapshot()["open_for_s"]
+        assert ca == cb  # same seed, same sequence
+        base = min(8.0, 2.0**step)
+        assert base <= ca < base * 1.5
+        clock_a.advance(ca)
+        clock_b.advance(cb)
+        assert a.allow() and b.allow()
+
+
+def test_counters_in_snapshot():
+    breaker, clock = make_breaker(threshold=1)
+    breaker.record_failure()
+    breaker.allow()
+    breaker.allow()
+    snapshot = breaker.snapshot()
+    assert snapshot["opens_total"] == 1
+    assert snapshot["rejections_total"] == 2
+    assert snapshot["consecutive_failures"] == 1
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)

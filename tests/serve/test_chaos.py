@@ -1,0 +1,148 @@
+"""Chaos suite: every request ends in exactly one decision or typed error.
+
+Three injected faults, each verified by request-id accounting:
+
+* SIGKILL a shard worker mid-load (crash recovery + typed
+  ``shard-restarted`` + restart within the deadline);
+* SIGSTOP a shard worker (heartbeat-stale detection: the watchdog must
+  tell a wedged worker from a busy one, SIGKILL it, and restart);
+* queue-full storm at far beyond sustainable throughput (backpressure:
+  typed ``shed`` responses, bounded memory, no silent drops).
+"""
+
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import LoadConfig, run_load, validate_bench_serve
+from repro.traces.trace import Trace
+
+pytestmark = pytest.mark.slow
+
+
+def _make_trace(length=2000, lines=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        name="chaos",
+        pcs=rng.integers(0, 32, size=length),
+        addresses=rng.integers(0, lines, size=length) * 64,
+    )
+
+
+def _await_restart(handle, old_pid, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if handle.restarts >= 1 and handle.ready.is_set() and handle.pid != old_pid:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_sigkill_mid_load_loses_nothing(make_server, make_client):
+    server = make_server(shards=2, default_deadline_ms=2000.0)
+    client = make_client(server)
+    total = 400
+    kill_at = 120
+    victim = server.shards[0]
+    old_pid = victim.pid
+    for i in range(total):
+        client.send(id=f"k{i}", kind="access", pc=i % 8, address=(i % 48) * 64)
+        if i == kill_at:
+            os.kill(old_pid, signal.SIGKILL)
+    outcomes = {f"k{i}": client.recv_for(f"k{i}") for i in range(total)}
+    # Exactly one response per id, each a decision or a typed error.
+    assert len(outcomes) == total
+    decisions = sum(1 for r in outcomes.values() if r["ok"])
+    errors = [r["error"]["type"] for r in outcomes.values() if not r["ok"]]
+    assert decisions + len(errors) == total
+    assert decisions > 0
+    allowed = {"shard-restarted", "timeout", "shed", "breaker-open"}
+    assert set(errors) <= allowed, f"unexpected error types: {set(errors)}"
+    # The dead shard came back within the restart deadline.
+    assert _await_restart(victim, old_pid), "shard not restarted in time"
+    # And serves again (its breaker may need its cooldown to half-open;
+    # requests during that window fail typed, never silently).
+    deadline = time.monotonic() + 10.0
+    served = False
+    while time.monotonic() < deadline and not served:
+        response = client.call(id=f"post-{time.monotonic()}", kind="access",
+                               pc=0, address=0)
+        served = response["ok"]
+        if not served:
+            time.sleep(0.2)
+    assert served, "restarted shard never served a decision"
+
+
+def test_sigstop_is_detected_as_heartbeat_stale(make_server, make_client, tmp_path):
+    server = make_server(
+        shards=1,
+        store_dir=str(tmp_path),
+        heartbeat_interval=0.1,
+        heartbeat_grace=1.0,
+        default_deadline_ms=500.0,
+    )
+    client = make_client(server)
+    assert client.call(id="pre", kind="access", pc=0, address=0)["ok"]
+    victim = server.shards[0]
+    old_pid = victim.pid
+    os.kill(old_pid, signal.SIGSTOP)
+    try:
+        assert _await_restart(victim, old_pid, timeout=25.0), (
+            "watchdog never replaced the SIGSTOPped shard"
+        )
+    finally:
+        try:  # old pid should be SIGKILLed by the watchdog already
+            os.kill(old_pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "serve-journal.jsonl").read_text().splitlines()
+    ]
+    died = [e for e in events if e["event"] == "shard-died"]
+    assert any(e["reason"] == "heartbeat-stale" for e in died)
+    # Wait out any breaker cooldown, then confirm it serves decisions.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if client.call(id=f"post-{time.monotonic()}", kind="access",
+                       pc=0, address=64)["ok"]:
+            break
+        time.sleep(0.2)
+    else:
+        pytest.fail("restarted shard never served a decision")
+
+
+def test_queue_full_storm_accounts_for_every_request(make_server):
+    # ~3ms per request on a single shard sustains ~300 rps; drive the
+    # generator at far beyond that with a deep pipeline.
+    server = make_server(
+        shards=1,
+        queue_depth=16,
+        chaos_delay_ms=3.0,
+        default_deadline_ms=3000.0,
+    )
+    report = run_load(
+        _make_trace(length=1200),
+        LoadConfig(
+            port=server.port,
+            requests=1200,
+            qps=100000.0,
+            connections=4,
+            timeout_s=60.0,
+        ),
+    )
+    assert validate_bench_serve(report) == []
+    assert report["accounted"] is True
+    assert report["duplicates"] == 0
+    assert report["connection_lost"] == 0
+    assert report["errors_by_type"].get("shed", 0) > 0, (
+        f"storm should shed: {report['errors_by_type']}"
+    )
+    assert report["decisions"] > 0
+    # Server-side ledger agrees with the client's view.
+    server_counters = report["server"]["counters"]
+    assert server_counters["shed_total"] == report["errors_by_type"]["shed"]

@@ -1,0 +1,103 @@
+"""Load generator accounting and the BENCH_serve report contract."""
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import (
+    BENCH_SERVE_SCHEMA,
+    LoadConfig,
+    run_load,
+    validate_bench_serve,
+)
+from repro.traces.trace import Trace
+
+
+def _make_trace(length=500, lines=48, seed=1):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        name="loadgen",
+        pcs=rng.integers(0, 16, size=length),
+        addresses=rng.integers(0, lines, size=length) * 64,
+        is_write=rng.random(length) < 0.2,
+    )
+
+
+@pytest.mark.slow
+def test_healthy_load_accounts_and_measures(make_server):
+    server = make_server(shards=2)
+    report = run_load(
+        _make_trace(length=500),
+        LoadConfig(port=server.port, requests=500, qps=5000.0, connections=3),
+    )
+    assert validate_bench_serve(report) == []
+    assert report["schema"] == BENCH_SERVE_SCHEMA
+    assert report["sent"] == 500
+    assert report["decisions"] == 500  # healthy run: all decisions
+    assert report["typed_errors"] == 0
+    assert report["connection_lost"] == 0
+    assert report["duplicates"] == 0
+    assert report["accounted"] is True
+    assert report["throughput_rps"] > 0
+    latency = report["latency_ms"]
+    assert latency["p50"] is not None and latency["p99"] is not None
+    assert latency["p50"] <= latency["p99"] <= latency["max"]
+    # The server-side section came from a live stats request.
+    assert report["server"] is not None
+    assert report["server"]["counters"]["decisions_total"] >= 500
+    assert report["server"]["shard_restarts"] == 0
+    assert all(
+        row["breaker_state"] == "closed" for row in report["server"]["shards"]
+    )
+
+
+@pytest.mark.slow
+def test_predict_ratio_sends_idempotent_requests(make_server):
+    server = make_server(shards=2)
+    report = run_load(
+        _make_trace(length=200),
+        LoadConfig(
+            port=server.port, requests=200, qps=5000.0, connections=2,
+            predict_ratio=0.5,
+        ),
+    )
+    assert validate_bench_serve(report) == []
+    assert report["decisions"] == 200
+
+
+def test_validate_rejects_broken_accounting():
+    base = {
+        "schema": BENCH_SERVE_SCHEMA,
+        "sent": 10,
+        "decisions": 7,
+        "typed_errors": 2,
+        "connection_lost": 0,
+        "duplicates": 0,
+        "errors_by_type": {"shed": 2},
+        "latency_ms": {"p50": 1.0, "p99": 2.0},
+    }
+    problems = validate_bench_serve(base)
+    assert any("accounting broken" in p for p in problems)
+    base["connection_lost"] = 1
+    assert validate_bench_serve(base) == []
+
+
+def test_validate_rejects_duplicates_and_bad_schema():
+    report = {
+        "schema": BENCH_SERVE_SCHEMA,
+        "sent": 2,
+        "decisions": 2,
+        "typed_errors": 0,
+        "connection_lost": 0,
+        "duplicates": 1,
+        "errors_by_type": {},
+        "latency_ms": {"p50": 1.0, "p99": 2.0},
+    }
+    assert any("duplicate" in p for p in validate_bench_serve(report))
+    assert validate_bench_serve({"schema": "nope"})
+    assert validate_bench_serve([1, 2, 3]) == ["report is not a JSON object"]
+    report["duplicates"] = 0
+    report["errors_by_type"] = {"made-up-error": 1}
+    assert any("unknown error type" in p for p in validate_bench_serve(report))
+    del report["latency_ms"]
+    report["errors_by_type"] = {}
+    assert any("latency_ms" in p for p in validate_bench_serve(report))

@@ -1,0 +1,115 @@
+"""Wire-protocol parsing, validation, and the typed error taxonomy."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    IDEMPOTENT_KINDS,
+    KINDS,
+    RETRYABLE_ERRORS,
+    ProtocolError,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+def test_parse_minimal_access_request():
+    request = parse_request('{"id": "a1", "pc": 7, "address": 4096}')
+    assert request.id == "a1"
+    assert request.kind == "access"  # the default kind
+    assert request.pc == 7
+    assert request.address == 4096
+    assert request.write is False
+    assert request.core == 0
+    assert request.deadline_ms is None
+
+
+def test_parse_accepts_bytes_and_full_fields():
+    line = encode(
+        {
+            "id": 42,
+            "kind": "predict",
+            "pc": 1,
+            "address": 128,
+            "write": True,
+            "core": 3,
+            "deadline_ms": 50,
+        }
+    )
+    request = parse_request(line)
+    assert request.id == "42"  # scalar ids are normalized to strings
+    assert request.kind == "predict"
+    assert request.write is True
+    assert request.core == 3
+    assert request.deadline_ms == 50
+
+
+@pytest.mark.parametrize(
+    "line, fragment",
+    [
+        ("not json", "not valid JSON"),
+        ("[1, 2]", "JSON object"),
+        ('{"kind": "access"}', "scalar 'id'"),
+        ('{"id": true, "kind": "access"}', "scalar 'id'"),
+        ('{"id": "x", "kind": "evict"}', "unknown kind"),
+        ('{"id": "x", "kind": "access", "pc": -1, "address": 0}', "pc"),
+        ('{"id": "x", "kind": "access", "pc": 0, "address": "0x40"}', "address"),
+        ('{"id": "x", "kind": "access", "pc": 0, "address": 0, "write": 1}', "write"),
+        ('{"id": "x", "pc": 0, "address": 0, "deadline_ms": 0}', "deadline_ms"),
+        ('{"id": "x", "pc": 0, "address": 0, "deadline_ms": "soon"}', "deadline_ms"),
+    ],
+)
+def test_parse_rejects_malformed_requests(line, fragment):
+    with pytest.raises(ProtocolError, match=fragment):
+        parse_request(line)
+
+
+def test_protocol_error_carries_the_client_id_when_recoverable():
+    try:
+        parse_request('{"id": "req-9", "kind": "nonsense"}')
+    except ProtocolError as error:
+        assert error.request_id == "req-9"
+    else:
+        pytest.fail("expected ProtocolError")
+
+
+def test_ping_and_stats_need_no_address_fields():
+    assert parse_request('{"id": "p", "kind": "ping"}').kind == "ping"
+    assert parse_request('{"id": "s", "kind": "stats"}').kind == "stats"
+
+
+def test_ok_response_shape():
+    response = ok_response("r1", "access", hit=True, way=3)
+    assert response == {"id": "r1", "ok": True, "kind": "access", "hit": True, "way": 3}
+
+
+def test_error_response_is_typed_and_flags_retryability():
+    for error_type in ERROR_TYPES:
+        response = error_response("r1", error_type, "boom", shard=1)
+        assert response["ok"] is False
+        assert response["error"]["type"] == error_type
+        assert response["error"]["retryable"] == (error_type in RETRYABLE_ERRORS)
+        assert response["shard"] == 1
+
+
+def test_error_response_rejects_unknown_types():
+    with pytest.raises(ValueError):
+        error_response("r1", "weird-error", "boom")
+
+
+def test_encode_roundtrips_as_one_ndjson_line():
+    payload = {"id": "x", "ok": True, "kind": "ping"}
+    line = encode(payload)
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert json.loads(line) == payload
+
+
+def test_taxonomy_constants_are_consistent():
+    assert set(RETRYABLE_ERRORS) < set(ERROR_TYPES)
+    assert IDEMPOTENT_KINDS < set(KINDS)
+    assert "access" not in IDEMPOTENT_KINDS  # replay would double-train

@@ -1,0 +1,69 @@
+"""SnapshotStore: atomic writes, warm loads, corruption quarantine."""
+
+import os
+import pickle
+
+from repro.serve.snapshot import SnapshotStore
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    store = SnapshotStore(tmp_path / "shard-0.snapshot")
+    store.save({"trained": 123}, meta={"shard": 0})
+    loaded = SnapshotStore(tmp_path / "shard-0.snapshot").load()
+    assert loaded is not None
+    state, meta = loaded
+    assert state == {"trained": 123}
+    assert meta["shard"] == 0
+    assert "saved_unix" in meta
+
+
+def test_missing_snapshot_loads_none(tmp_path):
+    assert SnapshotStore(tmp_path / "nope.snapshot").load() is None
+
+
+def test_newest_snapshot_wins(tmp_path):
+    store = SnapshotStore(tmp_path / "s.snapshot")
+    store.save("old")
+    store.save("new")
+    assert store.load()[0] == "new"
+    assert store.saves == 2
+
+
+def test_corrupt_snapshot_is_quarantined_not_fatal(tmp_path):
+    path = tmp_path / "s.snapshot"
+    path.write_bytes(b"\x80\x04 definitely not a pickle")
+    store = SnapshotStore(path)
+    assert store.load() is None
+    assert store.corrupt == 1
+    assert not path.exists()  # moved aside, next save starts fresh
+    assert path.with_name("s.snapshot.corrupt").exists()
+    store.save("recovered")
+    assert store.load()[0] == "recovered"
+
+
+def test_truncated_snapshot_is_treated_as_corrupt(tmp_path):
+    path = tmp_path / "s.snapshot"
+    store = SnapshotStore(path)
+    store.save(list(range(1000)))
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # torn write
+    assert store.load() is None
+    assert store.corrupt == 1
+
+
+def test_no_tmp_litter_after_save(tmp_path):
+    store = SnapshotStore(tmp_path / "s.snapshot")
+    store.save({"x": 1})
+    leftovers = [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name]
+    assert leftovers == []
+
+
+def test_payload_is_self_describing(tmp_path):
+    # Another process (or a human with pickletools) can identify the
+    # snapshot without the SnapshotStore class.
+    store = SnapshotStore(tmp_path / "s.snapshot")
+    store.save("state-blob", meta={"shard": 3})
+    with open(tmp_path / "s.snapshot", "rb") as handle:
+        payload = pickle.load(handle)
+    assert set(payload) == {"meta", "state"}
+    assert payload["state"] == "state-blob"
