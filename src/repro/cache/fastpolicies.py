@@ -1,0 +1,951 @@
+"""Fast-path replay kernels for the learned-policy family.
+
+:mod:`repro.cache.fastsim` dispatches into this module for the policies
+whose victim choice depends on *learned* state — DRRIP's set-duelling
+PSEL, SHiP/SHiP++'s signature outcome table, and the Hawkeye/Glider
+OPTgen-trained predictors.  Each kernel keeps the same structure-of-
+arrays layout as the stateless kernels (flat per-set tag/dirty/RRPV
+lists, set/tag splitting and PC hashing vectorized up front with NumPy)
+and adds exactly the per-line and global state its policy needs:
+
+* ``drrip``   — RRPV lists + leader-set role array + one PSEL counter.
+* ``ship``    — RRPV lists + per-line signature/outcome + the SHCT.
+* ``hawkeye`` — RRPV/friendly lists + per-line predictor index + the
+  3-bit counter table + a flat port of the sampled-set OPTgen.
+* ``glider``  — Hawkeye's layout with the counter table replaced by the
+  ISVM weight table, per-core PCHR kept as parallel (pc, hash) lists,
+  and per-line insertion-context tuples for eviction detraining.
+
+Parity is the contract: every kernel reproduces the reference engine's
+event stream ``(hit, bypassed, way, evicted_tag, evicted_dirty)``
+access-by-access, including training order (sampler events before the
+hit/miss outcome, victim detraining before the same access's insertion
+prediction, SHCT eviction-training before the insertion that reads it)
+and RNG draw sequence (batched PCG64 draws are bit-identical to the
+reference policies' sequential draws).  ``verify_parity`` and the
+conformance fuzzer enforce this across the adversarial trace families.
+
+Hash/context representation: the reference engine stores raw PCs and
+hashes them at every prediction/training; the kernels hash each access's
+PC once, up front, and store the *hashed* forms (predictor index, ISVM
+entry index, 4-bit weight hash) per line and per sampler entry.  This is
+behaviour-preserving because every reference consumer applies the same
+pure hash to the same stored PC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import CacheConfig
+from .stats import CacheStats
+
+__all__ = [
+    "_decode_stream",
+    "_finish_stats",
+    "_replay_drrip",
+    "_replay_ship",
+    "_replay_hawkeye",
+    "_replay_glider",
+]
+
+_KIND_LOAD, _KIND_STORE, _KIND_WRITEBACK = 0, 1, 2
+
+
+def _decode_stream(stream, config: CacheConfig):
+    """Vectorized set/tag split of a whole stream into plain-int lists."""
+    shift = (config.line_size - 1).bit_length()
+    set_mask = config.num_sets - 1
+    tag_shift = set_mask.bit_length()
+    lines = stream.addresses.astype(np.uint64) >> np.uint64(shift)
+    sets = (lines & np.uint64(set_mask)).astype(np.int64).tolist()
+    tags = (lines >> np.uint64(tag_shift)).astype(np.int64).tolist()
+    return sets, tags, stream.kinds.tolist(), stream.cores.tolist()
+
+
+def _finish_stats(name, dh, dm, wh, wm, ev, dev, pch, pcm) -> CacheStats:
+    stats = CacheStats(name=name)
+    stats.demand_hits = dh
+    stats.demand_misses = dm
+    stats.writeback_hits = wh
+    stats.writeback_misses = wm
+    stats.evictions = ev
+    stats.dirty_evictions = dev
+    stats.per_core_hits = pch
+    stats.per_core_misses = pcm
+    return stats
+
+
+# -- vectorized PC hashing ----------------------------------------------------
+# Whole-stream ports of pc_signature / HawkeyePredictor._index / hash_pc;
+# uint64 arithmetic wraps exactly like the reference's `& 0xFFFF...F`.
+
+
+def _ship_signatures(pcs: np.ndarray, bits: int) -> list[int]:
+    x = pcs.astype(np.uint64)
+    x = x ^ (x >> np.uint64(17))
+    x = x * np.uint64(0xED5AD4BB)
+    x = x ^ (x >> np.uint64(11))
+    return (x & np.uint64((1 << bits) - 1)).astype(np.int64).tolist()
+
+
+def _hawkeye_indices(pcs: np.ndarray, table_bits: int) -> list[int]:
+    x = pcs.astype(np.uint64)
+    x = x ^ (x >> np.uint64(15))
+    x = x * np.uint64(0x2545F4914F6CDD1D)
+    return (x & np.uint64((1 << table_bits) - 1)).astype(np.int64).tolist()
+
+
+def _weight_hashes(pcs: np.ndarray, bits: int) -> list[int]:
+    x = pcs.astype(np.uint64)
+    x = x ^ (x >> np.uint64(16))
+    x = x * np.uint64(0x45D9F3B)
+    x = x ^ (x >> np.uint64(16))
+    return (x & np.uint64((1 << bits) - 1)).astype(np.int64).tolist()
+
+
+def _line_numbers(stream) -> list[int]:
+    # The reference samplers compute `request.address >> 6` regardless of
+    # the configured line size (Hawkeye/Glider hard-code a 64B line);
+    # mirror that exactly rather than reusing the decode shift.
+    return (stream.addresses.astype(np.uint64) >> np.uint64(6)).tolist()
+
+
+def _sampled_flags(stream, sampler: "_FlatOptGenSampler") -> list[bool]:
+    """Per-access "lands in a sampled set" flags, vectorized up front."""
+    flags = np.zeros(sampler.num_sets, dtype=bool)
+    flags[np.fromiter(sampler.sampled, dtype=np.int64)] = True
+    lines = stream.addresses.astype(np.uint64) >> np.uint64(6)
+    return flags[(lines % np.uint64(sampler.num_sets)).astype(np.int64)].tolist()
+
+
+# -- flat sampled-set OPTgen --------------------------------------------------
+
+
+class _FlatOptGenSampler:
+    """Flat-state port of ``OptGenSampler`` + ``SetOptGen``.
+
+    Same decisions, same training-event order, no per-event dataclasses:
+    events are ``(token, context, label)`` tuples where ``token`` is
+    whatever pre-hashed PC form the caller stores (predictor index for
+    Hawkeye, ISVM entry index for Glider).
+
+    The reference sampler rescans every tracked entry per access (a
+    staleness listcomp plus a full sort on tracker overflow).  Because
+    the sweep runs on *every* access and ``base_time`` advances by at
+    most one step per access, at most one entry can newly age out of the
+    window per access, and the tracker can exceed its capacity by at
+    most one entry.  Both sweeps therefore reduce to amortized-O(1)
+    lookups in a per-set ``stamp -> line`` index (stamps are unique
+    within a set — one access, one stamp — so sort order is total and
+    tie-stability cannot diverge from the reference):
+
+    * window staleness: pop the index at each stamp the window trim just
+      aged out; a mapping is live iff the tracked entry still carries
+      that stamp (re-accesses leave dead mappings behind, skipped here).
+    * tracker overflow: the reference takes the ``len - tracker_ways``
+      (= at most 1) oldest entries, *skipping* any already stale or the
+      just-accessed line without replacement.  A stale entry, having the
+      oldest stamp, is always that candidate when one exists — so
+      overflow eviction only ever happens on accesses with no window
+      staleness, and the victim is the live entry with the smallest
+      stamp >= base, found by advancing a per-set cursor.
+    """
+
+    __slots__ = (
+        "num_sets",
+        "capacity",
+        "window",
+        "tracker_ways",
+        "sampled",
+        "_state",
+    )
+
+    # Per-set state record layout (one list per sampled set; a single
+    # dict lookup fetches everything the hot path touches).  LAST_FULL
+    # is the absolute stamp of the newest occupancy slot ever to reach
+    # capacity: slots never drain inside the window, so the interval
+    # [prev, now) contains a full slot iff LAST_FULL >= prev — an O(1)
+    # replacement for the reference's O(window) interval scan (stale
+    # full slots sit below base <= prev and can't false-positive).
+    (
+        _OCC,
+        _BASE,
+        _TIME,
+        _LAST,
+        _TRACKED,
+        _BY_STAMP,
+        _SWEPT,
+        _CURSOR,
+        _LAST_FULL,
+    ) = range(9)
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int,
+        num_sampled_sets: int,
+        window_factor: int,
+        tracker_ways: int | None = None,
+    ) -> None:
+        num_sampled = min(num_sampled_sets, num_sets)
+        stride = max(1, num_sets // num_sampled)
+        self.sampled = frozenset(i * stride for i in range(num_sampled))
+        self.num_sets = num_sets
+        self.capacity = associativity
+        self.window = window_factor * associativity
+        self.tracker_ways = tracker_ways if tracker_ways is not None else self.window
+        self._state = {s: [[], 0, 0, {}, {}, {}, 0, 0, -1] for s in self.sampled}
+
+    def access(self, line: int, token, context) -> list:
+        """One sampled demand access; returns ``(token, context, label)``
+        training events in the reference sampler's order (reuse verdict
+        first, then window-stale and tracker-overflow detrains)."""
+        state = self._state[line % self.num_sets]
+        occ = state[0]
+        base = state[1]
+        now = state[2]
+        last = state[3]
+        tracked = state[4]
+        prev = last.get(line)
+        first = prev is None or prev < base
+        hit = False
+        if not first and state[8] < prev:
+            hit = True
+            cap = self.capacity
+            newly_full = -1
+            for i in range(prev - base, now - base):
+                v = occ[i] + 1
+                occ[i] = v
+                if v == cap:
+                    newly_full = i
+            if newly_full >= 0:
+                state[8] = base + newly_full
+        events = []
+        info = tracked.get(line)
+        if info is not None:
+            # Reuse of a tracked line: label with MIN's verdict; a reuse
+            # whose previous access aged out of the window is
+            # conservatively a miss.
+            events.append((info[0], info[1], hit if not first else False))
+        last[line] = now
+        occ.append(0)
+        now += 1
+        state[2] = now
+        window = self.window
+        excess = len(occ) - window
+        if excess > 0:
+            del occ[:excess]
+            base += excess
+            state[1] = base
+        if len(last) > 4 * window:
+            state[3] = {l: t for l, t in last.items() if t >= base}
+        tracked[line] = (token, context, now)
+        by_stamp = state[5]
+        by_stamp[now] = line
+        # Window-staleness sweep over the stamps that just left the window.
+        stale = None
+        swept = state[6]
+        if swept < base:
+            while swept < base:
+                old = by_stamp.pop(swept, None)
+                if old is not None:
+                    info = tracked.get(old)
+                    if info is not None and info[2] == swept:
+                        if stale is None:
+                            stale = [old]
+                        else:
+                            stale.append(old)
+                swept += 1
+            state[6] = swept
+        k_over = len(tracked) - self.tracker_ways
+        if k_over > 0:
+            # The reference's overflow candidates are the k oldest-stamp
+            # entries; stale ones among them (always the oldest) are
+            # skipped without replacement, as is the current line (the
+            # newest stamp, so the cursor never reaches it).
+            if stale is not None:
+                k_over -= len(stale)
+            cursor = state[7]
+            if cursor < base:
+                cursor = base
+            while k_over > 0 and cursor < now:
+                old = by_stamp.get(cursor)
+                if old is not None:
+                    info = tracked.get(old)
+                    if info is not None and info[2] == cursor:
+                        if stale is None:
+                            stale = [old]
+                        else:
+                            stale.append(old)
+                        k_over -= 1
+                    del by_stamp[cursor]
+                cursor += 1
+            state[7] = cursor
+        if stale is not None:
+            for old in stale:
+                info = tracked.pop(old)
+                events.append((info[0], info[1], False))
+        return events
+
+
+# -- DRRIP --------------------------------------------------------------------
+
+
+def _replay_drrip(
+    stream,
+    config: CacheConfig,
+    max_rrpv: int,
+    num_leader_sets: int,
+    psel_max: int,
+    long_prob: float,
+    seed: int,
+    record,
+) -> CacheStats:
+    """DRRIP fast kernel: RRIP substrate + leader-set duelling PSEL."""
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    # Leader-set roles, matching DRRIPPolicy.attach: 1 = SRRIP leader,
+    # 2 = BRRIP leader (SRRIP wins overlaps), 0 = follower.
+    role = [0] * num_sets
+    leaders = min(num_leader_sets, max(1, num_sets // 2))
+    stride = max(1, num_sets // (2 * leaders))
+    for i in range(leaders):
+        role[(2 * i) * stride % num_sets] = 1
+    for i in range(leaders):
+        s = ((2 * i + 1) * stride) % num_sets
+        if role[s] == 0:
+            role[s] = 2
+    psel = psel_max // 2
+    half = psel_max // 2
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    rrpv_t = [[0] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    rng = np.random.default_rng(seed)
+    draw_buf: list[float] = []
+    draw_pos = 0
+    long_rrpv = max_rrpv - 1
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            rrpv_t[s][w] = 0
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if k != _KIND_WRITEBACK:
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            rr = rrpv_t[s]
+            while True:
+                for w in range(assoc):
+                    if rr[w] >= max_rrpv:
+                        break
+                else:
+                    for j in range(assoc):
+                        rr[j] += 1
+                    continue
+                break
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = k != _KIND_LOAD
+        # insertion_rrpv: a fill means this set missed — update PSEL if a
+        # leader, then pick the component policy (and only BRRIP draws).
+        r = role[s]
+        if r == 1:
+            if psel > 0:
+                psel -= 1
+        elif r == 2:
+            if psel < psel_max:
+                psel += 1
+        if r == 2 or (r == 0 and psel < half):
+            if draw_pos == len(draw_buf):
+                draw_buf = rng.random(size=4096).tolist()
+                draw_pos = 0
+            rrpv_t[s][w] = long_rrpv if draw_buf[draw_pos] < long_prob else max_rrpv
+            draw_pos += 1
+        else:
+            rrpv_t[s][w] = long_rrpv
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+# -- SHiP / SHiP++ ------------------------------------------------------------
+
+
+def _replay_ship(
+    stream,
+    config: CacheConfig,
+    plus: bool,
+    max_rrpv: int,
+    signature_bits: int,
+    counter_max: int,
+    num_sampled_sets: int,
+    record,
+) -> CacheStats:
+    """SHiP (``plus=False``) / SHiP++ fast kernel.
+
+    Per-line signature is -1 outside sampled sets (the reference stores
+    none), so training naturally no-ops there.  Eviction training runs
+    before the same access's insertion reads the SHCT, as on the
+    reference path (victim -> on_evict -> on_fill).
+    """
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    sigs = _ship_signatures(stream.pcs, signature_bits)
+    sampled = [False] * num_sets
+    n_sampled = min(num_sampled_sets, num_sets)
+    stride = max(1, num_sets // n_sampled)
+    for i in range(n_sampled):
+        sampled[i * stride] = True
+    shct = [counter_max // 2] * (1 << signature_bits)
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    rrpv_t = [[0] * assoc for _ in range(num_sets)]
+    sig_t = [[-1] * assoc for _ in range(num_sets)]
+    out_t = [[False] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    long_rrpv = max_rrpv - 1
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if not (plus and k == _KIND_WRITEBACK):
+                # SHiP++ writeback hits neither promote nor train.
+                rrpv_t[s][w] = 0
+                sg = sig_t[s][w]
+                if sg >= 0 and not out_t[s][w]:
+                    out_t[s][w] = True
+                    if shct[sg] < counter_max:
+                        shct[sg] += 1
+            if k != _KIND_WRITEBACK:
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            rr = rrpv_t[s]
+            while True:
+                for w in range(assoc):
+                    if rr[w] >= max_rrpv:
+                        break
+                else:
+                    for j in range(assoc):
+                        rr[j] += 1
+                    continue
+                break
+            # on_evict: a sampled line evicted without reuse detrains.
+            sg = sig_t[s][w]
+            if sg >= 0 and not out_t[s][w] and shct[sg] > 0:
+                shct[sg] -= 1
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = k != _KIND_LOAD
+        # on_fill: insertion RRPV from the (possibly just-detrained) SHCT.
+        if plus:
+            if k == _KIND_WRITEBACK:
+                rrpv_t[s][w] = max_rrpv
+            else:
+                c = shct[sigs[i]]
+                if c == 0:
+                    rrpv_t[s][w] = max_rrpv
+                elif c == counter_max:
+                    rrpv_t[s][w] = 0
+                else:
+                    rrpv_t[s][w] = long_rrpv
+            track = sampled[s] and k != _KIND_WRITEBACK
+        else:
+            rrpv_t[s][w] = max_rrpv if shct[sigs[i]] == 0 else long_rrpv
+            track = sampled[s]
+        if track:
+            sig_t[s][w] = sigs[i]
+            out_t[s][w] = False
+        else:
+            sig_t[s][w] = -1
+            out_t[s][w] = False
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+# -- Hawkeye ------------------------------------------------------------------
+
+_HAWKEYE_MAX_RRPV = 7
+_AGE_CAP = _HAWKEYE_MAX_RRPV - 1
+
+
+def _replay_hawkeye(
+    stream,
+    config: CacheConfig,
+    table_bits: int,
+    counter_max: int,
+    num_sampled_sets: int,
+    window_factor: int,
+    record,
+) -> CacheStats:
+    """Hawkeye fast kernel: sampled-set OPTgen training a counter table.
+
+    Per-line state: RRPV, friendly bit, and the *predictor index* of the
+    last touching PC (stands in for ``line.pc`` — the reference only
+    ever hashes it).  Training order per demand access: sampler events,
+    then hit promotion or victim detrain followed by fill insertion
+    (the detrain lands before the same access's insertion prediction).
+    """
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    pidx = _hawkeye_indices(stream.pcs, table_bits)
+    lines = _line_numbers(stream)
+    mid = (counter_max + 1) // 2
+    table = [mid] * (1 << table_bits)
+    sampler = _FlatOptGenSampler(num_sets, assoc, num_sampled_sets, window_factor)
+    samp_acc = _sampled_flags(stream, sampler)
+    sampler_access = sampler.access
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    rrpv_t = [[0] * assoc for _ in range(num_sets)]
+    fr_t = [[False] * assoc for _ in range(num_sets)]
+    pi_t = [[0] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    for i in range(len(sets)):
+        s = sets[i]
+        t = tags[i]
+        k = kinds[i]
+        if k != _KIND_WRITEBACK and samp_acc[i]:
+            for tok, _ctx, label in sampler_access(lines[i], pidx[i], None):
+                c = table[tok]
+                if label:
+                    if c < counter_max:
+                        table[tok] = c + 1
+                elif c > 0:
+                    table[tok] = c - 1
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            if k != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if k != _KIND_WRITEBACK:
+                fr = table[pidx[i]] >= mid
+                fr_t[s][w] = fr
+                rrpv_t[s][w] = 0 if fr else _HAWKEYE_MAX_RRPV
+                pi_t[s][w] = pidx[i]
+                dh += 1
+                c = cores[i]
+                pch[c] = pch.get(c, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if k != _KIND_WRITEBACK:
+            dm += 1
+            c = cores[i]
+            pcm[c] = pcm.get(c, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            rr = rrpv_t[s]
+            w = -1
+            for j in range(assoc):
+                if rr[j] >= _HAWKEYE_MAX_RRPV:
+                    w = j
+                    break
+            if w < 0:
+                # No averse line: evict the highest-RRPV (first tie wins)
+                # and detrain its last toucher before this access's
+                # insertion prediction reads the table.
+                w = 0
+                best = rr[0]
+                for j in range(1, assoc):
+                    if rr[j] > best:
+                        best = rr[j]
+                        w = j
+                tok = pi_t[s][w]
+                if table[tok] > 0:
+                    table[tok] = table[tok] - 1
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = k != _KIND_LOAD
+        pi_t[s][w] = pidx[i]
+        if k == _KIND_WRITEBACK:
+            fr_t[s][w] = False
+            rrpv_t[s][w] = _HAWKEYE_MAX_RRPV
+        else:
+            fr = table[pidx[i]] >= mid
+            fr_t[s][w] = fr
+            if fr:
+                rrpv_t[s][w] = 0
+                rr = rrpv_t[s]
+                frr = fr_t[s]
+                for j in range(assoc):
+                    if j != w and row[j] != -1 and frr[j]:
+                        v = rr[j] + 1
+                        rr[j] = v if v < _HAWKEYE_MAX_RRPV else _AGE_CAP
+            else:
+                rrpv_t[s][w] = _HAWKEYE_MAX_RRPV
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+
+
+# -- Glider -------------------------------------------------------------------
+
+
+def _replay_glider(
+    stream,
+    config: CacheConfig,
+    k: int,
+    table_bits: int,
+    weight_hash_bits: int,
+    threshold: int,
+    adaptive: bool,
+    adapt_interval: int,
+    num_sampled_sets: int,
+    window_factor: int,
+    tracker_ways,
+    detrain: bool,
+    confidence_insertion: bool,
+    record,
+) -> CacheStats:
+    """Glider fast kernel: ISVM over the PCHR on Hawkeye's machinery.
+
+    Per-core PCHRs are parallel (raw-pc, 4-bit-hash) lists; the context
+    stored with sampled accesses and (for detraining) with filled lines
+    is the tuple of weight hashes — the only form the ISVM ever reads.
+    The training gate, weight clamps and (optional) adaptive-threshold
+    sweep mirror ``ISVMTable.train`` exactly.
+    """
+    from ..core.isvm import (
+        AVERSE_SUM,
+        HIGH_CONFIDENCE_SUM,
+        ISVM,
+        THRESHOLD_CANDIDATES,
+    )
+
+    sets, tags, kinds, cores = _decode_stream(stream, config)
+    num_sets, assoc = config.num_sets, config.associativity
+    pcs = stream.pcs.tolist()
+    eidx = ((stream.pcs.astype(np.uint64) >> np.uint64(2))
+            & np.uint64((1 << table_bits) - 1)).astype(np.int64).tolist()
+    whash = _weight_hashes(stream.pcs, weight_hash_bits)
+    lines = _line_numbers(stream)
+    weights = [[0] * (1 << weight_hash_bits) for _ in range(1 << table_bits)]
+    wmin, wmax = ISVM.WEIGHT_MIN, ISVM.WEIGHT_MAX
+    hc_cut = min(HIGH_CONFIDENCE_SUM, max(1, threshold))
+    win_correct = win_total = 0
+    cand_scores: dict[int, float] = {}
+    max_rrpv = _HAWKEYE_MAX_RRPV
+
+    def train(entry: int, hist: tuple, label: bool) -> None:
+        nonlocal win_correct, win_total, threshold, hc_cut
+        e = weights[entry]
+        tot = 0
+        for h in hist:
+            tot += e[h]
+        if adaptive:
+            win_total += 1
+            if (tot >= AVERSE_SUM) == label:
+                win_correct += 1
+        # Perceptron gate: skip when already confidently past the margin.
+        if label:
+            if tot <= threshold:
+                for h in hist:
+                    v = e[h] + 1
+                    e[h] = v if v <= wmax else wmax
+        elif tot >= -threshold:
+            for h in hist:
+                v = e[h] - 1
+                e[h] = v if v >= wmin else wmin
+        if adaptive and win_total >= adapt_interval:
+            accuracy = win_correct / max(1, win_total)
+            win_correct = win_total = 0
+            if threshold not in cand_scores:
+                cand_scores[threshold] = accuracy
+            unexplored = [c for c in THRESHOLD_CANDIDATES if c not in cand_scores]
+            if unexplored:
+                threshold = unexplored[0]
+            else:
+                threshold = max(cand_scores, key=lambda c: cand_scores[c])
+            hc_cut = min(HIGH_CONFIDENCE_SUM, max(1, threshold))
+
+    sampler = _FlatOptGenSampler(
+        num_sets, assoc, num_sampled_sets, window_factor, tracker_ways
+    )
+    samp_acc = _sampled_flags(stream, sampler)
+    # The sampler body is inlined in the loop below (Glider trains on
+    # every sampled access; the call/event-list overhead is measurable),
+    # operating directly on the shared per-set state records.
+    sstate = sampler._state
+    snum = sampler.num_sets
+    scap = sampler.capacity
+    swindow = sampler.window
+    swindow4 = 4 * swindow
+    stways = sampler.tracker_ways
+    # Per-core PCHR: [raw pcs, weight hashes, cached tuple(hashes)].  The
+    # tuple is rebuilt only when the register actually changes (the front
+    # PC differs), since re-inserting the front PC is a no-op.
+    pchr: dict[int, list] = {}
+    tag_t = [[-1] * assoc for _ in range(num_sets)]
+    dirty_t = [[False] * assoc for _ in range(num_sets)]
+    rrpv_t = [[0] * assoc for _ in range(num_sets)]
+    fr_t = [[False] * assoc for _ in range(num_sets)]
+    ei_t = [[0] * assoc for _ in range(num_sets)]
+    ctx_t = [[None] * assoc for _ in range(num_sets)]
+    fill_count = [0] * num_sets
+    dh = dm = wh = wm = ev = dev = 0
+    pch: dict[int, int] = {}
+    pcm: dict[int, int] = {}
+    hist: tuple = ()
+    reg_core = reg = None
+    for s, t, kn, core, pc, ei, whsh, ln, sa in zip(
+        sets, tags, kinds, cores, pcs, eidx, whash, lines, samp_acc
+    ):
+        if kn != _KIND_WRITEBACK:
+            # on_access: snapshot the PCHR *before* inserting this PC —
+            # prediction, training context and detraining all use it.
+            if core != reg_core:
+                reg = pchr.get(core)
+                if reg is None:
+                    reg = [[], [], ()]
+                    pchr[core] = reg
+                reg_core = core
+            reg_pcs = reg[0]
+            hist = reg[2]
+            if sa:
+                # Inlined _FlatOptGenSampler.access(ln, ei, hist), with
+                # train() called directly in the reference event order
+                # (reuse verdict first, then stale/overflow detrains).
+                sst = sstate[ln % snum]
+                socc = sst[0]
+                sbase = sst[1]
+                snow = sst[2]
+                slast = sst[3]
+                strk = sst[4]
+                sprev = slast.get(ln)
+                sfirst = sprev is None or sprev < sbase
+                shit = False
+                if not sfirst and sst[8] < sprev:
+                    shit = True
+                    snf = -1
+                    for oi in range(sprev - sbase, snow - sbase):
+                        sv = socc[oi] + 1
+                        socc[oi] = sv
+                        if sv == scap:
+                            snf = oi
+                    if snf >= 0:
+                        sst[8] = sbase + snf
+                sinfo = strk.get(ln)
+                if sinfo is not None:
+                    train(sinfo[0], sinfo[1], shit)
+                slast[ln] = snow
+                socc.append(0)
+                snow += 1
+                sst[2] = snow
+                sexc = len(socc) - swindow
+                if sexc > 0:
+                    del socc[:sexc]
+                    sbase += sexc
+                    sst[1] = sbase
+                if len(slast) > swindow4:
+                    sst[3] = {l: st for l, st in slast.items() if st >= sbase}
+                strk[ln] = (ei, hist, snow)
+                sby = sst[5]
+                sby[snow] = ln
+                sstale = None
+                sswept = sst[6]
+                if sswept < sbase:
+                    while sswept < sbase:
+                        sold = sby.pop(sswept, None)
+                        if sold is not None:
+                            sinfo = strk.get(sold)
+                            if sinfo is not None and sinfo[2] == sswept:
+                                if sstale is None:
+                                    sstale = [sold]
+                                else:
+                                    sstale.append(sold)
+                        sswept += 1
+                    sst[6] = sswept
+                sko = len(strk) - stways
+                if sko > 0:
+                    if sstale is not None:
+                        sko -= len(sstale)
+                    scur = sst[7]
+                    if scur < sbase:
+                        scur = sbase
+                    while sko > 0 and scur < snow:
+                        sold = sby.get(scur)
+                        if sold is not None:
+                            sinfo = strk.get(sold)
+                            if sinfo is not None and sinfo[2] == scur:
+                                if sstale is None:
+                                    sstale = [sold]
+                                else:
+                                    sstale.append(sold)
+                                sko -= 1
+                            del sby[scur]
+                        scur += 1
+                    sst[7] = scur
+                if sstale is not None:
+                    for sold in sstale:
+                        sinfo = strk.pop(sold)
+                        train(sinfo[0], sinfo[1], False)
+            if not reg_pcs or reg_pcs[0] != pc:
+                reg_hashes = reg[1]
+                if pc in reg_pcs:
+                    j = reg_pcs.index(pc)
+                    del reg_pcs[j]
+                    del reg_hashes[j]
+                reg_pcs.insert(0, pc)
+                reg_hashes.insert(0, whsh)
+                if len(reg_pcs) > k:
+                    reg_pcs.pop()
+                    reg_hashes.pop()
+                reg[2] = tuple(reg_hashes)
+        row = tag_t[s]
+        if t in row:
+            w = row.index(t)
+            if kn != _KIND_LOAD:
+                dirty_t[s][w] = True
+            if kn != _KIND_WRITEBACK:
+                e = weights[ei]
+                tot = 0
+                for h in hist:
+                    tot += e[h]
+                fr = tot >= AVERSE_SUM
+                fr_t[s][w] = fr
+                rrpv_t[s][w] = 0 if fr else max_rrpv
+                ei_t[s][w] = ei
+                if detrain:
+                    ctx_t[s][w] = hist
+                dh += 1
+                pch[core] = pch.get(core, 0) + 1
+            else:
+                wh += 1
+            if record is not None:
+                record.append((1, 0, w, -1, 0))
+            continue
+        if kn != _KIND_WRITEBACK:
+            dm += 1
+            pcm[core] = pcm.get(core, 0) + 1
+        else:
+            wm += 1
+        ev_tag, ev_dirty = -1, False
+        if fill_count[s] < assoc:
+            w = row.index(-1)
+            fill_count[s] += 1
+        else:
+            rr = rrpv_t[s]
+            w = -1
+            for j in range(assoc):
+                if rr[j] >= max_rrpv:
+                    w = j
+                    break
+            if w < 0:
+                w = 0
+                best = rr[0]
+                for j in range(1, assoc):
+                    if rr[j] > best:
+                        best = rr[j]
+                        w = j
+                if detrain:
+                    # A predicted-friendly line evicted before reuse
+                    # refutes the prediction: detrain its insertion
+                    # context before this access's insertion predicts.
+                    ctx = ctx_t[s][w]
+                    if ctx is not None and fr_t[s][w]:
+                        train(ei_t[s][w], ctx, False)
+            ev_tag, ev_dirty = row[w], dirty_t[s][w]
+            ev += 1
+            if ev_dirty:
+                dev += 1
+        row[w] = t
+        dirty_t[s][w] = kn != _KIND_LOAD
+        ei_t[s][w] = ei
+        if kn == _KIND_WRITEBACK:
+            fr_t[s][w] = False
+            rrpv_t[s][w] = max_rrpv
+            ctx_t[s][w] = None
+        else:
+            e = weights[ei]
+            tot = 0
+            for h in hist:
+                tot += e[h]
+            if tot < AVERSE_SUM:
+                fr_t[s][w] = False
+                rrpv_t[s][w] = max_rrpv
+            else:
+                fr_t[s][w] = True
+                rrpv_t[s][w] = (
+                    2 if confidence_insertion and tot < hc_cut else 0
+                )
+                rr = rrpv_t[s]
+                frr = fr_t[s]
+                for j in range(assoc):
+                    if j != w and row[j] != -1 and frr[j]:
+                        v = rr[j] + 1
+                        rr[j] = v if v < max_rrpv else _AGE_CAP
+            ctx_t[s][w] = hist if detrain else None
+        if record is not None:
+            record.append((0, 0, w, ev_tag, int(ev_dirty)))
+    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)

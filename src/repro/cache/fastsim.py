@@ -46,6 +46,14 @@ from ..obs import instrument as obs_instrument
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .config import CacheConfig, HierarchyConfig, scaled_hierarchy
+from .fastpolicies import (
+    _decode_stream,
+    _finish_stats,
+    _replay_drrip,
+    _replay_glider,
+    _replay_hawkeye,
+    _replay_ship,
+)
 from .stats import CacheStats
 
 __all__ = [
@@ -60,23 +68,32 @@ __all__ = [
 ]
 
 #: Registry names with a fast-path kernel (with their default parameters).
-FAST_PATH_POLICIES = ("lru", "mru", "random", "srrip", "brrip")
-
-#: Registry names that deliberately have *no* fast-path kernel: stateful
-#: learned/adaptive policies whose victim choice depends on hook-level
-#: state the flat kernels do not model.  Every registered policy must
-#: appear in exactly one of FAST_PATH_POLICIES or this tuple — enforced
-#: by the conformance registry-drift guard — so a newly registered
-#: policy cannot silently skip parity coverage.
-REFERENCE_ONLY_POLICIES = (
+#: The learned family (drrip/ship/ship++/hawkeye/glider) is implemented
+#: in :mod:`repro.cache.fastpolicies`; the stateless kernels live here.
+FAST_PATH_POLICIES = (
+    "lru",
+    "mru",
+    "random",
+    "srrip",
+    "brrip",
     "drrip",
     "ship",
     "ship++",
+    "hawkeye",
+    "glider",
+)
+
+#: Registry names that deliberately have *no* fast-path kernel: policies
+#: whose victim choice depends on hook-level state the flat kernels do
+#: not model (dead-block/perceptron samplers with their own bookkeeping).
+#: Every registered policy must appear in exactly one of
+#: FAST_PATH_POLICIES or this tuple — enforced by the conformance
+#: registry-drift guard — so a newly registered policy cannot silently
+#: skip parity coverage.
+REFERENCE_ONLY_POLICIES = (
     "sdbp",
     "perceptron",
     "mpppb",
-    "hawkeye",
-    "glider",
 )
 
 #: Event tuple layout: (hit, bypassed, way, evicted_tag, evicted_dirty).
@@ -125,7 +142,13 @@ def fast_path_kernel(policy) -> tuple[str, dict] | None:
     reference engine.  Instances are matched by *exact* type so that a
     subclass with overridden hooks is never silently fast-pathed; a
     stochastic policy instance is assumed fresh (un-drawn RNG), which is
-    how every experiment constructs them.
+    how every experiment constructs them.  The learned policies (DRRIP,
+    SHiP, SHiP++, Hawkeye, Glider) fast-path by *registry name only*:
+    their instances accumulate trained state (PSEL/SHCT/predictor
+    tables/ISVM weights) that callers inspect after a simulation — e.g.
+    the accuracy eval reads ``policy.predictor`` — and a kernel replay
+    would leave the object untouched.  Pass the name when only the
+    stats matter; pass an instance to get a trained object back.
     """
     from ..policies.lru import LRUPolicy, MRUPolicy
     from ..policies.random_policy import RandomPolicy
@@ -138,6 +161,61 @@ def fast_path_kernel(policy) -> tuple[str, dict] | None:
             "random": ("random", {"seed": 0}),
             "srrip": ("rrip", {"max_rrpv": 3, "long_prob": None, "seed": 0}),
             "brrip": ("rrip", {"max_rrpv": 3, "long_prob": 1 / 32, "seed": 0}),
+            "drrip": (
+                "drrip",
+                {
+                    "max_rrpv": 3,
+                    "num_leader_sets": 32,
+                    "psel_max": 1023,
+                    "long_prob": 1 / 32,
+                    "seed": 0,
+                },
+            ),
+            "ship": (
+                "ship",
+                {
+                    "plus": False,
+                    "max_rrpv": 3,
+                    "signature_bits": 14,
+                    "counter_max": 7,
+                    "num_sampled_sets": 64,
+                },
+            ),
+            "ship++": (
+                "ship",
+                {
+                    "plus": True,
+                    "max_rrpv": 3,
+                    "signature_bits": 14,
+                    "counter_max": 7,
+                    "num_sampled_sets": 64,
+                },
+            ),
+            "hawkeye": (
+                "hawkeye",
+                {
+                    "table_bits": 11,
+                    "counter_max": 7,
+                    "num_sampled_sets": 64,
+                    "window_factor": 8,
+                },
+            ),
+            "glider": (
+                "glider",
+                {
+                    "k": 5,
+                    "table_bits": 11,
+                    "weight_hash_bits": 4,
+                    "threshold": 30,
+                    "adaptive": False,
+                    "adapt_interval": 512,
+                    "num_sampled_sets": 64,
+                    "window_factor": 8,
+                    "tracker_ways": None,
+                    "detrain": True,
+                    "confidence_insertion": True,
+                },
+            ),
         }
         return defaults.get(policy)
     kind = type(policy)
@@ -166,33 +244,9 @@ def _llc_config(config) -> CacheConfig:
     return config
 
 
-def _decode_stream(stream, config: CacheConfig):
-    """Vectorized set/tag split of a whole stream into plain-int lists."""
-    shift = (config.line_size - 1).bit_length()
-    set_mask = config.num_sets - 1
-    tag_shift = set_mask.bit_length()
-    lines = stream.addresses.astype(np.uint64) >> np.uint64(shift)
-    sets = (lines & np.uint64(set_mask)).astype(np.int64).tolist()
-    tags = (lines >> np.uint64(tag_shift)).astype(np.int64).tolist()
-    return sets, tags, stream.kinds.tolist(), stream.cores.tolist()
-
-
 # -- fast kernels -------------------------------------------------------------
-
-
-def _finish_stats(
-    name, dh, dm, wh, wm, ev, dev, pch, pcm
-) -> CacheStats:
-    stats = CacheStats(name=name)
-    stats.demand_hits = dh
-    stats.demand_misses = dm
-    stats.writeback_hits = wh
-    stats.writeback_misses = wm
-    stats.evictions = ev
-    stats.dirty_evictions = dev
-    stats.per_core_hits = pch
-    stats.per_core_misses = pcm
-    return stats
+# (_decode_stream and _finish_stats live in fastpolicies and are shared
+# by the stateless kernels below and the learned-policy kernels there.)
 
 
 def _replay_recency(stream, config: CacheConfig, newest: bool, record) -> CacheStats:
@@ -394,6 +448,18 @@ _KERNELS = {
         stream, cfg, record=record, **kw
     ),
     "rrip": lambda stream, cfg, record, **kw: _replay_rrip(
+        stream, cfg, record=record, **kw
+    ),
+    "drrip": lambda stream, cfg, record, **kw: _replay_drrip(
+        stream, cfg, record=record, **kw
+    ),
+    "ship": lambda stream, cfg, record, **kw: _replay_ship(
+        stream, cfg, record=record, **kw
+    ),
+    "hawkeye": lambda stream, cfg, record, **kw: _replay_hawkeye(
+        stream, cfg, record=record, **kw
+    ),
+    "glider": lambda stream, cfg, record, **kw: _replay_glider(
         stream, cfg, record=record, **kw
     ),
 }

@@ -40,6 +40,7 @@ __all__ = [
     "replay_entry",
     "save_entry",
     "seed_corpus",
+    "seed_policy_sentinels",
 ]
 
 _STAGE = "corpus"
@@ -194,14 +195,16 @@ def replay_entry(entry: CorpusEntry, invariant_every: int = 64) -> list[str]:
 
 
 #: One reference-only policy per sentinel so the corpus also pins the
-#: learned policies' behaviour, without replaying all 13 on every entry.
+#: policies without fast kernels, without replaying all 13 on every
+#: entry.  (Hawkeye/Glider/SHiP++/DRRIP used to sit here; they are
+#: fast-path now and every sentinel parity-checks them already.)
 _SENTINEL_REFERENCE_POLICY = {
-    "pointer-chase": "hawkeye",
-    "scan": "glider",
-    "zipf": "ship++",
-    "set-camp": "drrip",
-    "thrash": "sdbp",
-    "mix": "perceptron",
+    "pointer-chase": "sdbp",
+    "scan": "perceptron",
+    "zipf": "mpppb",
+    "set-camp": "sdbp",
+    "thrash": "perceptron",
+    "mix": "mpppb",
 }
 
 
@@ -230,6 +233,95 @@ def seed_corpus(corpus_dir: str | Path | None = None, length: int = 400) -> list
                 policies=policies,
                 kind="regression",
                 extra={"note": "seeded sentinel; pins engine/oracle agreement"},
+            )
+        )
+    paths.extend(seed_policy_sentinels(corpus_dir, length=length))
+    return paths
+
+
+#: Generator family most likely to exercise each learned policy's
+#: decision machinery (duelling sets for DRRIP, signature reuse skew
+#: for SHiP, scan-resistance for SHiP++/Hawkeye/Glider).
+_POLICY_SENTINEL_FAMILY = {
+    "drrip": "set-camp",
+    "ship": "zipf",
+    "ship++": "mix",
+    "hawkeye": "pointer-chase",
+    "glider": "scan",
+}
+
+
+def seed_policy_sentinels(
+    corpus_dir: str | Path | None = None, length: int = 400
+) -> list[Path]:
+    """One ddmin-shrunk sentinel per learned fast-path policy.
+
+    Each entry is the (near-)minimal substream on which the policy's
+    replay still *distinguishes itself* from plain LRU — so the
+    sentinel pins policy-specific decision paths (set duelling, SHCT
+    training, OPTgen verdicts, ISVM sums), not just generic cache
+    bookkeeping.  The tier-1 corpus test replays every one of them
+    through ``verify_parity``, access-by-access, on both engines.
+
+    Deterministic and idempotent like :func:`seed_corpus`: fixed specs,
+    a pure predicate, and ddmin's deterministic schedule always produce
+    the same minimized bytes and store keys.
+    """
+    from ..cache.fastsim import replay
+    from .generators import generate_stream, spec_config
+    from .shrink import shrink_stream
+
+    corpus_dir = Path(corpus_dir or default_corpus_dir())
+    paths = []
+    for i, policy in enumerate(
+        p for p in FAST_PATH_POLICIES if p in _POLICY_SENTINEL_FAMILY
+    ):
+        family = _POLICY_SENTINEL_FAMILY[policy]
+
+        def distinguishes(sub, policy=policy):
+            if len(sub) == 0:
+                return False
+            ours = replay(sub, policy, config, engine="fast")
+            lru = replay(sub, "lru", config, engine="fast")
+            return (ours.demand_hits, ours.evictions) != (
+                lru.demand_hits,
+                lru.evictions,
+            )
+
+        # Deterministic seed scan: short streams of some families never
+        # split the policy from LRU, so walk fixed seeds until one does
+        # (falling back to the first unshrunk stream if none do).
+        stream = fallback = result = None
+        for seed in range(200 + i, 200 + i + 16):
+            spec = CaseSpec(family=family, seed=seed, length=length)
+            candidate = generate_stream(spec)
+            config = spec_config(spec)
+            if fallback is None:
+                fallback = (candidate, config)
+            if distinguishes(candidate, policy):
+                result = shrink_stream(candidate, distinguishes)
+                break
+        if result is not None:
+            stream = result.stream
+            extra: dict = {
+                "note": "ddmin-shrunk: smallest substream where the "
+                "policy's decisions diverge from LRU",
+                "shrunk_from": result.original_length,
+                "predicate_calls": result.predicate_calls,
+            }
+        else:
+            stream, config = fallback
+            extra = {"note": "unshrunk: no seed distinguished the policy "
+                     "from LRU at this length; pins parity only"}
+        paths.append(
+            save_entry(
+                corpus_dir,
+                name=f"sentinel-{policy}",
+                stream=stream,
+                config=config,
+                policies=(policy,),
+                kind="policy-sentinel",
+                extra=extra,
             )
         )
     return paths

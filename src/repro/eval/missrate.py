@@ -15,7 +15,6 @@ from dataclasses import asdict, dataclass, field
 from ..cache.hierarchy import simulate_llc
 from ..perf.parallel import parallel_map
 from ..policies.belady_policy import BeladyPolicy
-from ..policies.registry import make_policy
 from ..robust.suite import RobustSuiteRunner
 from ..traces.suite import suite_group
 from .runner import DEFAULT, ArtifactCache, ExperimentConfig
@@ -67,11 +66,15 @@ def _missrate_benchmark(
     cache = cache if cache is not None else ArtifactCache(config, store=store)
     hierarchy = config.hierarchy()
     stream = cache.llc_stream(benchmark)
-    lru_stats = simulate_llc(stream, make_policy("lru"), hierarchy)
+    # Policies go in by registry *name*: name dispatch is what unlocks
+    # the learned-policy fast kernels (instances always take the
+    # reference engine so trained state stays inspectable).  Unknown
+    # names still raise UnknownPolicyError from the reference resolver.
+    lru_stats = simulate_llc(stream, "lru", hierarchy)
     rates: dict[str, float] = {}
     hits: dict[str, int] = {"lru": lru_stats.hits}
     for policy in policies:
-        stats = simulate_llc(stream, make_policy(policy), hierarchy)
+        stats = simulate_llc(stream, policy, hierarchy)
         rates[policy] = stats.demand_miss_rate
         hits[policy] = stats.hits
     belady_rate = None

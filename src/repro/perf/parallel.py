@@ -19,9 +19,13 @@ out across a :class:`~concurrent.futures.ProcessPoolExecutor`:
   :class:`ExperimentMatrix` of :class:`~repro.cache.stats.CacheStats`
   per cell, at ``"benchmark"`` granularity (one task per benchmark,
   stream computed once, every policy replayed on it) or ``"cell"``
-  granularity (one task per grid cell; pair with a disk
-  :class:`~repro.robust.store.ArtifactStore` so the stream is computed
-  once under the store's single-flight guard instead of once per cell).
+  granularity (one task per grid cell).  Every benchmark's LLC stream
+  is materialized *once, in the parent* into the shared
+  :class:`~repro.robust.store.ArtifactStore` (an ephemeral one is
+  created when the caller passes none) before any task is dispatched,
+  so workers load streams instead of regenerating trace + filter per
+  task; a per-worker warm cache then reuses the deserialized stream
+  across matrix cells that land on the same worker.
 * :func:`task_seed` — deterministic per-task seed derivation, so a
   task's stochastic components depend only on its (benchmark, policy,
   base-seed) identity, never on scheduling order or worker identity.
@@ -35,7 +39,8 @@ the sequential run, in the same order.
 from __future__ import annotations
 
 import hashlib
-import warnings
+import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -125,15 +130,35 @@ class ExperimentMatrix:
         return {key: s.demand_miss_rate for key, s in self.cells.items()}
 
 
+#: Per-worker warm cache of deserialized LLC streams, reused across
+#: matrix tasks that land on the same worker process (keyed by
+#: benchmark + config digest, capped so long grids stay bounded).
+_WARM_STREAMS: OrderedDict = OrderedDict()
+_WARM_STREAMS_CAP = 8
+
+
+def _warm_llc_stream(benchmark: str, config, store):
+    from ..eval.runner import ArtifactCache
+
+    key = (benchmark, config.digest())
+    stream = _WARM_STREAMS.get(key)
+    if stream is not None:
+        _WARM_STREAMS.move_to_end(key)
+        return stream
+    stream = ArtifactCache(config, store=store).llc_stream(benchmark)
+    _WARM_STREAMS[key] = stream
+    if len(_WARM_STREAMS) > _WARM_STREAMS_CAP:
+        _WARM_STREAMS.popitem(last=False)
+    return stream
+
+
 def _matrix_benchmark_task(args) -> tuple[str, dict[str, CacheStats]]:
     """One benchmark: build/load its stream once, replay every policy."""
     benchmark, policies, config, store, engine = args
     from ..cache.fastsim import replay
-    from ..eval.runner import ArtifactCache
     from ..policies.belady_policy import BeladyPolicy
 
-    cache = ArtifactCache(config, store=store)
-    stream = cache.llc_stream(benchmark)
+    stream = _warm_llc_stream(benchmark, config, store)
     hierarchy = config.hierarchy()
     out: dict[str, CacheStats] = {}
     for policy in policies:
@@ -165,46 +190,58 @@ def run_matrix(
 
     ``policies`` are registry names plus the pseudo-policy ``"belady"``
     (the offline MIN bound, built from each benchmark's own stream).
-    ``store`` is an :class:`~repro.robust.store.ArtifactStore` (or path)
-    shared by the workers; its atomic writes plus single-flight lock
-    make concurrent same-stream fills compute-once.  ``"cell"``
-    granularity therefore *requires* a store: without one there is no
-    single-flight guard, every cell would silently recompute its
-    benchmark's stream, and the run falls back to ``"benchmark"``
-    granularity with a warning instead.  ``supervise``/``journal``
-    configure the pool supervisor (see :func:`parallel_map`).
+    ``store`` is an :class:`~repro.robust.store.ArtifactStore` (or
+    path) shared by the workers; when none is given an ephemeral one is
+    created for the run (and removed afterwards).  Either way every
+    benchmark's LLC stream is materialized into it once, in the parent,
+    before any task is dispatched — workers only ever *load* streams,
+    and per-cell tasks never recompute trace + filter, so ``"cell"``
+    granularity is safe without a caller-provided store.
+    ``supervise``/``journal`` configure the pool supervisor (see
+    :func:`parallel_map`).
     """
-    from ..eval.runner import DEFAULT
+    from ..eval.runner import DEFAULT, ArtifactCache
+    from ..robust.store import ArtifactStore
 
     config = config or DEFAULT
     benchmarks = tuple(benchmarks)
     policies = tuple(policies)
     if granularity not in ("benchmark", "cell"):
         raise ValueError(f"unknown granularity {granularity!r}")
-    if granularity == "cell" and store is None:
-        warnings.warn(
-            "run_matrix(granularity='cell') without a store has no "
-            "single-flight guard and would recompute every benchmark's "
-            "stream once per policy; falling back to granularity="
-            "'benchmark' (pass store=... to keep per-cell tasks)",
-            RuntimeWarning,
-            stacklevel=2,
+    ephemeral = None
+    if store is None:
+        ephemeral = tempfile.TemporaryDirectory(prefix="repro-matrix-store-")
+        store = ArtifactStore(ephemeral.name)
+    try:
+        # Shared once-per-benchmark materialization: fill the store in
+        # the parent so per-task work in the workers is pure replay.
+        parent_cache = ArtifactCache(config, store=store)
+        for benchmark in benchmarks:
+            parent_cache.llc_stream(benchmark)
+        # Ship the store by path: workers rebuild their own handle, so
+        # no lock/stats state is pickled across the pool boundary.
+        store_ref = str(parent_cache.store.root)
+        if granularity == "benchmark":
+            tasks = [(b, policies, config, store_ref, engine) for b in benchmarks]
+            worker = _matrix_benchmark_task
+            ids = [f"{b}" for b in benchmarks]
+        else:
+            tasks = [
+                (b, (p,), config, store_ref, engine)
+                for b in benchmarks
+                for p in policies
+            ]
+            worker = _matrix_cell_task
+            ids = [f"{b}/{p}" for b in benchmarks for p in policies]
+        matrix = ExperimentMatrix(benchmarks=benchmarks, policies=policies)
+        rows = parallel_map(
+            worker, tasks, jobs=jobs, supervise=supervise, journal=journal,
+            task_ids=ids, progress=progress,
         )
-        granularity = "benchmark"
-    if granularity == "benchmark":
-        tasks = [(b, policies, config, store, engine) for b in benchmarks]
-        worker = _matrix_benchmark_task
-        ids = [f"{b}" for b in benchmarks]
-    else:
-        tasks = [(b, (p,), config, store, engine) for b in benchmarks for p in policies]
-        worker = _matrix_cell_task
-        ids = [f"{b}/{p}" for b in benchmarks for p in policies]
-    matrix = ExperimentMatrix(benchmarks=benchmarks, policies=policies)
-    rows = parallel_map(
-        worker, tasks, jobs=jobs, supervise=supervise, journal=journal,
-        task_ids=ids, progress=progress,
-    )
-    for benchmark, stats_by_policy in rows:
-        for policy, stats in stats_by_policy.items():
-            matrix.cells[(benchmark, policy)] = stats
-    return matrix
+        for benchmark, stats_by_policy in rows:
+            for policy, stats in stats_by_policy.items():
+                matrix.cells[(benchmark, policy)] = stats
+        return matrix
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()

@@ -36,6 +36,18 @@ def test_corpus_is_shipped_and_covers_every_family():
         )
 
 
+def test_corpus_has_a_sentinel_per_learned_fast_path_policy():
+    """Each learned policy's fast kernel is pinned by a ddmin-shrunk
+    sentinel of its own (beyond the family sentinels that parity-check
+    every fast-path policy)."""
+    names = {benchmark for benchmark, _ in ENTRIES}
+    for policy in ("drrip", "ship", "ship++", "hawkeye", "glider"):
+        assert f"sentinel-{policy}" in names, (
+            f"no ddmin-shrunk corpus sentinel for fast-path policy "
+            f"{policy!r} — run `python -m repro.eval conformance corpus seed`"
+        )
+
+
 @pytest.mark.parametrize(
     "entry_name,digest", ENTRIES, ids=[b for b, _ in ENTRIES] or None
 )
@@ -51,7 +63,8 @@ def test_seeding_is_idempotent(tmp_path):
     first = seed_corpus(tmp_path, length=120)
     second = seed_corpus(tmp_path, length=120)
     assert sorted(p.name for p in first) == sorted(p.name for p in second)
-    assert len(list_entries(tmp_path)) == len(GENERATOR_FAMILIES)
+    # One sentinel per generator family plus one per learned policy.
+    assert len(list_entries(tmp_path)) == len(GENERATOR_FAMILIES) + 5
 
 
 def test_roundtrip_preserves_stream_and_geometry(tmp_path):

@@ -42,3 +42,18 @@ def test_classifications_are_disjoint():
 
 def test_fuzzer_default_covers_whole_registry():
     assert set(default_policies()) == set(available_policies())
+
+
+def test_learned_policies_stay_fast_pathed():
+    """The paper's evaluated policies must not silently lose their
+    kernels — demoting one to REFERENCE_ONLY_POLICIES is a deliberate
+    (and benchmark-visible) decision, not a refactor side effect."""
+    demoted = sorted(
+        {"drrip", "ship", "ship++", "hawkeye", "glider"}
+        - set(FAST_PATH_POLICIES)
+    )
+    assert not demoted, (
+        f"learned policies missing from FAST_PATH_POLICIES: {demoted} — "
+        "their kernels live in repro.cache.fastpolicies; see "
+        "EXPERIMENTS.md 'Performance' for the fast-path recipe"
+    )

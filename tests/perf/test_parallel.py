@@ -76,14 +76,11 @@ def test_run_matrix_rejects_unknown_granularity():
         run_matrix(BENCHMARKS, POLICIES, CONFIG, granularity="bogus")
 
 
-def test_run_matrix_cell_without_store_warns_and_falls_back():
-    """Per-cell tasks without a store would recompute every benchmark's
-    stream once per policy; the run must warn and degrade to
-    per-benchmark granularity instead of silently doing that."""
-    with pytest.warns(RuntimeWarning, match="granularity"):
-        by_cell = run_matrix(
-            BENCHMARKS, POLICIES, CONFIG, jobs=2, granularity="cell"
-        )
+def test_run_matrix_cell_without_store_uses_ephemeral_store():
+    """Per-cell tasks without a caller store are backed by an ephemeral
+    one that the parent fills once per benchmark, so cell granularity
+    is safe (no per-cell stream recomputation) and bit-identical."""
+    by_cell = run_matrix(BENCHMARKS, POLICIES, CONFIG, jobs=2, granularity="cell")
     seq = run_matrix(BENCHMARKS, POLICIES, CONFIG, jobs=1)
     assert by_cell.demand_miss_rates() == seq.demand_miss_rates()
 
