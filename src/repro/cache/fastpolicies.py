@@ -47,6 +47,10 @@ __all__ = [
     "_replay_ship",
     "_replay_hawkeye",
     "_replay_glider",
+    "_DRRIPKernel",
+    "_ShipKernel",
+    "_HawkeyeKernel",
+    "_GliderKernel",
 ]
 
 _KIND_LOAD, _KIND_STORE, _KIND_WRITEBACK = 0, 1, 2
@@ -197,6 +201,18 @@ class _FlatOptGenSampler:
         self.tracker_ways = tracker_ways if tracker_ways is not None else self.window
         self._state = {s: [[], 0, 0, {}, {}, {}, 0, 0, -1] for s in self.sampled}
 
+    # A frozenset pickles in iteration order, which is not stable across
+    # a pickle round trip — serialize sorted so the checkpoint digest of
+    # a resumed kernel matches an uninterrupted run's bit-for-bit.
+    def __getstate__(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["sampled"] = sorted(state["sampled"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, frozenset(value) if slot == "sampled" else value)
+
     def access(self, line: int, token, context) -> list:
         """One sampled demand access; returns ``(token, context, label)``
         training events in the reference sampler's order (reuse verdict
@@ -292,43 +308,91 @@ class _FlatOptGenSampler:
 # -- DRRIP --------------------------------------------------------------------
 
 
-def _replay_drrip(
-    stream,
-    config: CacheConfig,
-    max_rrpv: int,
-    num_leader_sets: int,
-    psel_max: int,
-    long_prob: float,
-    seed: int,
-    record,
-) -> CacheStats:
-    """DRRIP fast kernel: RRIP substrate + leader-set duelling PSEL."""
-    sets, tags, kinds, cores = _decode_stream(stream, config)
+class _DRRIPKernel:
+    """DRRIP fast kernel: RRIP substrate + leader-set duelling PSEL.
+
+    All cross-access state lives in attributes, so the kernel can be
+    fed a stream in bounded-memory chunks (:meth:`feed` any number of
+    times, then :meth:`finish`) and pickled between chunks for the
+    checkpointed streaming replay — a single ``feed`` of the whole
+    stream is bit-identical to the historical one-shot kernel.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        max_rrpv: int,
+        num_leader_sets: int,
+        psel_max: int,
+        long_prob: float,
+        seed: int,
+    ) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.max_rrpv = max_rrpv
+        self.psel_max = psel_max
+        self.long_prob = long_prob
+        # Leader-set roles, matching DRRIPPolicy.attach: 1 = SRRIP leader,
+        # 2 = BRRIP leader (SRRIP wins overlaps), 0 = follower.
+        role = [0] * num_sets
+        leaders = min(num_leader_sets, max(1, num_sets // 2))
+        stride = max(1, num_sets // (2 * leaders))
+        for i in range(leaders):
+            role[(2 * i) * stride % num_sets] = 1
+        for i in range(leaders):
+            s = ((2 * i + 1) * stride) % num_sets
+            if role[s] == 0:
+                role[s] = 2
+        self.role = role
+        self.psel = psel_max // 2
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.rrpv_t = [[0] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.rng = np.random.default_rng(seed)
+        self.draw_buf: list[float] = []
+        self.draw_pos = 0
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _drrip_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _drrip_feed(kernel, stream, record) -> None:
+    # Loop body is verbatim from the original one-shot kernel; only the
+    # locals-load prologue / store-back epilogue differ (attrs <-> locals
+    # so the hot loop keeps LOAD_FAST access).
+    sets, tags, kinds, cores = _decode_stream(stream, kernel.config)
+    config = kernel.config
     num_sets, assoc = config.num_sets, config.associativity
-    # Leader-set roles, matching DRRIPPolicy.attach: 1 = SRRIP leader,
-    # 2 = BRRIP leader (SRRIP wins overlaps), 0 = follower.
-    role = [0] * num_sets
-    leaders = min(num_leader_sets, max(1, num_sets // 2))
-    stride = max(1, num_sets // (2 * leaders))
-    for i in range(leaders):
-        role[(2 * i) * stride % num_sets] = 1
-    for i in range(leaders):
-        s = ((2 * i + 1) * stride) % num_sets
-        if role[s] == 0:
-            role[s] = 2
-    psel = psel_max // 2
+    max_rrpv = kernel.max_rrpv
+    psel_max = kernel.psel_max
+    long_prob = kernel.long_prob
+    role = kernel.role
+    psel = kernel.psel
     half = psel_max // 2
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    rrpv_t = [[0] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    rng = np.random.default_rng(seed)
-    draw_buf: list[float] = []
-    draw_pos = 0
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    rrpv_t = kernel.rrpv_t
+    fill_count = kernel.fill_count
+    rng = kernel.rng
+    draw_buf = kernel.draw_buf
+    draw_pos = kernel.draw_pos
     long_rrpv = max_rrpv - 1
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -394,48 +458,112 @@ def _replay_drrip(
             rrpv_t[s][w] = long_rrpv
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.psel = psel
+    kernel.draw_buf = draw_buf
+    kernel.draw_pos = draw_pos
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
+
+
+def _replay_drrip(
+    stream,
+    config: CacheConfig,
+    max_rrpv: int,
+    num_leader_sets: int,
+    psel_max: int,
+    long_prob: float,
+    seed: int,
+    record,
+) -> CacheStats:
+    kernel = _DRRIPKernel(
+        config, max_rrpv, num_leader_sets, psel_max, long_prob, seed
+    )
+    kernel.feed(stream, record)
+    return kernel.finish()
 
 
 # -- SHiP / SHiP++ ------------------------------------------------------------
 
 
-def _replay_ship(
-    stream,
-    config: CacheConfig,
-    plus: bool,
-    max_rrpv: int,
-    signature_bits: int,
-    counter_max: int,
-    num_sampled_sets: int,
-    record,
-) -> CacheStats:
+class _ShipKernel:
     """SHiP (``plus=False``) / SHiP++ fast kernel.
 
     Per-line signature is -1 outside sampled sets (the reference stores
     none), so training naturally no-ops there.  Eviction training runs
     before the same access's insertion reads the SHCT, as on the
     reference path (victim -> on_evict -> on_fill).
+
+    Chunk-feedable: all cross-access state is attributes, the per-chunk
+    signatures are recomputed in :func:`_ship_feed` from the chunk's
+    pcs, so feeding in pieces is bit-identical to one shot.
     """
-    sets, tags, kinds, cores = _decode_stream(stream, config)
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        plus: bool,
+        max_rrpv: int,
+        signature_bits: int,
+        counter_max: int,
+        num_sampled_sets: int,
+    ) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.plus = plus
+        self.max_rrpv = max_rrpv
+        self.signature_bits = signature_bits
+        self.counter_max = counter_max
+        sampled = [False] * num_sets
+        n_sampled = min(num_sampled_sets, num_sets)
+        stride = max(1, num_sets // n_sampled)
+        for i in range(n_sampled):
+            sampled[i * stride] = True
+        self.sampled = sampled
+        self.shct = [counter_max // 2] * (1 << signature_bits)
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.rrpv_t = [[0] * assoc for _ in range(num_sets)]
+        self.sig_t = [[-1] * assoc for _ in range(num_sets)]
+        self.out_t = [[False] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _ship_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _ship_feed(kernel, stream, record) -> None:
+    sets, tags, kinds, cores = _decode_stream(stream, kernel.config)
+    config = kernel.config
     num_sets, assoc = config.num_sets, config.associativity
-    sigs = _ship_signatures(stream.pcs, signature_bits)
-    sampled = [False] * num_sets
-    n_sampled = min(num_sampled_sets, num_sets)
-    stride = max(1, num_sets // n_sampled)
-    for i in range(n_sampled):
-        sampled[i * stride] = True
-    shct = [counter_max // 2] * (1 << signature_bits)
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    rrpv_t = [[0] * assoc for _ in range(num_sets)]
-    sig_t = [[-1] * assoc for _ in range(num_sets)]
-    out_t = [[False] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
+    plus = kernel.plus
+    max_rrpv = kernel.max_rrpv
+    counter_max = kernel.counter_max
+    sigs = _ship_signatures(stream.pcs, kernel.signature_bits)
+    sampled = kernel.sampled
+    shct = kernel.shct
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    rrpv_t = kernel.rrpv_t
+    sig_t = kernel.sig_t
+    out_t = kernel.out_t
+    fill_count = kernel.fill_count
     long_rrpv = max_rrpv - 1
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -517,7 +645,26 @@ def _replay_ship(
             out_t[s][w] = False
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
+
+
+def _replay_ship(
+    stream,
+    config: CacheConfig,
+    plus: bool,
+    max_rrpv: int,
+    signature_bits: int,
+    counter_max: int,
+    num_sampled_sets: int,
+    record,
+) -> CacheStats:
+    kernel = _ShipKernel(
+        config, plus, max_rrpv, signature_bits, counter_max, num_sampled_sets
+    )
+    kernel.feed(stream, record)
+    return kernel.finish()
 
 
 # -- Hawkeye ------------------------------------------------------------------
@@ -526,15 +673,7 @@ _HAWKEYE_MAX_RRPV = 7
 _AGE_CAP = _HAWKEYE_MAX_RRPV - 1
 
 
-def _replay_hawkeye(
-    stream,
-    config: CacheConfig,
-    table_bits: int,
-    counter_max: int,
-    num_sampled_sets: int,
-    window_factor: int,
-    record,
-) -> CacheStats:
+class _HawkeyeKernel:
     """Hawkeye fast kernel: sampled-set OPTgen training a counter table.
 
     Per-line state: RRPV, friendly bit, and the *predictor index* of the
@@ -542,25 +681,73 @@ def _replay_hawkeye(
     ever hashes it).  Training order per demand access: sampler events,
     then hit promotion or victim detrain followed by fill insertion
     (the detrain lands before the same access's insertion prediction).
+
+    Chunk-feedable: the OPTgen sampler and counter table carry across
+    :func:`_hawkeye_feed` calls; per-chunk vectors (predictor indices,
+    line numbers, sampled flags) are recomputed from each chunk.
     """
-    sets, tags, kinds, cores = _decode_stream(stream, config)
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        table_bits: int,
+        counter_max: int,
+        num_sampled_sets: int,
+        window_factor: int,
+    ) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.table_bits = table_bits
+        self.counter_max = counter_max
+        mid = (counter_max + 1) // 2
+        self.table = [mid] * (1 << table_bits)
+        self.sampler = _FlatOptGenSampler(
+            num_sets, assoc, num_sampled_sets, window_factor
+        )
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.rrpv_t = [[0] * assoc for _ in range(num_sets)]
+        self.fr_t = [[False] * assoc for _ in range(num_sets)]
+        self.pi_t = [[0] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _hawkeye_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _hawkeye_feed(kernel, stream, record) -> None:
+    sets, tags, kinds, cores = _decode_stream(stream, kernel.config)
+    config = kernel.config
     num_sets, assoc = config.num_sets, config.associativity
-    pidx = _hawkeye_indices(stream.pcs, table_bits)
+    counter_max = kernel.counter_max
+    pidx = _hawkeye_indices(stream.pcs, kernel.table_bits)
     lines = _line_numbers(stream)
     mid = (counter_max + 1) // 2
-    table = [mid] * (1 << table_bits)
-    sampler = _FlatOptGenSampler(num_sets, assoc, num_sampled_sets, window_factor)
+    table = kernel.table
+    sampler = kernel.sampler
     samp_acc = _sampled_flags(stream, sampler)
     sampler_access = sampler.access
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    rrpv_t = [[0] * assoc for _ in range(num_sets)]
-    fr_t = [[False] * assoc for _ in range(num_sets)]
-    pi_t = [[0] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    rrpv_t = kernel.rrpv_t
+    fr_t = kernel.fr_t
+    pi_t = kernel.pi_t
+    fill_count = kernel.fill_count
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -646,28 +833,31 @@ def _replay_hawkeye(
                 rrpv_t[s][w] = _HAWKEYE_MAX_RRPV
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
+
+
+def _replay_hawkeye(
+    stream,
+    config: CacheConfig,
+    table_bits: int,
+    counter_max: int,
+    num_sampled_sets: int,
+    window_factor: int,
+    record,
+) -> CacheStats:
+    kernel = _HawkeyeKernel(
+        config, table_bits, counter_max, num_sampled_sets, window_factor
+    )
+    kernel.feed(stream, record)
+    return kernel.finish()
 
 
 # -- Glider -------------------------------------------------------------------
 
 
-def _replay_glider(
-    stream,
-    config: CacheConfig,
-    k: int,
-    table_bits: int,
-    weight_hash_bits: int,
-    threshold: int,
-    adaptive: bool,
-    adapt_interval: int,
-    num_sampled_sets: int,
-    window_factor: int,
-    tracker_ways,
-    detrain: bool,
-    confidence_insertion: bool,
-    record,
-) -> CacheStats:
+class _GliderKernel:
     """Glider fast kernel: ISVM over the PCHR on Hawkeye's machinery.
 
     Per-core PCHRs are parallel (raw-pc, 4-bit-hash) lists; the context
@@ -675,7 +865,74 @@ def _replay_glider(
     is the tuple of weight hashes — the only form the ISVM ever reads.
     The training gate, weight clamps and (optional) adaptive-threshold
     sweep mirror ``ISVMTable.train`` exactly.
+
+    Chunk-feedable: ISVM weights, adaptive-threshold window, OPTgen
+    sampler, PCHRs and per-line tables all carry across
+    :func:`_glider_feed` calls (the PCHR/history registers are re-read
+    from ``pchr`` at each feed, so chunk boundaries are invisible to
+    the training sequence).
     """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        k: int,
+        table_bits: int,
+        weight_hash_bits: int,
+        threshold: int,
+        adaptive: bool,
+        adapt_interval: int,
+        num_sampled_sets: int,
+        window_factor: int,
+        tracker_ways,
+        detrain: bool,
+        confidence_insertion: bool,
+    ) -> None:
+        from ..core.isvm import HIGH_CONFIDENCE_SUM
+
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.k = k
+        self.table_bits = table_bits
+        self.weight_hash_bits = weight_hash_bits
+        self.adaptive = adaptive
+        self.adapt_interval = adapt_interval
+        self.detrain = detrain
+        self.confidence_insertion = confidence_insertion
+        self.weights = [
+            [0] * (1 << weight_hash_bits) for _ in range(1 << table_bits)
+        ]
+        self.threshold = threshold
+        self.hc_cut = min(HIGH_CONFIDENCE_SUM, max(1, threshold))
+        self.win_correct = self.win_total = 0
+        self.cand_scores: dict[int, float] = {}
+        self.sampler = _FlatOptGenSampler(
+            num_sets, assoc, num_sampled_sets, window_factor, tracker_ways
+        )
+        self.pchr: dict[int, list] = {}
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.rrpv_t = [[0] * assoc for _ in range(num_sets)]
+        self.fr_t = [[False] * assoc for _ in range(num_sets)]
+        self.ei_t = [[0] * assoc for _ in range(num_sets)]
+        self.ctx_t = [[None] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _glider_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _glider_feed(kernel, stream, record) -> None:
     from ..core.isvm import (
         AVERSE_SUM,
         HIGH_CONFIDENCE_SUM,
@@ -683,18 +940,30 @@ def _replay_glider(
         THRESHOLD_CANDIDATES,
     )
 
+    config = kernel.config
     sets, tags, kinds, cores = _decode_stream(stream, config)
     num_sets, assoc = config.num_sets, config.associativity
+    k = kernel.k
+    table_bits = kernel.table_bits
+    adaptive = kernel.adaptive
+    adapt_interval = kernel.adapt_interval
+    detrain = kernel.detrain
+    confidence_insertion = kernel.confidence_insertion
     pcs = stream.pcs.tolist()
     eidx = ((stream.pcs.astype(np.uint64) >> np.uint64(2))
             & np.uint64((1 << table_bits) - 1)).astype(np.int64).tolist()
-    whash = _weight_hashes(stream.pcs, weight_hash_bits)
+    whash = _weight_hashes(stream.pcs, kernel.weight_hash_bits)
     lines = _line_numbers(stream)
-    weights = [[0] * (1 << weight_hash_bits) for _ in range(1 << table_bits)]
+    weights = kernel.weights
     wmin, wmax = ISVM.WEIGHT_MIN, ISVM.WEIGHT_MAX
-    hc_cut = min(HIGH_CONFIDENCE_SUM, max(1, threshold))
-    win_correct = win_total = 0
-    cand_scores: dict[int, float] = {}
+    # The adaptive-threshold window lives in feed-locals (train() binds
+    # them via nonlocal for speed) and is persisted back to the kernel
+    # after the loop so chunked feeding matches one-shot exactly.
+    threshold = kernel.threshold
+    hc_cut = kernel.hc_cut
+    win_correct = kernel.win_correct
+    win_total = kernel.win_total
+    cand_scores = kernel.cand_scores
     max_rrpv = _HAWKEYE_MAX_RRPV
 
     def train(entry: int, hist: tuple, label: bool) -> None:
@@ -729,9 +998,7 @@ def _replay_glider(
                 threshold = max(cand_scores, key=lambda c: cand_scores[c])
             hc_cut = min(HIGH_CONFIDENCE_SUM, max(1, threshold))
 
-    sampler = _FlatOptGenSampler(
-        num_sets, assoc, num_sampled_sets, window_factor, tracker_ways
-    )
+    sampler = kernel.sampler
     samp_acc = _sampled_flags(stream, sampler)
     # The sampler body is inlined in the loop below (Glider trains on
     # every sampled access; the call/event-list overhead is measurable),
@@ -745,17 +1012,22 @@ def _replay_glider(
     # Per-core PCHR: [raw pcs, weight hashes, cached tuple(hashes)].  The
     # tuple is rebuilt only when the register actually changes (the front
     # PC differs), since re-inserting the front PC is a no-op.
-    pchr: dict[int, list] = {}
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    rrpv_t = [[0] * assoc for _ in range(num_sets)]
-    fr_t = [[False] * assoc for _ in range(num_sets)]
-    ei_t = [[0] * assoc for _ in range(num_sets)]
-    ctx_t = [[None] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    pchr = kernel.pchr
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    rrpv_t = kernel.rrpv_t
+    fr_t = kernel.fr_t
+    ei_t = kernel.ei_t
+    ctx_t = kernel.ctx_t
+    fill_count = kernel.fill_count
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
+    # hist/reg caches are re-derived from pchr per feed: every demand
+    # access re-reads them before use and writebacks never do, so
+    # resetting at a chunk boundary cannot change behaviour.
     hist: tuple = ()
     reg_core = reg = None
     for s, t, kn, core, pc, ei, whsh, ln, sa in zip(
@@ -948,4 +1220,35 @@ def _replay_glider(
             ctx_t[s][w] = hist if detrain else None
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.threshold = threshold
+    kernel.hc_cut = hc_cut
+    kernel.win_correct = win_correct
+    kernel.win_total = win_total
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
+
+
+def _replay_glider(
+    stream,
+    config: CacheConfig,
+    k: int,
+    table_bits: int,
+    weight_hash_bits: int,
+    threshold: int,
+    adaptive: bool,
+    adapt_interval: int,
+    num_sampled_sets: int,
+    window_factor: int,
+    tracker_ways,
+    detrain: bool,
+    confidence_insertion: bool,
+    record,
+) -> CacheStats:
+    kernel = _GliderKernel(
+        config, k, table_bits, weight_hash_bits, threshold, adaptive,
+        adapt_interval, num_sampled_sets, window_factor, tracker_ways,
+        detrain, confidence_insertion,
+    )
+    kernel.feed(stream, record)
+    return kernel.finish()

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -48,11 +49,15 @@ from ..obs import trace as obs_trace
 from .config import CacheConfig, HierarchyConfig, scaled_hierarchy
 from .fastpolicies import (
     _decode_stream,
+    _DRRIPKernel,
     _finish_stats,
+    _GliderKernel,
+    _HawkeyeKernel,
     _replay_drrip,
     _replay_glider,
     _replay_hawkeye,
     _replay_ship,
+    _ShipKernel,
 )
 from .stats import CacheStats
 
@@ -60,8 +65,11 @@ __all__ = [
     "FAST_PATH_POLICIES",
     "REFERENCE_ONLY_POLICIES",
     "EngineParityError",
+    "StreamChunk",
+    "StreamingLLCFilter",
     "fast_filter_to_llc_stream",
     "fast_path_kernel",
+    "make_stream_kernel",
     "replay",
     "reference_replay",
     "verify_parity",
@@ -249,17 +257,57 @@ def _llc_config(config) -> CacheConfig:
 # by the stateless kernels below and the learned-policy kernels there.)
 
 
-def _replay_recency(stream, config: CacheConfig, newest: bool, record) -> CacheStats:
-    """LRU (``newest=False``) / MRU (``newest=True``) fast kernel."""
+class _RecencyKernel:
+    """LRU (``newest=False``) / MRU (``newest=True``) fast kernel.
+
+    Like every kernel class in this module and
+    :mod:`repro.cache.fastpolicies`, all cross-access state lives in
+    attributes so the kernel can be fed a stream in bounded-memory
+    chunks (any number of :meth:`feed` calls, then :meth:`finish`) and
+    pickled between chunks for checkpointed streaming replay.  Feeding
+    the whole stream in one call is bit-identical to the historical
+    one-shot kernel — the loop bodies are unchanged.
+    """
+
+    def __init__(self, config: CacheConfig, newest: bool) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.newest = newest
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.touch_t = [[0] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.dh = self.dm = self.wh = self.wm = 0
+        self.ev = self.dev = self.counter = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _recency_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _recency_feed(kernel, stream, record) -> None:
+    config = kernel.config
     sets, tags, kinds, cores = _decode_stream(stream, config)
     num_sets, assoc = config.num_sets, config.associativity
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    touch_t = [[0] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    dh = dm = wh = wm = ev = dev = counter = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    newest = kernel.newest
+    tag_t = kernel.tag_t
+    touch_t = kernel.touch_t
+    dirty_t = kernel.dirty_t
+    fill_count = kernel.fill_count
+    dh, dm, wh, wm, ev, dev, counter = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm,
+        kernel.ev, kernel.dev, kernel.counter,
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -302,24 +350,65 @@ def _replay_recency(stream, config: CacheConfig, newest: bool, record) -> CacheS
         dirty_t[s][w] = k != _KIND_LOAD
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm = dh, dm, wh, wm
+    kernel.ev, kernel.dev, kernel.counter = ev, dev, counter
 
 
-def _replay_random(stream, config: CacheConfig, seed: int, record) -> CacheStats:
-    """Random-victim fast kernel (reference RNG draw sequence preserved)."""
+def _replay_recency(stream, config: CacheConfig, newest: bool, record) -> CacheStats:
+    kernel = _RecencyKernel(config, newest)
+    kernel.feed(stream, record)
+    return kernel.finish()
+
+
+class _RandomKernel:
+    """Random-victim fast kernel (reference RNG draw sequence preserved).
+
+    The RNG and its refill buffer are attributes: a pickled kernel
+    resumes the exact draw sequence, so chunked replay stays
+    bit-identical to one-shot.
+    """
+
+    def __init__(self, config: CacheConfig, seed: int) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        # Batched draws are bit-identical to per-call draws for PCG64, so
+        # a refill buffer preserves the reference policy's exact sequence.
+        self.rng = np.random.default_rng(seed)
+        self.draw_buf: list[int] = []
+        self.draw_pos = 0
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _random_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _random_feed(kernel, stream, record) -> None:
+    config = kernel.config
     sets, tags, kinds, cores = _decode_stream(stream, config)
     num_sets, assoc = config.num_sets, config.associativity
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    # Batched draws are bit-identical to per-call draws for PCG64, so a
-    # refill buffer preserves the reference policy's exact sequence.
-    rng = np.random.default_rng(seed)
-    draw_buf: list[int] = []
-    draw_pos = 0
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    fill_count = kernel.fill_count
+    rng = kernel.rng
+    draw_buf = kernel.draw_buf
+    draw_pos = kernel.draw_pos
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -362,26 +451,68 @@ def _replay_random(stream, config: CacheConfig, seed: int, record) -> CacheStats
         dirty_t[s][w] = k != _KIND_LOAD
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.draw_buf = draw_buf
+    kernel.draw_pos = draw_pos
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
 
 
-def _replay_rrip(
-    stream, config: CacheConfig, max_rrpv: int, long_prob, seed: int, record
-) -> CacheStats:
-    """SRRIP (``long_prob=None``) / BRRIP fast kernel."""
+def _replay_random(stream, config: CacheConfig, seed: int, record) -> CacheStats:
+    kernel = _RandomKernel(config, seed)
+    kernel.feed(stream, record)
+    return kernel.finish()
+
+
+class _RRIPKernel:
+    """SRRIP (``long_prob=None``) / BRRIP fast kernel (chunk-feedable)."""
+
+    def __init__(self, config: CacheConfig, max_rrpv: int, long_prob, seed: int) -> None:
+        num_sets, assoc = config.num_sets, config.associativity
+        self.config = config
+        self.max_rrpv = max_rrpv
+        self.long_prob = long_prob
+        self.tag_t = [[-1] * assoc for _ in range(num_sets)]
+        self.dirty_t = [[False] * assoc for _ in range(num_sets)]
+        self.rrpv_t = [[0] * assoc for _ in range(num_sets)]
+        self.fill_count = [0] * num_sets
+        self.rng = np.random.default_rng(seed) if long_prob is not None else None
+        self.draw_buf: list[float] = []
+        self.draw_pos = 0
+        self.dh = self.dm = self.wh = self.wm = self.ev = self.dev = 0
+        self.pch: dict[int, int] = {}
+        self.pcm: dict[int, int] = {}
+
+    def feed(self, stream, record=None) -> None:
+        _rrip_feed(self, stream, record)
+
+    def finish(self) -> CacheStats:
+        return _finish_stats(
+            self.config.name,
+            self.dh, self.dm, self.wh, self.wm, self.ev, self.dev,
+            self.pch, self.pcm,
+        )
+
+
+def _rrip_feed(kernel, stream, record) -> None:
+    config = kernel.config
     sets, tags, kinds, cores = _decode_stream(stream, config)
     num_sets, assoc = config.num_sets, config.associativity
-    tag_t = [[-1] * assoc for _ in range(num_sets)]
-    dirty_t = [[False] * assoc for _ in range(num_sets)]
-    rrpv_t = [[0] * assoc for _ in range(num_sets)]
-    fill_count = [0] * num_sets
-    rng = np.random.default_rng(seed) if long_prob is not None else None
-    draw_buf: list[float] = []
-    draw_pos = 0
+    max_rrpv = kernel.max_rrpv
+    long_prob = kernel.long_prob
+    tag_t = kernel.tag_t
+    dirty_t = kernel.dirty_t
+    rrpv_t = kernel.rrpv_t
+    fill_count = kernel.fill_count
+    rng = kernel.rng
+    draw_buf = kernel.draw_buf
+    draw_pos = kernel.draw_pos
     long_rrpv = max_rrpv - 1
-    dh = dm = wh = wm = ev = dev = 0
-    pch: dict[int, int] = {}
-    pcm: dict[int, int] = {}
+    dh, dm, wh, wm, ev, dev = (
+        kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev
+    )
+    pch = kernel.pch
+    pcm = kernel.pcm
     for i in range(len(sets)):
         s = sets[i]
         t = tags[i]
@@ -438,7 +569,19 @@ def _replay_rrip(
             draw_pos += 1
         if record is not None:
             record.append((0, 0, w, ev_tag, int(ev_dirty)))
-    return _finish_stats(config.name, dh, dm, wh, wm, ev, dev, pch, pcm)
+    kernel.draw_buf = draw_buf
+    kernel.draw_pos = draw_pos
+    kernel.dh, kernel.dm, kernel.wh, kernel.wm, kernel.ev, kernel.dev = (
+        dh, dm, wh, wm, ev, dev
+    )
+
+
+def _replay_rrip(
+    stream, config: CacheConfig, max_rrpv: int, long_prob, seed: int, record
+) -> CacheStats:
+    kernel = _RRIPKernel(config, max_rrpv, long_prob, seed)
+    kernel.feed(stream, record)
+    return kernel.finish()
 
 
 _KERNELS = {
@@ -463,6 +606,101 @@ _KERNELS = {
         stream, cfg, record=record, **kw
     ),
 }
+
+# Kernel-kind -> chunk-feedable class (same params as fast_path_kernel).
+_STREAM_KERNELS = {
+    "lru": lambda cfg, **p: _RecencyKernel(cfg, newest=False, **p),
+    "mru": lambda cfg, **p: _RecencyKernel(cfg, newest=True, **p),
+    "random": _RandomKernel,
+    "rrip": _RRIPKernel,
+    "drrip": _DRRIPKernel,
+    "ship": _ShipKernel,
+    "hawkeye": _HawkeyeKernel,
+    "glider": _GliderKernel,
+}
+
+
+class _ReferenceKernel:
+    """Chunk-feedable wrapper around the reference object engine.
+
+    Used by the streaming replay path for policies without a fast
+    kernel.  A running ``access_index`` carries across chunks so
+    requests are numbered exactly as :meth:`LLCStream.requests` would
+    number them in one shot; the wrapped cache and policy are plain
+    attribute state, so the kernel pickles for checkpointing whenever
+    the policy itself does.
+    """
+
+    def __init__(self, policy, config) -> None:
+        from ..policies.registry import make_policy
+        from .cache import SetAssociativeCache
+
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.llc = SetAssociativeCache(_llc_config(config), policy)
+        self.access_index = 0
+
+    def feed(self, stream, record=None) -> None:
+        from .block import AccessType, CacheRequest
+
+        kind_map = {0: AccessType.LOAD, 1: AccessType.STORE, 2: AccessType.WRITEBACK}
+        llc = self.llc
+        index = self.access_index
+        pcs = stream.pcs
+        addresses = stream.addresses
+        kinds = stream.kinds
+        cores = stream.cores
+        for i in range(len(pcs)):
+            result = llc.access(
+                CacheRequest(
+                    pc=int(pcs[i]),
+                    address=int(addresses[i]),
+                    access_type=kind_map[int(kinds[i])],
+                    core=int(cores[i]),
+                    access_index=index,
+                )
+            )
+            index += 1
+            if record is not None:
+                record.append(
+                    (
+                        int(result.hit),
+                        int(result.bypassed),
+                        result.way,
+                        result.evicted_tag,
+                        int(result.evicted_dirty),
+                    )
+                )
+        self.access_index = index
+
+    def finish(self) -> CacheStats:
+        return self.llc.stats
+
+
+def make_stream_kernel(policy, config=None, engine: str = "auto"):
+    """Build a chunk-feedable replay kernel for ``policy``.
+
+    Returns an object with ``feed(chunk, record=None)`` and
+    ``finish() -> CacheStats``; ``chunk`` is anything with
+    ``pcs``/``addresses``/``kinds``/``cores`` columns
+    (:class:`StreamChunk` or a full ``LLCStream``).  Feeding a stream
+    in any chunking produces bit-identical stats to a one-shot
+    :func:`replay` of the same accesses.  ``engine`` follows
+    :func:`replay`: ``"auto"`` picks the fast kernel when one exists,
+    ``"reference"`` forces the object engine, ``"fast"`` raises for
+    unsupported policies.
+    """
+    if engine not in ("auto", "fast", "reference"):
+        raise ValueError(f"unknown engine {engine!r}")
+    llc = _llc_config(config)
+    resolved = fast_path_kernel(policy) if engine != "reference" else None
+    if resolved is None:
+        if engine == "fast":
+            name = policy if isinstance(policy, str) else type(policy).__name__
+            raise ValueError(f"policy {name!r} has no fast-path kernel")
+        return _ReferenceKernel(policy, llc)
+    kind, params = resolved
+    return _STREAM_KERNELS[kind](llc, **params)
 
 
 # -- the engine protocol ------------------------------------------------------
@@ -750,34 +988,113 @@ def _fast_filter(trace, config: HierarchyConfig | None = None):
         assert stream is not None
         return stream
 
-    shift = (l1c.line_size - 1).bit_length()
-    lines = trace.addresses.astype(np.uint64) >> np.uint64(shift)
+    filt = StreamingLLCFilter(config, name=trace.name)
+    chunk = filt.feed(trace.pcs, trace.addresses, trace.is_write)
+    return LLCStream(
+        name=trace.name,
+        pcs=chunk.pcs,
+        addresses=chunk.addresses,
+        kinds=chunk.kinds,
+        cores=chunk.cores,
+        line_size=trace.line_size,
+        source_accesses=trace.num_accesses,
+        source_instructions=trace.num_instructions,
+        l1_hits=filt.l1_hits,
+        l2_hits=filt.l2_hits,
+        metadata=dict(trace.metadata),
+    )
+
+
+@dataclass
+class StreamChunk:
+    """A bounded slice of LLC-bound accesses from a streaming filter.
+
+    Duck-types the subset of :class:`~repro.cache.hierarchy.LLCStream`
+    the replay kernels read (``pcs``/``addresses``/``kinds``/``cores``
+    columns plus ``name``), without the whole-trace bookkeeping — the
+    streaming path never materializes a full stream.
+    """
+
+    name: str
+    pcs: np.ndarray
+    addresses: np.ndarray
+    kinds: np.ndarray
+    cores: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+class StreamingLLCFilter:
+    """Chunk-feedable port of :func:`_fast_filter`'s L1/L2 LRU filter.
+
+    Feed raw trace columns in bounded chunks; each :meth:`feed` returns
+    the :class:`StreamChunk` of accesses that reached the LLC during
+    that chunk (possibly empty).  All filter state (L1/L2 tag/touch
+    tables, dirty bits, LRU counters, hit counts) lives in plain-list
+    attributes, so the filter pickles for checkpointed resume and a
+    single whole-trace feed is bit-identical to :func:`_fast_filter`
+    (which is now routed through this class).
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None, name: str = "stream") -> None:
+        config = config or scaled_hierarchy()
+        l1c, l2c = config.l1, config.l2
+        if not (l1c.line_size == l2c.line_size == config.llc.line_size):
+            raise ValueError(
+                "StreamingLLCFilter requires equal line sizes at every level"
+            )
+        self.config = config
+        self.name = name
+        self.shift = (l1c.line_size - 1).bit_length()
+        assoc1, assoc2 = l1c.associativity, l2c.associativity
+        self.l1_tags = [[-1] * assoc1 for _ in range(l1c.num_sets)]
+        self.l1_touch = [[0] * assoc1 for _ in range(l1c.num_sets)]
+        self.l1_fill = [0] * l1c.num_sets
+        self.l2_tags = [[-1] * assoc2 for _ in range(l2c.num_sets)]
+        self.l2_touch = [[0] * assoc2 for _ in range(l2c.num_sets)]
+        self.l2_dirty = [[False] * assoc2 for _ in range(l2c.num_sets)]
+        self.l2_pc = [[0] * assoc2 for _ in range(l2c.num_sets)]
+        self.l2_core = [[0] * assoc2 for _ in range(l2c.num_sets)]
+        self.l2_fill = [0] * l2c.num_sets
+        self.c1 = self.c2 = self.l1_hits = self.l2_hits = 0
+        self.accesses_seen = 0
+
+    def feed(self, pcs, addresses, is_write) -> StreamChunk:
+        return _filter_feed(self, pcs, addresses, is_write)
+
+
+def _filter_feed(filt, pcs_arr, addresses_arr, is_write_arr) -> StreamChunk:
+    config = filt.config
+    l1c, l2c = config.l1, config.l2
+    shift = filt.shift
+    lines = np.asarray(addresses_arr).astype(np.uint64) >> np.uint64(shift)
     mask1, mask2 = l1c.num_sets - 1, l2c.num_sets - 1
     tag_shift1, tag_shift2 = mask1.bit_length(), mask2.bit_length()
     set1 = (lines & np.uint64(mask1)).astype(np.int64).tolist()
     tag1 = (lines >> np.uint64(tag_shift1)).astype(np.int64).tolist()
     set2 = (lines & np.uint64(mask2)).astype(np.int64).tolist()
     tag2 = (lines >> np.uint64(tag_shift2)).astype(np.int64).tolist()
-    pcs = trace.pcs.tolist()
-    addresses = trace.addresses.tolist()
-    writes = trace.is_write.tolist()
+    pcs = np.asarray(pcs_arr).tolist()
+    addresses = np.asarray(addresses_arr).tolist()
+    writes = np.asarray(is_write_arr).tolist()
 
     assoc1, assoc2 = l1c.associativity, l2c.associativity
-    l1_tags = [[-1] * assoc1 for _ in range(l1c.num_sets)]
-    l1_touch = [[0] * assoc1 for _ in range(l1c.num_sets)]
-    l1_fill = [0] * l1c.num_sets
-    l2_tags = [[-1] * assoc2 for _ in range(l2c.num_sets)]
-    l2_touch = [[0] * assoc2 for _ in range(l2c.num_sets)]
-    l2_dirty = [[False] * assoc2 for _ in range(l2c.num_sets)]
-    l2_pc = [[0] * assoc2 for _ in range(l2c.num_sets)]
-    l2_core = [[0] * assoc2 for _ in range(l2c.num_sets)]
-    l2_fill = [0] * l2c.num_sets
+    l1_tags = filt.l1_tags
+    l1_touch = filt.l1_touch
+    l1_fill = filt.l1_fill
+    l2_tags = filt.l2_tags
+    l2_touch = filt.l2_touch
+    l2_dirty = filt.l2_dirty
+    l2_pc = filt.l2_pc
+    l2_core = filt.l2_core
+    l2_fill = filt.l2_fill
 
     r_pcs: list[int] = []
     r_addresses: list[int] = []
     r_kinds: list[int] = []
     r_cores: list[int] = []
-    c1 = c2 = l1_hits = l2_hits = 0
+    c1, c2, l1_hits, l2_hits = filt.c1, filt.c2, filt.l1_hits, filt.l2_hits
 
     for i in range(len(lines)):
         is_write = writes[i]
@@ -831,16 +1148,12 @@ def _fast_filter(trace, config: HierarchyConfig | None = None):
         l2_pc[s][w] = pc
         l2_core[s][w] = 0
 
-    return LLCStream(
-        name=trace.name,
+    filt.c1, filt.c2, filt.l1_hits, filt.l2_hits = c1, c2, l1_hits, l2_hits
+    filt.accesses_seen += len(lines)
+    return StreamChunk(
+        name=filt.name,
         pcs=np.array(r_pcs, dtype=np.uint64),
         addresses=np.array(r_addresses, dtype=np.uint64),
         kinds=np.array(r_kinds, dtype=np.int8),
         cores=np.array(r_cores, dtype=np.int16),
-        line_size=trace.line_size,
-        source_accesses=trace.num_accesses,
-        source_instructions=trace.num_instructions,
-        l1_hits=l1_hits,
-        l2_hits=l2_hits,
-        metadata=dict(trace.metadata),
     )

@@ -19,12 +19,15 @@ trustworthy together: this package continuously proves they agree.
   under ``tests/corpus/`` (ArtifactStore format).
 * :mod:`~repro.conformance.fuzzer` — the time-budgeted fuzz loop with
   supervised parallel workers.
+* :mod:`~repro.conformance.ingest_roundtrip` — external-trace adapter
+  round-trip fidelity and streamed-vs-materialized replay differentials.
 * :mod:`~repro.conformance.cli` — ``python -m repro.eval conformance``.
 """
 
 from .differential import CaseResult, Divergence, cross_validate_optgen, run_case
 from .fuzzer import FuzzConfig, FuzzReport, fuzz, parse_budget
 from .generators import GENERATOR_FAMILIES, CaseSpec, generate_stream, spec_config
+from .ingest_roundtrip import IngestRoundtripResult, run_roundtrip_case
 from .invariants import InvariantViolation, checked_replay, run_all_checks
 from .shrink import ShrinkResult, failure_predicate, shrink_stream, take
 
@@ -35,6 +38,7 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "GENERATOR_FAMILIES",
+    "IngestRoundtripResult",
     "InvariantViolation",
     "ShrinkResult",
     "checked_replay",
@@ -45,6 +49,7 @@ __all__ = [
     "parse_budget",
     "run_all_checks",
     "run_case",
+    "run_roundtrip_case",
     "shrink_stream",
     "spec_config",
     "take",

@@ -1,0 +1,117 @@
+"""Adapter round-trip and streamed-vs-materialized differential checks.
+
+Two properties tie the ingest subsystem to the rest of the conformance
+story:
+
+* **Round-trip fidelity** — for every supported external format
+  (ChampSim binary, DynamoRIO memtrace text, request-log CSV; plain and
+  gzip), ``write -> adapter -> columns`` reproduces the original trace
+  exactly.  A lossy adapter would silently shift every downstream
+  miss-rate number.
+* **Streamed == materialized** — :func:`repro.traces.ingest.stream_replay`
+  over a written file produces bit-identical cache stats to the
+  in-memory ``fast_filter_to_llc_stream`` + ``replay`` pipeline on the
+  original trace, for every chunking.  This is the differential that
+  proves the bounded-memory path changes nothing but peak memory.
+
+:func:`run_roundtrip_case` performs both for one seeded synthetic
+trace; ``python -m repro.eval conformance`` composes it in tests (see
+``tests/conformance/test_ingest_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cache.fastsim import fast_filter_to_llc_stream, replay
+from ..traces.ingest import (
+    open_adapter,
+    stream_replay,
+    write_champsim,
+    write_csv_stream,
+    write_memtrace,
+)
+
+__all__ = ["FORMAT_WRITERS", "IngestRoundtripResult", "run_roundtrip_case"]
+
+#: format name -> (writer, filename suffix)
+FORMAT_WRITERS = {
+    "champsim": (write_champsim, ".champsim"),
+    "memtrace": (write_memtrace, ".memtrace"),
+    "csv": (write_csv_stream, ".csv"),
+}
+
+
+@dataclass
+class IngestRoundtripResult:
+    """Outcome of one round-trip + differential case."""
+
+    trace: str
+    failures: list = field(default_factory=list)
+    formats_checked: int = 0
+    replays_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def _fail(self, what: str) -> None:
+        self.failures.append(what)
+
+
+def _check_columns(result: IngestRoundtripResult, trace, got, label: str) -> None:
+    for column in ("pcs", "addresses", "is_write"):
+        if not np.array_equal(getattr(trace, column), getattr(got, column)):
+            result._fail(f"{label}: column {column} does not round-trip")
+
+
+def run_roundtrip_case(
+    trace,
+    tmpdir,
+    *,
+    policies: tuple[str, ...] = ("lru", "glider"),
+    chunk_records: tuple[int, ...] = (997, 1 << 16),
+    gzip_too: bool = True,
+) -> IngestRoundtripResult:
+    """Round-trip ``trace`` through every format and cross-check replay.
+
+    ``chunk_records`` lists the streamed chunk sizes to differential —
+    a prime-ish small one to force many uneven boundaries and one large
+    enough to cover the whole trace in a single chunk.
+    """
+    tmpdir = Path(tmpdir)
+    result = IngestRoundtripResult(trace=trace.name)
+
+    written: dict[str, Path] = {}
+    for fmt, (writer, suffix) in FORMAT_WRITERS.items():
+        suffixes = (suffix, suffix + ".gz") if gzip_too else (suffix,)
+        for sfx in suffixes:
+            path = writer(trace, tmpdir / f"{trace.name}{sfx}")
+            adapter = open_adapter(path, format=fmt)
+            _check_columns(result, trace, adapter.read_trace(), f"{fmt}{sfx}")
+            if adapter.stats.records_read != trace.num_accesses:
+                result._fail(
+                    f"{fmt}{sfx}: read {adapter.stats.records_read} records, "
+                    f"expected {trace.num_accesses}"
+                )
+            result.formats_checked += 1
+            written[fmt] = path  # keep the gz variant for the replay diff
+
+    stream = fast_filter_to_llc_stream(trace)
+    for policy in policies:
+        reference = replay(stream, policy)
+        for chunk in chunk_records:
+            streamed = stream_replay(
+                written["champsim"], policy, chunk_records=chunk
+            )
+            if streamed.stats != reference:
+                result._fail(
+                    f"{policy}/chunk={chunk}: streamed stats diverge "
+                    f"({streamed.stats.demand_misses} vs "
+                    f"{reference.demand_misses} demand misses)"
+                )
+            result.replays_checked += 1
+    return result

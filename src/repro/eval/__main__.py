@@ -52,6 +52,14 @@ breakers, crash recovery, and graceful drain — plus its load generator
 and chaos benchmark (``BENCH_serve.json``).  See ``python -m repro.eval
 serve --help`` and the "Serving & load testing" section of
 EXPERIMENTS.md.
+
+Ingestion: the ``ingest`` subcommand (``ingest replay|scan``) streams
+external trace files (ChampSim/CRC2 binary, DynamoRIO memtrace text,
+request-log CSV; gzip or plain) through the simulator in bounded
+memory, with strict/skip/quarantine corrupt-input handling, journaled
+quarantine provenance, I/O fault injection, and checkpointed resumable
+replay — see ``python -m repro.eval ingest --help`` and the
+"Ingestion, quarantine & resumable replay" section of EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -102,6 +110,11 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "ingest":
+        # External-trace ingestion (replay/scan) has its own CLI.
+        from ..traces.ingest.cli import main as ingest_main
+
+        return ingest_main(argv[1:])
 
     parser = argparse.ArgumentParser(prog="python -m repro.eval", description=__doc__)
     parser.add_argument(

@@ -33,6 +33,45 @@ class _Feature:
     weights: list[int]
 
 
+# Feature extractors are module-level functions (not closures/lambdas) so
+# a predictor — and any policy or streaming-replay checkpoint holding one
+# — pickles cleanly.
+def _x_pc(pc, hist, addr):
+    return pc
+
+
+def _x_pc_hist_1(pc, hist, addr):
+    return hist[0] if hist else 0
+
+
+def _x_pc_hist_2(pc, hist, addr):
+    return hist[1] if len(hist) > 1 else 0
+
+
+def _x_pc_hist_4(pc, hist, addr):
+    return _fold(hist[:4])
+
+
+def _x_pc_hist_8(pc, hist, addr):
+    return _fold(hist[:8])
+
+
+def _x_pc_xor_page(pc, hist, addr):
+    return pc ^ (addr >> 12)
+
+
+def _x_page(pc, hist, addr):
+    return addr >> 12
+
+
+def _x_tag_bits(pc, hist, addr):
+    return (addr >> 6) & 0xFFFF
+
+
+def _x_offset(pc, hist, addr):
+    return (addr >> 6) & 0x3F
+
+
 class MultiperspectivePredictor:
     """Perceptron over MPPPB's multiperspective feature set."""
 
@@ -53,23 +92,15 @@ class MultiperspectivePredictor:
             return _Feature(name, extract, salt, [0] * size)
 
         self.features: list[_Feature] = [
-            feat("pc", 11, lambda pc, hist, addr: pc),
-            feat("pc_hist_1", 13, lambda pc, hist, addr: hist[0] if hist else 0),
-            feat("pc_hist_2", 17, lambda pc, hist, addr: hist[1] if len(hist) > 1 else 0),
-            feat(
-                "pc_hist_4",
-                19,
-                lambda pc, hist, addr: _fold(hist[:4]),
-            ),
-            feat(
-                "pc_hist_8",
-                23,
-                lambda pc, hist, addr: _fold(hist[:8]),
-            ),
-            feat("pc_xor_page", 29, lambda pc, hist, addr: pc ^ (addr >> 12)),
-            feat("page", 31, lambda pc, hist, addr: addr >> 12),
-            feat("tag_bits", 37, lambda pc, hist, addr: (addr >> 6) & 0xFFFF),
-            feat("offset", 41, lambda pc, hist, addr: (addr >> 6) & 0x3F),
+            feat("pc", 11, _x_pc),
+            feat("pc_hist_1", 13, _x_pc_hist_1),
+            feat("pc_hist_2", 17, _x_pc_hist_2),
+            feat("pc_hist_4", 19, _x_pc_hist_4),
+            feat("pc_hist_8", 23, _x_pc_hist_8),
+            feat("pc_xor_page", 29, _x_pc_xor_page),
+            feat("page", 31, _x_page),
+            feat("tag_bits", 37, _x_tag_bits),
+            feat("offset", 41, _x_offset),
         ]
 
     def _sum(self, pc: int, history: Sequence[int], address: int) -> int:

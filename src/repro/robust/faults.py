@@ -25,7 +25,9 @@ from ..traces.trace import Trace
 
 __all__ = [
     "BenchmarkFaultPlan",
+    "FaultyFile",
     "GradientFaultInjector",
+    "IOFaults",
     "InjectedFault",
     "TraceFaults",
     "corrupt_trace",
@@ -221,3 +223,109 @@ class BenchmarkFaultPlan:
             self.failures[benchmark] = remaining - 1
         self.raised += 1
         raise InjectedFault(f"injected failure for benchmark {benchmark!r}")
+
+
+# ---------------------------------------------------------------------------
+# I/O fault injection (external trace ingestion)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IOFaults:
+    """Fault model for a byte stream being read from disk.
+
+    Applied by :class:`FaultyFile` *underneath* any decompression layer
+    (see :func:`repro.traces.ingest.readers.open_stream`), so bit flips
+    and truncation damage the on-disk representation — for gzip inputs
+    that means the reader observes a broken compressed stream, exactly
+    like real bit rot.
+
+    * ``bitflip_offsets`` — flip one bit (``bitflip_bit``) in the byte
+      at each absolute file offset;
+    * ``truncate_at`` — the file ends (clean EOF) at this offset;
+    * ``error_at`` — reads reaching this offset raise ``OSError``
+      (a device error, surfaced as ``ShortRead`` by the ingest layer);
+    * ``short_read_every``/``short_read_size`` — every Nth read returns
+      at most ``short_read_size`` bytes (benign: loop-reading callers
+      must still see identical data);
+    * ``slow_read_every``/``slow_read_seconds`` — every Nth read sleeps
+      first (exercises deadline paths without special-casing tests).
+    """
+
+    bitflip_offsets: tuple = ()
+    bitflip_bit: int = 0
+    truncate_at: int | None = None
+    error_at: int | None = None
+    short_read_every: int = 0
+    short_read_size: int = 1
+    slow_read_every: int = 0
+    slow_read_seconds: float = 0.0
+
+
+class FaultyFile:
+    """A binary-file proxy that injects :class:`IOFaults` on ``read``."""
+
+    def __init__(self, raw, faults: IOFaults) -> None:
+        self._raw = raw
+        self._faults = faults
+        self._offset = 0
+        self._reads = 0
+
+    def read(self, n: int = -1) -> bytes:
+        import time as _time
+
+        f = self._faults
+        self._reads += 1
+        if f.slow_read_every and self._reads % f.slow_read_every == 0:
+            _time.sleep(f.slow_read_seconds)
+        if f.truncate_at is not None:
+            if self._offset >= f.truncate_at:
+                return b""
+            if n is None or n < 0:
+                n = f.truncate_at - self._offset
+            else:
+                n = min(n, f.truncate_at - self._offset)
+        if f.error_at is not None and (
+            n is None or n < 0 or self._offset + n > f.error_at
+        ):
+            # Any read that would touch the bad sector fails whole: no
+            # partial success on the failing read.
+            raise OSError(5, "injected I/O error")
+        if f.short_read_every and self._reads % f.short_read_every == 0:
+            if n is None or n < 0 or n > f.short_read_size:
+                n = f.short_read_size
+        data = self._raw.read(n)
+        if f.bitflip_offsets and data:
+            start, end = self._offset, self._offset + len(data)
+            hits = [o for o in f.bitflip_offsets if start <= o < end]
+            if hits:
+                buf = bytearray(data)
+                for o in hits:
+                    buf[o - start] ^= 1 << f.bitflip_bit
+                data = bytes(buf)
+        self._offset += len(data)
+        return data
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        position = self._raw.seek(offset, whence)
+        self._offset = position
+        return position
+
+    def tell(self) -> int:
+        return self._raw.tell()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    def readable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        try:
+            return self._raw.seekable()
+        except AttributeError:
+            return False

@@ -1,0 +1,61 @@
+"""Resilient streaming ingestion of external trace files.
+
+Adapters for ChampSim/CRC2 binary traces, DynamoRIO memtrace text and
+request-log CSV, read in bounded-memory chunks (gzip or plain) with a
+typed corrupt-input taxonomy, configurable strict/skip/quarantine
+handling, I/O fault injection, and checkpointed resumable replay that
+is bit-exact across a kill/resume (see :mod:`repro.traces.ingest.replay`).
+"""
+
+from .adapters import (
+    CHAMPSIM_RECORD,
+    POLICIES,
+    ChampSimAdapter,
+    CSVAdapter,
+    IngestStats,
+    MemtraceAdapter,
+    RecordChunk,
+    TraceAdapter,
+    open_adapter,
+    sniff_format,
+)
+from .errors import (
+    RECORD_LEVEL_ERRORS,
+    STREAM_LEVEL_ERRORS,
+    IngestError,
+    MalformedRecord,
+    OutOfRangeAddress,
+    ShortRead,
+    TruncatedInput,
+)
+from .readers import OffsetReader, open_stream
+from .replay import CHECKPOINT_SCHEMA, StreamReplayResult, stream_replay
+from .writers import write_champsim, write_csv_stream, write_memtrace
+
+__all__ = [
+    "CHAMPSIM_RECORD",
+    "CHECKPOINT_SCHEMA",
+    "POLICIES",
+    "RECORD_LEVEL_ERRORS",
+    "STREAM_LEVEL_ERRORS",
+    "ChampSimAdapter",
+    "CSVAdapter",
+    "IngestError",
+    "IngestStats",
+    "MalformedRecord",
+    "MemtraceAdapter",
+    "OffsetReader",
+    "OutOfRangeAddress",
+    "RecordChunk",
+    "ShortRead",
+    "StreamReplayResult",
+    "TraceAdapter",
+    "TruncatedInput",
+    "open_adapter",
+    "open_stream",
+    "sniff_format",
+    "stream_replay",
+    "write_champsim",
+    "write_csv_stream",
+    "write_memtrace",
+]

@@ -1,0 +1,538 @@
+"""Streaming adapters: external trace files -> bounded record chunks.
+
+Three formats:
+
+* **champsim** — ChampSim/CRC2-style binary records, 24 bytes each,
+  little-endian: ``pc u64 | address u64 | kind u8 (0=load, 1=store) |
+  core u8 | 6 reserved zero bytes``.  Gzip or plain.
+* **memtrace** — DynamoRIO memtrace text (``drcachesim``'s
+  ``libmemtrace_x86_text`` style): ``0xPC: R|W SIZE 0xADDR`` per line.
+* **csv** — the repo's own request-log CSV (``pc,address,is_write``
+  header, values parsed with base auto-detection), streamed instead of
+  materialized.
+
+Every adapter reads through :class:`~repro.traces.ingest.readers.OffsetReader`
+in bounded chunks (``chunk_records`` at a time — peak memory is
+O(chunk), never O(trace)) and yields :class:`RecordChunk` column arrays
+ready for :class:`repro.cache.fastsim.StreamingLLCFilter`.
+
+Corrupt input is handled per the ``on_error`` policy:
+
+* ``strict`` — raise the typed error (:mod:`repro.traces.ingest.errors`)
+  naming ``file:offset``;
+* ``skip`` — drop bad records, stop early on stream-level damage,
+  count everything in :attr:`TraceAdapter.stats`;
+* ``quarantine`` — like ``skip``, but every dropped byte range is
+  journaled with file:offset provenance through a
+  :class:`repro.robust.supervise.CrashJournal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ...obs import metrics as obs_metrics
+from .errors import (
+    MalformedRecord,
+    OutOfRangeAddress,
+    ShortRead,
+    TruncatedInput,
+)
+from .readers import OffsetReader, open_stream
+
+__all__ = [
+    "CHAMPSIM_RECORD",
+    "POLICIES",
+    "ChampSimAdapter",
+    "CSVAdapter",
+    "IngestStats",
+    "MemtraceAdapter",
+    "RecordChunk",
+    "TraceAdapter",
+    "open_adapter",
+    "sniff_format",
+]
+
+#: ChampSim/CRC2 binary record layout (bytes).
+CHAMPSIM_RECORD = 24
+
+POLICIES = ("strict", "skip", "quarantine")
+
+_DEFAULT_CHUNK_RECORDS = 1 << 16
+
+
+@dataclass
+class RecordChunk:
+    """A bounded batch of parsed trace records (columnar)."""
+
+    pcs: np.ndarray
+    addresses: np.ndarray
+    is_write: np.ndarray
+    start_record: int  # ordinal of the first *parsed* record in this chunk
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+@dataclass
+class IngestStats:
+    """Counters for one adapter pass (mirrored to obs metrics)."""
+
+    records_read: int = 0
+    records_skipped: int = 0
+    records_quarantined: int = 0
+    bytes_read: int = 0
+    chunks: int = 0
+    truncated: bool = False
+    quarantined_ranges: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "records_read": self.records_read,
+            "records_skipped": self.records_skipped,
+            "records_quarantined": self.records_quarantined,
+            "bytes_read": self.bytes_read,
+            "chunks": self.chunks,
+            "truncated": self.truncated,
+            "quarantined_ranges": [list(r) for r in self.quarantined_ranges],
+        }
+
+
+class TraceAdapter:
+    """Base streaming adapter (subclasses implement :meth:`_parse`).
+
+    ``on_error`` is one of :data:`POLICIES`; ``journal`` a
+    :class:`repro.robust.supervise.CrashJournal` (required for
+    ``quarantine`` provenance — without one the ranges are still
+    recorded in :attr:`stats`); ``faults`` an optional
+    :class:`repro.robust.faults.IOFaults` plan applied beneath any gzip
+    layer.  ``max_address_bits`` bounds plausible addresses/PCs: a
+    structurally valid record above the bound is
+    :class:`OutOfRangeAddress` (bit corruption, not a format quirk).
+    """
+
+    format = "base"
+
+    def __init__(
+        self,
+        path,
+        *,
+        on_error: str = "strict",
+        chunk_records: int = _DEFAULT_CHUNK_RECORDS,
+        journal=None,
+        faults=None,
+        max_address_bits: int = 52,
+    ) -> None:
+        if on_error not in POLICIES:
+            raise ValueError(
+                f"on_error must be one of {POLICIES}, got {on_error!r}"
+            )
+        if chunk_records <= 0:
+            raise ValueError("chunk_records must be positive")
+        self.path = Path(path)
+        self.on_error = on_error
+        self.chunk_records = int(chunk_records)
+        self.journal = journal
+        self.faults = faults
+        self.max_address = 1 << max_address_bits
+        self.stats = IngestStats()
+
+    # -- error policy --------------------------------------------------------
+    def _quarantine_range(self, error) -> None:
+        start, end = error.byte_range()
+        self.stats.records_quarantined += (
+            1 if isinstance(error, (MalformedRecord, OutOfRangeAddress)) else 0
+        )
+        self.stats.quarantined_ranges.append((start, end))
+        if self.journal is not None:
+            self.journal.append(
+                event="ingest.quarantine",
+                format=self.format,
+                path=str(self.path),
+                start_offset=start,
+                end_offset=end,
+                record_index=error.record_index,
+                error=type(error).__name__,
+                message=str(error),
+            )
+        if obs_metrics.ENABLED:
+            obs_metrics.counter(
+                "ingest.records.quarantined", format=self.format
+            ).inc()
+
+    def _handle_record_error(self, error) -> None:
+        """Apply the policy to a record-level error (drop or raise)."""
+        if self.on_error == "strict":
+            raise error
+        if self.on_error == "quarantine":
+            self._quarantine_range(error)
+        else:
+            self.stats.records_skipped += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.counter(
+                    "ingest.records.skipped", format=self.format
+                ).inc()
+
+    def _handle_stream_error(self, error) -> None:
+        """Apply the policy to a stream-level error (stop or raise)."""
+        if self.on_error == "strict":
+            raise error
+        self.stats.truncated = True
+        if self.on_error == "quarantine":
+            self._quarantine_range(error)
+
+    # -- iteration -----------------------------------------------------------
+    def chunks(self):
+        """Yield :class:`RecordChunk` batches until the stream ends."""
+        with OffsetReader(
+            open_stream(self.path, faults=self.faults), self.path
+        ) as reader:
+            parsed = 0
+            for pcs, addresses, is_write in self._parse(reader):
+                self.stats.bytes_read = reader.offset
+                if not len(pcs):
+                    continue
+                self.stats.records_read += len(pcs)
+                self.stats.chunks += 1
+                if obs_metrics.ENABLED:
+                    obs_metrics.counter(
+                        "ingest.records.read", format=self.format
+                    ).inc(len(pcs))
+                chunk = RecordChunk(
+                    pcs=pcs,
+                    addresses=addresses,
+                    is_write=is_write,
+                    start_record=parsed,
+                )
+                parsed += len(pcs)
+                yield chunk
+            self.stats.bytes_read = reader.offset
+
+    def read_trace(self, name: str | None = None, line_size: int = 64):
+        """Materialize the whole file as a :class:`~repro.traces.trace.Trace`.
+
+        Convenience for small inputs and tests — the streaming paths
+        never call this.
+        """
+        from ..trace import Trace
+
+        cols: list[tuple] = [(
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=bool),
+        )]
+        cols.extend(
+            (c.pcs, c.addresses, c.is_write) for c in self.chunks()
+        )
+        return Trace(
+            name=name or self.path.stem.replace(".csv", ""),
+            pcs=np.concatenate([c[0] for c in cols]).astype(np.uint64),
+            addresses=np.concatenate([c[1] for c in cols]).astype(np.uint64),
+            is_write=np.concatenate([c[2] for c in cols]).astype(bool),
+            line_size=line_size,
+            metadata={"source": str(self.path), "format": self.format},
+        )
+
+    def _parse(self, reader: OffsetReader):
+        raise NotImplementedError
+
+
+class ChampSimAdapter(TraceAdapter):
+    """24-byte binary records (see :data:`CHAMPSIM_RECORD`)."""
+
+    format = "champsim"
+
+    def _parse(self, reader: OffsetReader):
+        size = CHAMPSIM_RECORD
+        want = self.chunk_records * size
+        while True:
+            base = reader.offset
+            try:
+                data = reader.read(want)
+            except (TruncatedInput, ShortRead) as error:
+                self._handle_stream_error(error)
+                return
+            if not data:
+                return
+            tail = len(data) % size
+            if tail:
+                # Only possible at end of stream (reader fills reads).
+                error = TruncatedInput(
+                    f"trailing partial record ({tail} of {size} bytes)",
+                    path=reader.path,
+                    offset=base + len(data) - tail,
+                    length=tail,
+                )
+                data = data[: len(data) - tail]
+                if data:
+                    yield self._decode(data, base, reader.path)
+                self._handle_stream_error(error)
+                return
+            yield self._decode(data, base, reader.path)
+            if len(data) < want:
+                return
+
+    def _decode(self, data: bytes, base: int, path: str):
+        size = CHAMPSIM_RECORD
+        raw = np.frombuffer(data, dtype=np.uint8).reshape(-1, size)
+        pcs = raw[:, 0:8].copy().view("<u8").reshape(-1)
+        addresses = raw[:, 8:16].copy().view("<u8").reshape(-1)
+        kinds = raw[:, 16]
+        cores = raw[:, 17]
+        reserved_ok = ~raw[:, 18:24].any(axis=1)
+        del cores  # single-core simulation: carried for format fidelity
+        kind_ok = kinds <= 1
+        structural_ok = kind_ok & reserved_ok
+        range_ok = (addresses < self.max_address) & (pcs < self.max_address)
+        good = structural_ok & range_ok
+        if not good.all():
+            bad = np.flatnonzero(~good)
+            if self.on_error == "strict":
+                i = int(bad[0])
+                offset = base + i * size
+                index = offset // size
+                if not structural_ok[i]:
+                    raise MalformedRecord(
+                        "bad record: kind={} reserved={}".format(
+                            int(kinds[i]), raw[i, 18:24].tolist()
+                        ),
+                        path=path,
+                        offset=offset,
+                        length=size,
+                        record_index=index,
+                    )
+                raise OutOfRangeAddress(
+                    f"address {int(addresses[i]):#x} / pc {int(pcs[i]):#x} "
+                    f"above {self.max_address:#x}",
+                    path=path,
+                    offset=offset,
+                    length=size,
+                    record_index=index,
+                )
+            for i in bad:
+                i = int(i)
+                cls = MalformedRecord if not structural_ok[i] else OutOfRangeAddress
+                offset = base + i * size
+                self._handle_record_error(
+                    cls(
+                        "bad record",
+                        path=path,
+                        offset=offset,
+                        length=size,
+                        record_index=offset // size,
+                    )
+                )
+        return (
+            pcs[good].astype(np.uint64),
+            addresses[good].astype(np.uint64),
+            (raw[:, 16][good] == 1),
+        )
+
+
+class _LineAdapter(TraceAdapter):
+    """Shared machinery for line-oriented text formats.
+
+    Reads bytes in bounded blocks, splits on newlines with a carried
+    partial tail, and tracks the byte offset of every line start for
+    error provenance.  A final line without a newline is still parsed
+    (text tools often omit the trailing newline); truncation inside a
+    gzip stream still surfaces as :class:`TruncatedInput` from the
+    reader layer.
+    """
+
+    _READ_BYTES = 1 << 20
+
+    def _parse(self, reader: OffsetReader):
+        pcs: list[int] = []
+        addresses: list[int] = []
+        writes: list[bool] = []
+        carry = b""
+        carry_offset = 0
+        eof = False
+        while not eof:
+            try:
+                block = reader.read(self._READ_BYTES)
+            except (TruncatedInput, ShortRead) as error:
+                if pcs:
+                    yield self._emit(pcs, addresses, writes)
+                    pcs, addresses, writes = [], [], []
+                self._handle_stream_error(error)
+                return
+            if not block:
+                eof = True
+                lines = []
+            else:
+                buf = carry + block
+                lines = buf.split(b"\n")
+                carry = lines.pop()
+            offset = carry_offset
+            for line in lines:
+                self._parse_line(line, offset, reader.path, pcs, addresses, writes)
+                offset += len(line) + 1
+                if len(pcs) >= self.chunk_records:
+                    yield self._emit(pcs, addresses, writes)
+                    pcs, addresses, writes = [], [], []
+            if eof and carry:
+                self._parse_line(carry, offset, reader.path, pcs, addresses, writes)
+                carry = b""
+            carry_offset = reader.offset - len(carry)
+        if pcs:
+            yield self._emit(pcs, addresses, writes)
+
+    @staticmethod
+    def _emit(pcs, addresses, writes):
+        return (
+            np.array(pcs, dtype=np.uint64),
+            np.array(addresses, dtype=np.uint64),
+            np.array(writes, dtype=bool),
+        )
+
+    def _check_range(self, pc: int, address: int, offset: int, length: int, path):
+        if pc >= self.max_address or address >= self.max_address:
+            raise OutOfRangeAddress(
+                f"address {address:#x} / pc {pc:#x} above {self.max_address:#x}",
+                path=path,
+                offset=offset,
+                length=length,
+            )
+
+    def _parse_line(self, line, offset, path, pcs, addresses, writes):
+        raise NotImplementedError
+
+
+class MemtraceAdapter(_LineAdapter):
+    """DynamoRIO memtrace text: ``0xPC: R|W SIZE 0xADDR`` per line."""
+
+    format = "memtrace"
+
+    def _parse_line(self, line, offset, path, pcs, addresses, writes):
+        text = line.decode("ascii", errors="replace").strip()
+        if not text or text.startswith("#"):
+            return
+        try:
+            parts = text.split()
+            if len(parts) != 4 or not parts[0].endswith(":"):
+                raise ValueError("expected '0xPC: R|W SIZE 0xADDR'")
+            pc = int(parts[0][:-1], 16)
+            kind = parts[1]
+            if kind not in ("R", "W"):
+                raise ValueError(f"unknown access kind {kind!r}")
+            if int(parts[2]) <= 0:
+                raise ValueError(f"non-positive access size {parts[2]!r}")
+            address = int(parts[3], 16)
+            if pc < 0 or address < 0:
+                raise ValueError("negative value")
+        except ValueError as error:
+            self._handle_record_error(
+                MalformedRecord(
+                    f"unparseable memtrace line {text!r}: {error}",
+                    path=path,
+                    offset=offset,
+                    length=len(line) + 1,
+                )
+            )
+            return
+        try:
+            self._check_range(pc, address, offset, len(line) + 1, path)
+        except OutOfRangeAddress as error:
+            self._handle_record_error(error)
+            return
+        pcs.append(pc)
+        addresses.append(address)
+        writes.append(kind == "W")
+
+
+class CSVAdapter(_LineAdapter):
+    """Streamed ``pc,address,is_write`` CSV (header required, values
+    parsed with base auto-detection like :func:`repro.traces.io.load_csv`)."""
+
+    format = "csv"
+
+    def __init__(self, path, **kwargs) -> None:
+        super().__init__(path, **kwargs)
+        self._header_seen = False
+
+    def _parse_line(self, line, offset, path, pcs, addresses, writes):
+        text = line.decode("utf-8", errors="replace").strip()
+        if not text or text.startswith("#"):
+            return
+        if not self._header_seen:
+            self._header_seen = True
+            head = [c.strip().lower() for c in text.split(",")]
+            if head[:3] == ["pc", "address", "is_write"]:
+                return
+            # No header: fall through and parse as data (load_csv sniffs
+            # the same way).
+        try:
+            cells = [c.strip() for c in text.split(",")]
+            if len(cells) < 3:
+                raise ValueError("expected 3 columns: pc,address,is_write")
+            pc = int(cells[0], 0)
+            address = int(cells[1], 0)
+            write_cell = cells[2].lower()
+            if write_cell in ("1", "true", "w", "store"):
+                is_write = True
+            elif write_cell in ("0", "false", "r", "load"):
+                is_write = False
+            else:
+                raise ValueError(f"bad is_write value {cells[2]!r}")
+            if pc < 0 or address < 0:
+                raise ValueError("negative value")
+        except ValueError as error:
+            self._handle_record_error(
+                MalformedRecord(
+                    f"unparseable CSV row {text!r}: {error}",
+                    path=path,
+                    offset=offset,
+                    length=len(line) + 1,
+                )
+            )
+            return
+        try:
+            self._check_range(pc, address, offset, len(line) + 1, path)
+        except OutOfRangeAddress as error:
+            self._handle_record_error(error)
+            return
+        pcs.append(pc)
+        addresses.append(address)
+        writes.append(is_write)
+
+
+_ADAPTERS = {
+    "champsim": ChampSimAdapter,
+    "memtrace": MemtraceAdapter,
+    "csv": CSVAdapter,
+}
+
+
+def sniff_format(path) -> str:
+    """Guess the format from the filename (ignoring any ``.gz``)."""
+    name = Path(path).name.lower()
+    if name.endswith(".gz"):
+        name = name[:-3]
+    if name.endswith((".champsim", ".trace", ".bin", ".crc2")):
+        return "champsim"
+    if name.endswith((".memtrace", ".memtrace.txt")) or "memtrace" in name:
+        return "memtrace"
+    if name.endswith(".csv"):
+        return "csv"
+    raise ValueError(
+        f"cannot infer trace format from {Path(path).name!r}; pass "
+        f"format= explicitly (one of {sorted(_ADAPTERS)})"
+    )
+
+
+def open_adapter(path, format: str = "auto", **kwargs) -> TraceAdapter:
+    """Build the right adapter for ``path`` (``format="auto"`` sniffs)."""
+    if format == "auto":
+        format = sniff_format(path)
+    try:
+        cls = _ADAPTERS[format]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {format!r} (one of {sorted(_ADAPTERS)})"
+        ) from None
+    return cls(path, **kwargs)

@@ -1,0 +1,101 @@
+"""Corrupt-input taxonomy for external trace ingestion.
+
+Every error carries machine-readable provenance — ``path`` and the
+byte ``offset`` where the problem starts (offsets are *uncompressed*
+stream offsets for gzip inputs, so they are stable across compression
+settings) — and renders it as ``path:offset`` in the message, mirroring
+the ``file:line`` convention of :class:`repro.traces.io.TraceFormatError`
+(the common base, so existing ``except TraceFormatError`` handlers keep
+working).
+
+Two severity classes drive the ``strict``/``skip``/``quarantine``
+policies in :mod:`repro.traces.ingest.adapters`:
+
+* **Record-level** (:class:`MalformedRecord`, :class:`OutOfRangeAddress`)
+  — one record is bad but the stream remains parseable.  ``skip`` drops
+  the record; ``quarantine`` drops it *and* journals its byte range.
+* **Stream-level** (:class:`TruncatedInput`, :class:`ShortRead`) — the
+  input cannot yield further records.  ``skip`` ends the stream early;
+  ``quarantine`` ends it early and journals the unread tail.
+
+``strict`` raises the typed error in both classes.
+"""
+
+from __future__ import annotations
+
+from ..io import TraceFormatError
+
+__all__ = [
+    "IngestError",
+    "TruncatedInput",
+    "MalformedRecord",
+    "OutOfRangeAddress",
+    "ShortRead",
+    "RECORD_LEVEL_ERRORS",
+    "STREAM_LEVEL_ERRORS",
+]
+
+
+class IngestError(TraceFormatError):
+    """Base class for corrupt external-trace input.
+
+    ``offset`` is the byte offset (uncompressed) where the problem
+    begins; ``length`` the affected span when known (e.g. one binary
+    record), else None; ``record_index`` the ordinal of the offending
+    record when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path,
+        offset: int,
+        length: int | None = None,
+        record_index: int | None = None,
+    ) -> None:
+        super().__init__(f"{path}:{offset}: {message}")
+        self.path = str(path)
+        self.offset = int(offset)
+        self.length = length
+        self.record_index = record_index
+
+    def byte_range(self) -> tuple[int, int | None]:
+        """``(start, end)`` of the affected bytes; ``end`` None = to EOF."""
+        if self.length is None:
+            return self.offset, None
+        return self.offset, self.offset + self.length
+
+
+class TruncatedInput(IngestError):
+    """The input ended mid-record or mid-compression-stream.
+
+    Raised for a trailing partial binary record, or when a gzip stream
+    hits EOF before its end-of-stream marker (the classic
+    crash-while-writing corruption).
+    """
+
+
+class MalformedRecord(IngestError):
+    """A record violates the format: bad magic/reserved bytes, an
+    unparseable text line, an unknown access kind."""
+
+
+class OutOfRangeAddress(IngestError):
+    """A structurally valid record carries an address (or PC) outside
+    the configured address-space bound — almost always bit corruption."""
+
+
+class ShortRead(IngestError):
+    """The device returned an I/O error mid-stream (``OSError``), as
+    distinct from clean truncation: the data may exist but could not be
+    read."""
+
+
+#: Errors confined to a single record: non-strict policies drop the
+#: record and keep parsing.
+RECORD_LEVEL_ERRORS = (MalformedRecord, OutOfRangeAddress)
+
+#: Errors that end the stream: non-strict policies stop early (after
+#: journaling, in quarantine mode).
+STREAM_LEVEL_ERRORS = (TruncatedInput, ShortRead)

@@ -1,0 +1,109 @@
+"""Bounded-memory byte/line readers for external trace files.
+
+:func:`open_stream` opens plain or gzip files (sniffed by magic, not
+extension) as a binary stream; :class:`OffsetReader` wraps it with
+uncompressed-offset tracking, loop-reads that tolerate benign short
+reads, and translation of low-level failures into the typed taxonomy:
+
+* ``EOFError``/``zlib.error`` from a truncated or corrupted gzip
+  stream -> :class:`~repro.traces.ingest.errors.TruncatedInput`
+* ``OSError`` from the device -> :class:`~repro.traces.ingest.errors.ShortRead`
+
+I/O fault injection composes underneath: pass ``faults``
+(:class:`repro.robust.faults.IOFaults`) to :func:`open_stream` and the
+raw file is wrapped in a :class:`repro.robust.faults.FaultyFile`
+*before* gzip decoding, so injected bit flips and truncation corrupt
+the compressed stream exactly as real disk damage would.
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+from pathlib import Path
+
+from .errors import ShortRead, TruncatedInput
+
+__all__ = ["GZIP_MAGIC", "OffsetReader", "open_stream"]
+
+GZIP_MAGIC = b"\x1f\x8b"
+
+
+def open_stream(path, faults=None):
+    """Open ``path`` for binary reading, transparently gunzipping.
+
+    Gzip is detected by the 2-byte magic, so misnamed files still
+    decode.  ``faults`` (a :class:`repro.robust.faults.IOFaults` plan)
+    wraps the raw file in a fault-injecting proxy beneath the gzip
+    layer.
+    """
+    path = Path(path)
+    raw = open(path, "rb")
+    try:
+        magic = raw.read(2)
+        raw.seek(0)
+    except OSError:
+        raw.close()
+        raise
+    if faults is not None:
+        from ...robust.faults import FaultyFile
+
+        raw = FaultyFile(raw, faults)
+    if magic == GZIP_MAGIC:
+        return gzip.GzipFile(fileobj=raw, mode="rb")
+    return raw
+
+
+class OffsetReader:
+    """Loop-reading wrapper tracking the uncompressed byte offset.
+
+    A short ``read`` from the underlying file (fewer bytes than asked,
+    but not EOF) is retried until the request is filled or the stream
+    ends — partial returns from pipes, network filesystems or injected
+    short reads are not errors.  Only a genuine device error
+    (``OSError``) or a broken compression stream surfaces, as the typed
+    taxonomy.
+    """
+
+    def __init__(self, stream, path) -> None:
+        self._stream = stream
+        self.path = str(path)
+        self.offset = 0
+
+    def read(self, n: int) -> bytes:
+        """Read up to ``n`` bytes (fewer only at end of stream)."""
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            try:
+                piece = self._stream.read(n - got)
+            except (EOFError, zlib.error, gzip.BadGzipFile) as error:
+                # BadGzipFile subclasses OSError but means a corrupted
+                # compressed stream, not a device failure.
+                raise TruncatedInput(
+                    f"compressed stream ended unexpectedly ({error})",
+                    path=self.path,
+                    offset=self.offset + got,
+                ) from error
+            except OSError as error:
+                raise ShortRead(
+                    f"read failed: {error}",
+                    path=self.path,
+                    offset=self.offset + got,
+                ) from error
+            if not piece:
+                break
+            parts.append(piece)
+            got += len(piece)
+        data = b"".join(parts)
+        self.offset += len(data)
+        return data
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "OffsetReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

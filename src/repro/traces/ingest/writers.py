@@ -1,0 +1,72 @@
+"""Writers for the supported external trace formats.
+
+Primarily for fixtures, round-trip conformance checks and exporting
+synthetic benchmarks to other tools.  Paths ending in ``.gz`` are
+gzip-compressed (``mtime=0`` so outputs are byte-reproducible); all
+writes go through :func:`repro.traces.io.atomic_replace`, so a crash
+mid-write never leaves a half-written trace behind.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from ..io import atomic_replace
+
+__all__ = ["write_champsim", "write_csv_stream", "write_memtrace"]
+
+
+def _write_bytes(path: Path, payload: bytes) -> None:
+    if path.name.endswith(".gz"):
+        import io as _io
+
+        buffer = _io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as gz:
+            gz.write(payload)
+        payload = buffer.getvalue()
+    with atomic_replace(path) as tmp:
+        tmp.write_bytes(payload)
+
+
+def write_champsim(trace, path) -> Path:
+    """Serialize as 24-byte binary records (see ``CHAMPSIM_RECORD``)."""
+    path = Path(path)
+    n = trace.num_accesses
+    raw = np.zeros((n, 24), dtype=np.uint8)
+    raw[:, 0:8] = trace.pcs.astype("<u8").view(np.uint8).reshape(n, 8)
+    raw[:, 8:16] = trace.addresses.astype("<u8").view(np.uint8).reshape(n, 8)
+    raw[:, 16] = trace.is_write.astype(np.uint8)
+    _write_bytes(path, raw.tobytes())
+    return path
+
+
+def write_memtrace(trace, path, access_size: int = 8) -> Path:
+    """Serialize as DynamoRIO memtrace text lines."""
+    path = Path(path)
+    lines = [
+        "0x{:x}: {} {} 0x{:x}".format(
+            int(pc), "W" if w else "R", access_size, int(addr)
+        )
+        for pc, addr, w in zip(
+            trace.pcs.tolist(), trace.addresses.tolist(), trace.is_write.tolist()
+        )
+    ]
+    _write_bytes(path, ("\n".join(lines) + "\n").encode("ascii"))
+    return path
+
+
+def write_csv_stream(trace, path) -> Path:
+    """Serialize as the repo's ``pc,address,is_write`` CSV."""
+    path = Path(path)
+    lines = ["pc,address,is_write"]
+    lines.extend(
+        f"{int(pc):#x},{int(addr):#x},{int(w)}"
+        for pc, addr, w in zip(
+            trace.pcs.tolist(), trace.addresses.tolist(), trace.is_write.tolist()
+        )
+    )
+    _write_bytes(path, ("\n".join(lines) + "\n").encode("ascii"))
+    return path

@@ -1,0 +1,124 @@
+"""Chunk-feedable kernel contract: any chunking == one shot, bit-exact.
+
+``make_stream_kernel`` and ``StreamingLLCFilter`` are the substrate of
+checkpointed resumable ingestion, so the contract is strict: feeding
+the same accesses in any chunking — including a pickle round trip of
+all engine state mid-stream — must reproduce the one-shot stats and
+serialized state exactly.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache.fastsim import (
+    FAST_PATH_POLICIES,
+    REFERENCE_ONLY_POLICIES,
+    StreamingLLCFilter,
+    fast_filter_to_llc_stream,
+    make_stream_kernel,
+    replay,
+)
+from repro.traces.suite import get_trace
+
+TRACE = get_trace("omnetpp", length=12000, seed=2)
+STREAM = fast_filter_to_llc_stream(TRACE)
+
+
+def _chunks_of(stream, size):
+    for start in range(0, len(stream.pcs), size):
+        yield _View(stream, start, min(start + size, len(stream.pcs)))
+
+
+class _View:
+    """Column slice duck-typing the kernel feed contract."""
+
+    def __init__(self, stream, start, stop):
+        self.name = stream.name
+        self.pcs = stream.pcs[start:stop]
+        self.addresses = stream.addresses[start:stop]
+        self.kinds = stream.kinds[start:stop]
+        self.cores = stream.cores[start:stop]
+
+    def __len__(self):
+        return len(self.pcs)
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+@pytest.mark.parametrize("chunk", [977, 4096])
+def test_chunked_feed_matches_one_shot(policy, chunk):
+    reference = replay(STREAM, policy)
+    kernel = make_stream_kernel(policy)
+    for piece in _chunks_of(STREAM, chunk):
+        kernel.feed(piece)
+    assert kernel.finish() == reference
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+def test_pickle_round_trip_mid_stream(policy):
+    reference = replay(STREAM, policy)
+    kernel = make_stream_kernel(policy)
+    pieces = list(_chunks_of(STREAM, 1499))
+    for i, piece in enumerate(pieces):
+        kernel.feed(piece)
+        if i == len(pieces) // 2:
+            kernel = pickle.loads(pickle.dumps(kernel))
+    assert kernel.finish() == reference
+
+
+@pytest.mark.parametrize("policy", FAST_PATH_POLICIES)
+def test_serialized_state_is_canonical(policy):
+    # pickle(unpickle(pickle(k))) must equal pickle(k) byte-for-byte —
+    # checkpoint digests of resumed runs depend on it.
+    kernel = make_stream_kernel(policy)
+    for piece in _chunks_of(STREAM, 2048):
+        kernel.feed(piece)
+    blob = pickle.dumps(kernel)
+    assert pickle.dumps(pickle.loads(blob)) == blob
+
+
+@pytest.mark.parametrize("policy", REFERENCE_ONLY_POLICIES)
+def test_reference_fallback_kernel(policy):
+    reference = replay(STREAM, policy, engine="reference")
+    kernel = make_stream_kernel(policy)
+    for piece in _chunks_of(STREAM, 3000):
+        kernel.feed(piece)
+    assert kernel.finish() == reference
+
+
+def test_fast_engine_raises_for_reference_only():
+    with pytest.raises(ValueError, match="no fast-path kernel"):
+        make_stream_kernel(REFERENCE_ONLY_POLICIES[0], engine="fast")
+    with pytest.raises(ValueError, match="unknown engine"):
+        make_stream_kernel("lru", engine="warp")
+
+
+@pytest.mark.parametrize("chunk", [1, 777, 5000])
+def test_streaming_filter_matches_fast_filter(chunk):
+    whole = fast_filter_to_llc_stream(TRACE)
+    filt = StreamingLLCFilter(name=TRACE.name)
+    pcs_parts, addr_parts = [], []
+    for start in range(0, TRACE.num_accesses, chunk):
+        out = filt.feed(
+            TRACE.pcs[start : start + chunk],
+            TRACE.addresses[start : start + chunk],
+            TRACE.is_write[start : start + chunk],
+        )
+        pcs_parts.append(out.pcs)
+        addr_parts.append(out.addresses)
+    assert np.array_equal(np.concatenate(pcs_parts), whole.pcs)
+    assert np.array_equal(np.concatenate(addr_parts), whole.addresses)
+    assert filt.l1_hits == whole.l1_hits
+    assert filt.l2_hits == whole.l2_hits
+
+
+def test_streaming_filter_pickles_mid_stream():
+    whole = fast_filter_to_llc_stream(TRACE)
+    filt = StreamingLLCFilter(name=TRACE.name)
+    half = TRACE.num_accesses // 2
+    filt.feed(TRACE.pcs[:half], TRACE.addresses[:half], TRACE.is_write[:half])
+    filt = pickle.loads(pickle.dumps(filt))
+    filt.feed(TRACE.pcs[half:], TRACE.addresses[half:], TRACE.is_write[half:])
+    assert filt.l1_hits == whole.l1_hits
+    assert filt.l2_hits == whole.l2_hits

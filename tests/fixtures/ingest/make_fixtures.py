@@ -1,0 +1,84 @@
+"""Regenerate the checked-in ingest fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/fixtures/ingest/make_fixtures.py
+
+Everything is deterministic (seeded traces, gzip mtime=0), so a rerun
+reproduces the committed bytes exactly.  The corrupted variants each
+exercise one class of the ingest error taxonomy:
+
+* ``corrupt-record.champsim.gz`` — three damaged records in an
+  otherwise clean stream: kind byte 7 (record 100), nonzero reserved
+  bytes (record 200), address above 2^52 (record 300).
+* ``corrupt-truncated.champsim.gz`` — a *valid* gzip stream whose
+  decompressed payload stops 13 bytes into record 100 (capture died
+  mid-write, then the file was compressed).
+* ``corrupt-bitrot.champsim.gz`` — the clean gzip file with one flipped
+  byte in the deflate stream (on-disk bit rot; decompression fails).
+* ``corrupt-lines.memtrace.gz`` — memtrace text with three unparseable
+  lines spliced in.
+"""
+
+import gzip
+import io
+import sys
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parents[2] / "src"))
+
+from repro.traces.ingest import write_champsim, write_memtrace  # noqa: E402
+from repro.traces.suite import get_trace  # noqa: E402
+
+TRACE_LENGTH = 3000
+SEED = 11
+
+
+def _gzip_bytes(payload: bytes) -> bytes:
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as gz:
+        gz.write(payload)
+    return buffer.getvalue()
+
+
+def main() -> None:
+    trace = get_trace("mcf", length=TRACE_LENGTH, seed=SEED)
+
+    clean_champ = write_champsim(trace, HERE / "clean.champsim.gz")
+    write_memtrace(trace, HERE / "clean.memtrace.gz")
+
+    payload = bytearray(gzip.decompress(clean_champ.read_bytes()))
+    payload[100 * 24 + 16] = 7  # record 100: impossible access kind
+    payload[200 * 24 + 20] = 1  # record 200: reserved bytes not zero
+    # record 300: address with bit 55 set (above the 2^52 plausibility bound)
+    payload[300 * 24 + 8 : 300 * 24 + 16] = int(1 << 55).to_bytes(8, "little")
+    (HERE / "corrupt-record.champsim.gz").write_bytes(_gzip_bytes(bytes(payload)))
+
+    clean_payload = gzip.decompress(clean_champ.read_bytes())
+    (HERE / "corrupt-truncated.champsim.gz").write_bytes(
+        _gzip_bytes(clean_payload[: 100 * 24 + 13])
+    )
+
+    rotten = bytearray(clean_champ.read_bytes())
+    rotten[len(rotten) // 2] ^= 0x10
+    (HERE / "corrupt-bitrot.champsim.gz").write_bytes(bytes(rotten))
+
+    mem_lines = gzip.decompress(
+        (HERE / "clean.memtrace.gz").read_bytes()
+    ).splitlines()
+    mem_lines.insert(50, b"0xdeadbeef: X 8 0x1000")  # unknown access kind
+    mem_lines.insert(150, b"not a memtrace line at all")
+    mem_lines.insert(250, b"0xcafe: R eight 0x2000")  # non-integer size
+    (HERE / "corrupt-lines.memtrace.gz").write_bytes(
+        _gzip_bytes(b"\n".join(mem_lines) + b"\n")
+    )
+
+    for path in sorted(HERE.glob("*.gz")):
+        print(f"{path.name}: {path.stat().st_size} bytes")
+
+
+if __name__ == "__main__":
+    main()

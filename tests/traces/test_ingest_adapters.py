@@ -1,0 +1,295 @@
+"""Adapter unit tests over the checked-in gzip fixtures.
+
+The fixtures under ``tests/fixtures/ingest/`` are regenerable with
+``make_fixtures.py`` (same directory); each corrupted variant targets
+one class of the ingest error taxonomy.
+"""
+
+import gzip
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.robust.supervise import CrashJournal
+from repro.traces.ingest import (
+    CHAMPSIM_RECORD,
+    ChampSimAdapter,
+    CSVAdapter,
+    IngestError,
+    MalformedRecord,
+    MemtraceAdapter,
+    OutOfRangeAddress,
+    TruncatedInput,
+    open_adapter,
+    sniff_format,
+    write_champsim,
+    write_csv_stream,
+    write_memtrace,
+)
+from repro.traces.suite import get_trace
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "ingest"
+TRACE = get_trace("mcf", length=3000, seed=11)  # what make_fixtures.py wrote
+
+
+def _assert_columns(trace, other):
+    assert np.array_equal(trace.pcs, other.pcs)
+    assert np.array_equal(trace.addresses, other.addresses)
+    assert np.array_equal(trace.is_write, other.is_write)
+
+
+class TestCleanFixtures:
+    def test_champsim_gzip_roundtrip(self):
+        adapter = open_adapter(FIXTURES / "clean.champsim.gz")
+        assert adapter.format == "champsim"
+        _assert_columns(TRACE, adapter.read_trace())
+        assert adapter.stats.records_read == 3000
+        assert not adapter.stats.truncated
+
+    def test_memtrace_gzip_roundtrip(self):
+        adapter = open_adapter(FIXTURES / "clean.memtrace.gz")
+        assert adapter.format == "memtrace"
+        _assert_columns(TRACE, adapter.read_trace())
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv_stream(TRACE, tmp_path / "t.csv")
+        adapter = open_adapter(path)
+        assert adapter.format == "csv"
+        _assert_columns(TRACE, adapter.read_trace())
+
+    def test_plain_files_too(self, tmp_path):
+        for writer, name in (
+            (write_champsim, "t.champsim"),
+            (write_memtrace, "t.memtrace"),
+        ):
+            path = writer(TRACE, tmp_path / name)
+            _assert_columns(TRACE, open_adapter(path).read_trace())
+
+    def test_gzip_detected_by_magic_not_extension(self, tmp_path):
+        # A gzip trace with no .gz suffix still decodes.
+        data = (FIXTURES / "clean.champsim.gz").read_bytes()
+        path = tmp_path / "misnamed.champsim"
+        path.write_bytes(data)
+        adapter = open_adapter(path)
+        assert adapter.read_trace().num_accesses == 3000
+
+    def test_chunk_boundaries(self):
+        adapter = open_adapter(FIXTURES / "clean.champsim.gz", chunk_records=700)
+        chunks = list(adapter.chunks())
+        assert [c.start_record for c in chunks] == [0, 700, 1400, 2100, 2800]
+        assert [len(c) for c in chunks] == [700, 700, 700, 700, 200]
+        assert adapter.stats.chunks == 5
+        assert adapter.stats.bytes_read == 3000 * CHAMPSIM_RECORD
+
+
+class TestSniffing:
+    @pytest.mark.parametrize(
+        "name, fmt",
+        [
+            ("a.champsim", "champsim"),
+            ("a.trace.gz", "champsim"),
+            ("a.crc2", "champsim"),
+            ("a.memtrace.gz", "memtrace"),
+            ("drmemtrace.app.txt", "memtrace"),
+            ("a.csv", "csv"),
+            ("a.csv.gz", "csv"),
+        ],
+    )
+    def test_known_suffixes(self, name, fmt):
+        assert sniff_format(name) == fmt
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(ValueError, match="cannot infer"):
+            sniff_format("mystery.dat")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            open_adapter("a.csv", format="parquet")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ChampSimAdapter(FIXTURES / "clean.champsim.gz", on_error="ignore")
+
+
+class TestCorruptRecords:
+    """corrupt-record.champsim.gz: records 100/200/300 damaged."""
+
+    PATH = FIXTURES / "corrupt-record.champsim.gz"
+
+    def test_strict_names_file_and_offset(self):
+        adapter = open_adapter(self.PATH, on_error="strict")
+        with pytest.raises(MalformedRecord) as info:
+            list(adapter.chunks())
+        error = info.value
+        assert error.offset == 100 * CHAMPSIM_RECORD
+        assert error.record_index == 100
+        assert str(self.PATH) in str(error)
+        assert f":{error.offset}:" in str(error)
+        assert error.byte_range() == (2400, 2424)
+
+    def test_strict_out_of_range_when_only_damage(self, tmp_path):
+        # Rewrite with only the range-violating record kept.
+        payload = bytearray(gzip.decompress(self.PATH.read_bytes()))
+        payload[100 * 24 + 16] = 0
+        payload[200 * 24 + 20] = 0
+        path = tmp_path / "range.champsim"
+        path.write_bytes(bytes(payload))
+        with pytest.raises(OutOfRangeAddress) as info:
+            list(open_adapter(path, on_error="strict").chunks())
+        assert info.value.record_index == 300
+
+    def test_skip_drops_exactly_three(self):
+        adapter = open_adapter(self.PATH, on_error="skip")
+        trace = adapter.read_trace()
+        assert adapter.stats.records_skipped == 3
+        assert adapter.stats.records_read == 2997
+        assert trace.num_accesses == 2997
+        # Every survivor matches the clean trace with rows 100/200/300 cut.
+        keep = np.ones(3000, dtype=bool)
+        keep[[100, 200, 300]] = False
+        assert np.array_equal(trace.addresses, TRACE.addresses[keep])
+
+    def test_quarantine_journals_provenance(self, tmp_path):
+        journal = CrashJournal(tmp_path / "q.jsonl")
+        adapter = open_adapter(self.PATH, on_error="quarantine", journal=journal)
+        adapter.read_trace()
+        assert adapter.stats.records_quarantined == 3
+        assert adapter.stats.quarantined_ranges == [
+            (2400, 2424), (4800, 4824), (7200, 7224),
+        ]
+        entries = [
+            json.loads(line)
+            for line in (tmp_path / "q.jsonl").read_text().splitlines()
+        ]
+        assert len(entries) == 3
+        for entry, start in zip(entries, (2400, 4800, 7200)):
+            assert entry["event"] == "ingest.quarantine"
+            assert entry["path"] == str(self.PATH)
+            assert entry["start_offset"] == start
+            assert entry["end_offset"] == start + 24
+        kinds = {entry["error"] for entry in entries}
+        assert kinds == {"MalformedRecord", "OutOfRangeAddress"}
+
+    def test_quarantine_without_journal_still_records_ranges(self):
+        adapter = open_adapter(self.PATH, on_error="quarantine")
+        adapter.read_trace()
+        assert len(adapter.stats.quarantined_ranges) == 3
+
+
+class TestTruncation:
+    def test_strict_truncated_payload(self):
+        adapter = open_adapter(
+            FIXTURES / "corrupt-truncated.champsim.gz", on_error="strict"
+        )
+        with pytest.raises(TruncatedInput) as info:
+            list(adapter.chunks())
+        assert info.value.offset == 100 * CHAMPSIM_RECORD
+        assert info.value.length == 13
+
+    def test_skip_keeps_whole_records(self):
+        adapter = open_adapter(
+            FIXTURES / "corrupt-truncated.champsim.gz", on_error="skip"
+        )
+        trace = adapter.read_trace()
+        assert trace.num_accesses == 100
+        assert adapter.stats.truncated
+        assert np.array_equal(trace.addresses, TRACE.addresses[:100])
+
+    def test_strict_bitrot_is_truncated_input(self):
+        adapter = open_adapter(
+            FIXTURES / "corrupt-bitrot.champsim.gz", on_error="strict"
+        )
+        with pytest.raises(TruncatedInput):
+            list(adapter.chunks())
+
+    def test_quarantine_bitrot_journals_tail(self, tmp_path):
+        journal = CrashJournal(tmp_path / "q.jsonl")
+        adapter = open_adapter(
+            FIXTURES / "corrupt-bitrot.champsim.gz",
+            on_error="quarantine",
+            journal=journal,
+        )
+        adapter.read_trace()
+        assert adapter.stats.truncated
+        entries = (tmp_path / "q.jsonl").read_text().splitlines()
+        assert len(entries) == 1
+        assert json.loads(entries[0])["error"] == "TruncatedInput"
+
+
+class TestMemtraceLines:
+    PATH = FIXTURES / "corrupt-lines.memtrace.gz"
+
+    def test_strict_names_line_offset(self):
+        adapter = open_adapter(self.PATH, on_error="strict")
+        with pytest.raises(MalformedRecord) as info:
+            list(adapter.chunks())
+        error = info.value
+        # The reported range covers exactly the bad line (+ newline).
+        payload = gzip.decompress(self.PATH.read_bytes())
+        start, end = error.byte_range()
+        assert payload[start:end] == b"0xdeadbeef: X 8 0x1000\n"
+
+    def test_skip_drops_exactly_three(self):
+        adapter = open_adapter(self.PATH, on_error="skip")
+        trace = adapter.read_trace()
+        assert adapter.stats.records_skipped == 3
+        _assert_columns(TRACE, trace)  # survivors are the clean trace
+
+
+class TestCSVParsing:
+    def test_header_and_bases(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "pc,address,is_write\n"
+            "0x10,0x40,1\n"
+            "16,64,w\n"
+            "0o20,0x40,false\n"
+        )
+        trace = open_adapter(path).read_trace()
+        assert trace.pcs.tolist() == [16, 16, 16]
+        assert trace.addresses.tolist() == [64, 64, 64]
+        assert trace.is_write.tolist() == [True, True, False]
+
+    def test_headerless_data_parses(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0x10,0x40,1\n0x20,0x80,0\n")
+        trace = open_adapter(path).read_trace()
+        assert trace.num_accesses == 2
+
+    def test_bad_row_strict(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("pc,address,is_write\n0x10,0x40,maybe\n")
+        with pytest.raises(MalformedRecord, match="is_write"):
+            list(open_adapter(path, on_error="strict").chunks())
+
+
+class TestTaxonomy:
+    def test_all_errors_are_ingest_errors(self):
+        from repro.traces.ingest import (
+            RECORD_LEVEL_ERRORS,
+            STREAM_LEVEL_ERRORS,
+            ShortRead,
+        )
+
+        for cls in (*RECORD_LEVEL_ERRORS, *STREAM_LEVEL_ERRORS):
+            assert issubclass(cls, IngestError)
+        assert set(RECORD_LEVEL_ERRORS) == {MalformedRecord, OutOfRangeAddress}
+        assert set(STREAM_LEVEL_ERRORS) == {TruncatedInput, ShortRead}
+
+    def test_message_carries_provenance(self):
+        error = MalformedRecord(
+            "boom", path="/x/t.bin", offset=48, length=24, record_index=2
+        )
+        assert str(error) == "/x/t.bin:48: boom"
+        assert error.byte_range() == (48, 72)
+
+    def test_writer_outputs_are_deterministic(self, tmp_path):
+        a = write_champsim(TRACE, tmp_path / "a.champsim.gz").read_bytes()
+        b = write_champsim(TRACE, tmp_path / "b.champsim.gz").read_bytes()
+        assert a == b
+
+    def test_adapters_constructible_directly(self):
+        assert MemtraceAdapter(FIXTURES / "clean.memtrace.gz").format == "memtrace"
+        assert CSVAdapter("x.csv").format == "csv"

@@ -1,0 +1,176 @@
+"""Hypothesis properties for the ingest error policies.
+
+The contract under test:
+
+* on a **clean** input, ``skip`` and ``quarantine`` are pure overhead —
+  their stats and output columns are identical to ``strict``'s;
+* on a **corrupted** input, ``strict`` raises a typed taxonomy error
+  whose message names ``file:offset``, while ``skip``/``quarantine``
+  finish with exactly the damaged records dropped and agree with each
+  other record-for-record.
+"""
+
+import gzip
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.ingest import (
+    CHAMPSIM_RECORD,
+    IngestError,
+    MalformedRecord,
+    open_adapter,
+    write_champsim,
+    write_csv_stream,
+    write_memtrace,
+)
+from repro.traces.trace import Trace
+
+WRITERS = {
+    "champsim": (write_champsim, ".champsim.gz"),
+    "memtrace": (write_memtrace, ".memtrace.gz"),
+    "csv": (write_csv_stream, ".csv"),
+}
+
+
+@st.composite
+def traces(draw, min_size=1, max_size=120):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    values = st.integers(min_value=0, max_value=(1 << 52) - 1)
+    pcs = draw(st.lists(values, min_size=n, max_size=n))
+    addresses = draw(st.lists(values, min_size=n, max_size=n))
+    writes = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return Trace(
+        name="prop",
+        pcs=np.array(pcs, dtype=np.uint64),
+        addresses=np.array(addresses, dtype=np.uint64),
+        is_write=np.array(writes, dtype=bool),
+    )
+
+
+def _stats_triplet(path, fmt, on_error, chunk_records):
+    adapter = open_adapter(
+        path, format=fmt, on_error=on_error, chunk_records=chunk_records
+    )
+    trace = adapter.read_trace()
+    return adapter.stats, trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    trace=traces(),
+    fmt=st.sampled_from(sorted(WRITERS)),
+    chunk_records=st.integers(min_value=1, max_value=64),
+)
+def test_clean_input_policies_agree(tmp_path_factory, trace, fmt, chunk_records):
+    tmp_path = tmp_path_factory.mktemp("clean")
+    writer, suffix = WRITERS[fmt]
+    path = writer(trace, tmp_path / f"t{suffix}")
+
+    strict_stats, strict_trace = _stats_triplet(path, fmt, "strict", chunk_records)
+    for on_error in ("skip", "quarantine"):
+        stats, got = _stats_triplet(path, fmt, on_error, chunk_records)
+        assert stats.as_dict() == strict_stats.as_dict()
+        assert np.array_equal(got.pcs, strict_trace.pcs)
+        assert np.array_equal(got.addresses, strict_trace.addresses)
+        assert np.array_equal(got.is_write, strict_trace.is_write)
+    assert strict_stats.records_read == trace.num_accesses
+    assert strict_stats.records_skipped == 0
+    assert strict_stats.records_quarantined == 0
+    assert not strict_stats.truncated
+    assert np.array_equal(strict_trace.addresses, trace.addresses)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    trace=traces(min_size=2),
+    data=st.data(),
+    chunk_records=st.integers(min_value=1, max_value=64),
+)
+def test_corrupt_champsim_record(tmp_path_factory, trace, data, chunk_records):
+    tmp_path = tmp_path_factory.mktemp("corrupt")
+    path = write_champsim(trace, tmp_path / "t.champsim")
+    victim = data.draw(
+        st.integers(min_value=0, max_value=trace.num_accesses - 1), label="victim"
+    )
+    payload = bytearray(path.read_bytes())
+    payload[victim * CHAMPSIM_RECORD + 16] = 0xFF  # impossible access kind
+    path.write_bytes(bytes(payload))
+
+    with pytest.raises(MalformedRecord) as info:
+        list(
+            open_adapter(
+                path, on_error="strict", chunk_records=chunk_records
+            ).chunks()
+        )
+    error = info.value
+    assert error.offset == victim * CHAMPSIM_RECORD
+    assert error.record_index == victim
+    assert f"{path}:{error.offset}:" in str(error)
+    assert isinstance(error, IngestError)
+
+    survivors = np.ones(trace.num_accesses, dtype=bool)
+    survivors[victim] = False
+    for on_error in ("skip", "quarantine"):
+        adapter = open_adapter(
+            path, on_error=on_error, chunk_records=chunk_records
+        )
+        got = adapter.read_trace()
+        assert got.num_accesses == trace.num_accesses - 1
+        assert np.array_equal(got.addresses, trace.addresses[survivors])
+        if on_error == "skip":
+            assert adapter.stats.records_skipped == 1
+        else:
+            assert adapter.stats.records_quarantined == 1
+            assert adapter.stats.quarantined_ranges == [
+                (victim * CHAMPSIM_RECORD, (victim + 1) * CHAMPSIM_RECORD)
+            ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=traces(min_size=2), data=st.data())
+def test_corrupt_memtrace_line(tmp_path_factory, trace, data):
+    tmp_path = tmp_path_factory.mktemp("memline")
+    path = write_memtrace(trace, tmp_path / "t.memtrace.gz")
+    lines = gzip.decompress(path.read_bytes()).splitlines()
+    victim = data.draw(
+        st.integers(min_value=0, max_value=len(lines)), label="victim"
+    )
+    lines.insert(victim, b"0x10: Q 8 0x40")
+    plain = tmp_path / "t2.memtrace"
+    plain.write_bytes(b"\n".join(lines) + b"\n")
+
+    with pytest.raises(MalformedRecord) as info:
+        list(open_adapter(plain, on_error="strict").chunks())
+    error = info.value
+    start, end = error.byte_range()
+    assert (b"\n".join(lines) + b"\n")[start:end] == b"0x10: Q 8 0x40\n"
+
+    adapter = open_adapter(plain, on_error="skip")
+    got = adapter.read_trace()
+    assert adapter.stats.records_skipped == 1
+    assert np.array_equal(got.addresses, trace.addresses)
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=traces(min_size=5), data=st.data())
+def test_truncated_champsim_tail(tmp_path_factory, trace, data):
+    tmp_path = tmp_path_factory.mktemp("trunc")
+    path = write_champsim(trace, tmp_path / "t.champsim")
+    keep_records = data.draw(
+        st.integers(min_value=1, max_value=trace.num_accesses - 1), label="keep"
+    )
+    extra = data.draw(st.integers(min_value=1, max_value=CHAMPSIM_RECORD - 1))
+    cut = keep_records * CHAMPSIM_RECORD + extra
+    path.write_bytes(path.read_bytes()[:cut])
+
+    with pytest.raises(IngestError):
+        list(open_adapter(path, on_error="strict").chunks())
+
+    adapter = open_adapter(path, on_error="quarantine")
+    got = adapter.read_trace()
+    assert adapter.stats.truncated
+    assert got.num_accesses == keep_records
+    assert np.array_equal(got.addresses, trace.addresses[:keep_records])

@@ -1,0 +1,137 @@
+"""Checkpointed resumable replay: bit-exactness under SIGKILL chaos.
+
+A worker process replays the checked-in ChampSim fixture with
+checkpointing and SIGKILLs *itself* immediately after the Nth
+checkpoint lands (a genuine uncatchable kill — no cleanup handlers
+run).  The parent then resumes from the store and asserts the final
+miss counts and the engine-state digest are bit-identical to an
+uninterrupted run.
+"""
+
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.robust.store import ArtifactStore
+from repro.traces.ingest import stream_replay
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURE = REPO / "tests" / "fixtures" / "ingest" / "clean.champsim.gz"
+
+CHUNK = 200
+EVERY = 500  # checkpoints land at records 600, 1200, 1800, 2400, 3000
+
+WORKER = textwrap.dedent(
+    """
+    import os, signal, sys
+    from repro.robust.store import ArtifactStore
+    from repro.traces.ingest import stream_replay
+
+    path, policy, store_dir, kill_after = sys.argv[1:]
+
+    class KillingStore(ArtifactStore):
+        puts = 0
+        def put(self, *args, **kwargs):
+            out = super().put(*args, **kwargs)
+            KillingStore.puts += 1
+            if KillingStore.puts == int(kill_after):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return out
+
+    stream_replay(
+        path, policy, chunk_records={chunk}, checkpoint_every={every},
+        store=KillingStore(store_dir),
+    )
+    """
+).format(chunk=CHUNK, every=EVERY)
+
+
+def _run_worker(policy, store_dir, kill_after):
+    proc = subprocess.run(
+        [sys.executable, "-c", WORKER, str(FIXTURE), policy,
+         str(store_dir), str(kill_after)],
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        timeout=300,
+    )
+    return proc
+
+
+@pytest.mark.parametrize(
+    "policy, kill_after",
+    [("lru", 1), ("glider", 1), ("glider", 3)],
+)
+def test_sigkill_then_resume_is_bit_exact(tmp_path, policy, kill_after):
+    full = stream_replay(
+        FIXTURE, policy, chunk_records=CHUNK, checkpoint_every=EVERY,
+        store=ArtifactStore(tmp_path / "full"),
+    )
+
+    chaos_dir = tmp_path / "chaos"
+    proc = _run_worker(policy, chaos_dir, kill_after)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+    resumed = stream_replay(
+        FIXTURE, policy, chunk_records=CHUNK, checkpoint_every=EVERY,
+        store=ArtifactStore(chaos_dir), resume=True,
+    )
+    assert resumed.resumed_from == kill_after * 600
+    assert resumed.state_digest == full.state_digest
+    assert resumed.stats == full.stats
+    assert resumed.ingest.as_dict() == full.ingest.as_dict()
+    assert resumed.records == full.records == 3000
+    assert resumed.llc_accesses == full.llc_accesses
+
+
+def test_resume_without_checkpoint_runs_fresh(tmp_path):
+    result = stream_replay(
+        FIXTURE, "lru", chunk_records=CHUNK,
+        store=ArtifactStore(tmp_path / "empty"), resume=True,
+    )
+    assert result.resumed_from is None
+    assert result.records == 3000
+
+
+def test_resume_with_wrong_chunking_is_rejected(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    # checkpoint_every=700 -> last checkpoint at record 2400 (mid-trace);
+    # a cursor at EOF would align with any chunking's final boundary.
+    stream_replay(
+        FIXTURE, "lru", chunk_records=CHUNK, checkpoint_every=700, store=store
+    )
+    with pytest.raises(ValueError, match="does not align"):
+        stream_replay(
+            FIXTURE, "lru", chunk_records=CHUNK - 7, store=store, resume=True
+        )
+
+
+def test_checkpoint_requires_store():
+    with pytest.raises(ValueError, match="requires an ArtifactStore"):
+        stream_replay(FIXTURE, "lru", checkpoint_every=100)
+    with pytest.raises(ValueError, match="requires an ArtifactStore"):
+        stream_replay(FIXTURE, "lru", resume=True)
+
+
+def test_resume_past_end_detects_input_change(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    stream_replay(
+        FIXTURE, "lru", chunk_records=CHUNK, checkpoint_every=EVERY, store=store
+    )
+    # Same run key, much shorter file: the cursor lies beyond its end.
+    short = tmp_path / "short.champsim.gz"
+    import gzip, io
+
+    payload = gzip.decompress(FIXTURE.read_bytes())[: 24 * 400]
+    buf = io.BytesIO()
+    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
+        gz.write(payload)
+    short.write_bytes(buf.getvalue())
+    with pytest.raises(ValueError, match="beyond the end"):
+        stream_replay(
+            short, "lru", chunk_records=CHUNK, store=store, resume=True,
+            run_key="clean.champsim.gz--lru--strict",
+        )
