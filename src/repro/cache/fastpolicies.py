@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs import insight as obs_insight
 from .config import CacheConfig
 from .stats import CacheStats
 
@@ -121,6 +122,18 @@ def _sampled_flags(stream, sampler: "_FlatOptGenSampler") -> list[bool]:
     flags[np.fromiter(sampler.sampled, dtype=np.int64)] = True
     lines = stream.addresses.astype(np.uint64) >> np.uint64(6)
     return flags[(lines % np.uint64(sampler.num_sets)).astype(np.int64)].tolist()
+
+
+def _insight_recorder(config: CacheConfig):
+    """The active decision recorder iff it matches ``config``'s geometry.
+
+    Resolved once per :meth:`feed` call, never per access — the
+    disabled path costs the kernels exactly this one check.
+    """
+    rec = obs_insight.get_recorder()
+    if rec is not None and not rec.matches(config.num_sets, config.associativity):
+        rec = None
+    return rec
 
 
 # -- flat sampled-set OPTgen --------------------------------------------------
@@ -358,6 +371,13 @@ class _DRRIPKernel:
 
     def feed(self, stream, record=None) -> None:
         _drrip_feed(self, stream, record)
+        rec = _insight_recorder(self.config)
+        if rec is not None:
+            rec.record_model_state(
+                "drrip",
+                psel=self.psel,
+                psel_fraction=self.psel / max(1, self.psel_max),
+            )
 
     def finish(self) -> CacheStats:
         return _finish_stats(
@@ -533,6 +553,17 @@ class _ShipKernel:
 
     def feed(self, stream, record=None) -> None:
         _ship_feed(self, stream, record)
+        rec = _insight_recorder(self.config)
+        if rec is not None:
+            shct = self.shct
+            cmax = self.counter_max
+            rec.record_model_state(
+                "ship++" if self.plus else "ship",
+                shct_mean=sum(shct) / len(shct),
+                shct_saturated_fraction=(
+                    sum(1 for c in shct if c == 0 or c == cmax) / len(shct)
+                ),
+            )
 
     def finish(self) -> CacheStats:
         return _finish_stats(
@@ -716,6 +747,17 @@ class _HawkeyeKernel:
 
     def feed(self, stream, record=None) -> None:
         _hawkeye_feed(self, stream, record)
+        rec = _insight_recorder(self.config)
+        if rec is not None:
+            table = self.table
+            cmax = self.counter_max
+            rec.record_model_state(
+                "hawkeye",
+                counter_mean=sum(table) / len(table),
+                counter_saturated_fraction=(
+                    sum(1 for c in table if c == 0 or c == cmax) / len(table)
+                ),
+            )
 
     def finish(self) -> CacheStats:
         return _finish_stats(
@@ -737,6 +779,17 @@ def _hawkeye_feed(kernel, stream, record) -> None:
     sampler = kernel.sampler
     samp_acc = _sampled_flags(stream, sampler)
     sampler_access = sampler.access
+    # Insight hooks: resolved once per feed; when no recorder is
+    # installed the loop pays one `is not None` test per sampled access
+    # and per eviction, nothing more.
+    rec = _insight_recorder(config)
+    if rec is not None:
+        rec_access = rec.on_demand_access
+        rec_evict = rec.on_eviction
+        rec_pcs = stream.pcs.tolist()
+        rec_tag_shift = (num_sets - 1).bit_length()
+    else:
+        rec_access = rec_evict = None
     tag_t = kernel.tag_t
     dirty_t = kernel.dirty_t
     rrpv_t = kernel.rrpv_t
@@ -753,6 +806,12 @@ def _hawkeye_feed(kernel, stream, record) -> None:
         t = tags[i]
         k = kinds[i]
         if k != _KIND_WRITEBACK and samp_acc[i]:
+            if rec_access is not None:
+                # The live prediction, read before this access's sampler
+                # events train the table — the same point in training
+                # order where the reference policy snapshots its context.
+                cnt = table[pidx[i]]
+                rec_access(lines[i], rec_pcs[i], cnt >= mid, counter=cnt)
             for tok, _ctx, label in sampler_access(lines[i], pidx[i], None):
                 c = table[tok]
                 if label:
@@ -812,6 +871,12 @@ def _hawkeye_feed(kernel, stream, record) -> None:
             ev += 1
             if ev_dirty:
                 dev += 1
+            if rec_evict is not None:
+                rec_evict(
+                    (ev_tag << rec_tag_shift) | s,
+                    predicted_friendly=fr_t[s][w],
+                    rrpv=rrpv_t[s][w],
+                )
         row[w] = t
         dirty_t[s][w] = k != _KIND_LOAD
         pi_t[s][w] = pidx[i]
@@ -923,6 +988,27 @@ class _GliderKernel:
 
     def feed(self, stream, record=None) -> None:
         _glider_feed(self, stream, record)
+        rec = _insight_recorder(self.config)
+        if rec is not None:
+            from ..core.isvm import ISVM
+
+            norm = 0
+            saturated = 0
+            active = 0
+            for entry in self.weights:
+                for v in entry:
+                    if v:
+                        active += 1
+                        norm += v if v > 0 else -v
+                        if v <= ISVM.WEIGHT_MIN or v >= ISVM.WEIGHT_MAX:
+                            saturated += 1
+            rec.record_model_state(
+                "glider",
+                isvm_weight_norm=norm,
+                isvm_saturated_weights=saturated,
+                isvm_active_weights=active,
+                threshold=self.threshold,
+            )
 
     def finish(self) -> CacheStats:
         return _finish_stats(
@@ -1000,6 +1086,15 @@ def _glider_feed(kernel, stream, record) -> None:
 
     sampler = kernel.sampler
     samp_acc = _sampled_flags(stream, sampler)
+    # Insight hooks: one `is not None` test per sampled access and per
+    # eviction when disabled.
+    rec = _insight_recorder(config)
+    if rec is not None:
+        rec_access = rec.on_demand_access
+        rec_evict = rec.on_eviction
+        rec_tag_shift = (num_sets - 1).bit_length()
+    else:
+        rec_access = rec_evict = None
     # The sampler body is inlined in the loop below (Glider trains on
     # every sampled access; the call/event-list overhead is measurable),
     # operating directly on the shared per-set state records.
@@ -1045,6 +1140,15 @@ def _glider_feed(kernel, stream, record) -> None:
             reg_pcs = reg[0]
             hist = reg[2]
             if sa:
+                if rec_access is not None:
+                    # Live prediction from the pre-insertion PCHR, read
+                    # before this access's sampler events train — the
+                    # same training-order point as the reference.
+                    e0 = weights[ei]
+                    tot0 = 0
+                    for h in hist:
+                        tot0 += e0[h]
+                    rec_access(ln, pc, tot0 >= AVERSE_SUM, margin=tot0)
                 # Inlined _FlatOptGenSampler.access(ln, ei, hist), with
                 # train() called directly in the reference event order
                 # (reuse verdict first, then stale/overflow detrains).
@@ -1191,6 +1295,12 @@ def _glider_feed(kernel, stream, record) -> None:
             ev += 1
             if ev_dirty:
                 dev += 1
+            if rec_evict is not None:
+                rec_evict(
+                    (ev_tag << rec_tag_shift) | s,
+                    predicted_friendly=fr_t[s][w],
+                    rrpv=rrpv_t[s][w],
+                )
         row[w] = t
         dirty_t[s][w] = kn != _KIND_LOAD
         ei_t[s][w] = ei

@@ -43,6 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import insight as obs_insight
 from ..obs import instrument as obs_instrument
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -745,7 +746,10 @@ def replay(
 
     When metrics/tracing are off — the default — this is one flag check
     and a tail call; the kernels themselves are never instrumented, so
-    the fast path pays nothing per access.
+    the fast path pays nothing per access.  An installed
+    :mod:`repro.obs.insight` recorder is engine-independent (the kernels
+    and reference policies feed it directly); this wrapper only mirrors
+    its gauges into the metrics registry after the run.
     """
     if not obs_metrics.ENABLED and obs_trace.get_tracer() is None:
         return _replay(stream, policy, config, engine, record, verify)
@@ -777,6 +781,9 @@ def replay(
             obs_instrument.record_policy_introspection(
                 policy, benchmark=stream.name
             )
+        recorder = obs_insight.get_recorder()
+        if recorder is not None:
+            recorder.publish()
     return stats
 
 

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from ..cache.block import AccessType, CacheLine, CacheRequest
 from ..cache.policy import ReplacementPolicy
+from ..obs import insight as obs_insight
 from ..optgen.sampler import OptGenSampler
 from .features import PCHistoryRegister
 from .isvm import Confidence, ISVMTable, Prediction
@@ -179,6 +180,14 @@ class GliderPolicy(ReplacementPolicy):
                 history=history, predicted_friendly=prediction.is_friendly
             )
             line = request.address >> 6
+            recorder = obs_insight.get_recorder()
+            if recorder is not None:
+                recorder.on_demand_access(
+                    line,
+                    request.pc,
+                    prediction.is_friendly,
+                    margin=prediction.total,
+                )
             for event in self.sampler.access(line, request.pc, context):
                 self._train(event.pc, event.context, event.label)
         self._pchr(request.core).insert(request.pc)
@@ -203,22 +212,34 @@ class GliderPolicy(ReplacementPolicy):
         invalid = self.first_invalid(ways)
         if invalid is not None:
             return invalid
+        victim_way = None
         for way, line in enumerate(ways):
             if line.policy_state.get(RRPV_KEY, MAX_RRPV) >= MAX_RRPV:
-                return way
-        victim_way = max(
-            range(len(ways)), key=lambda w: ways[w].policy_state.get(RRPV_KEY, 0)
-        )
-        if self.config.detrain_on_eviction:
+                victim_way = way
+                break
+        if victim_way is None:
+            victim_way = max(
+                range(len(ways)), key=lambda w: ways[w].policy_state.get(RRPV_KEY, 0)
+            )
+            if self.config.detrain_on_eviction:
+                line = ways[victim_way]
+                context = line.policy_state.get(CONTEXT_KEY)
+                # A predicted-friendly line evicted before reuse refutes the
+                # prediction: detrain its insertion context (Hawkeye's rule).
+                # This feedback loop is what produces scan resistance — mass
+                # demotion of a thrashing working set until a resident subset
+                # survives.
+                if context is not None and line.policy_state.get(FRIENDLY_KEY):
+                    self.isvm.train(line.pc, context, cache_friendly=False)
+        recorder = obs_insight.get_recorder()
+        if recorder is not None:
             line = ways[victim_way]
-            context = line.policy_state.get(CONTEXT_KEY)
-            # A predicted-friendly line evicted before reuse refutes the
-            # prediction: detrain its insertion context (Hawkeye's rule).
-            # This feedback loop is what produces scan resistance — mass
-            # demotion of a thrashing working set until a resident subset
-            # survives.
-            if context is not None and line.policy_state.get(FRIENDLY_KEY):
-                self.isvm.train(line.pc, context, cache_friendly=False)
+            recorder.on_eviction(
+                self.cache.line_address(set_index, line.tag) >> 6,
+                predicted_friendly=line.policy_state.get(FRIENDLY_KEY),
+                rrpv=line.policy_state.get(RRPV_KEY),
+                pc=line.pc,
+            )
         return victim_way
 
     def on_fill(self, set_index: int, way: int, request: CacheRequest) -> None:

@@ -30,12 +30,15 @@ Observability: ``--metrics-out PATH`` writes a schema-tagged metrics
 snapshot after the run (``-`` prints JSON on stdout, with all human
 output moved to stderr; a ``.prom`` suffix selects the Prometheus
 textfile format); ``--trace-out PATH`` appends Chrome-compatible span
-events to a JSONL trace log.  Both carry the run's correlation id
+events to a JSONL trace log; ``--insight-out PATH`` installs a sampled
+decision recorder (online accuracy vs a rolling OPTgen, model drift,
+worst decisions) and writes its ``repro.obs.insight/v1`` artifact — the
+input of ``obs report``.  All carry the run's correlation id
 (``--run-id`` to pin it), which is also stamped into the resume
 manifest and crash journal.  ``--jobs N`` sweeps report live per-task
 progress + ETA on stderr (``--quiet`` silences it).  The ``obs``
-subcommand (``obs summarize|diff|chrome``) renders and compares
-snapshot files — see ``python -m repro.eval obs --help``.
+subcommand (``obs summarize|diff|chrome|report``) renders and compares
+snapshot/trace/insight files — see ``python -m repro.eval obs --help``.
 
 Conformance: the ``conformance`` subcommand (``conformance
 fuzz|shrink|corpus``) runs the differential fuzzer that proves the two
@@ -68,6 +71,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..obs import insight as obs_insight
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.progress import ProgressReporter
@@ -188,6 +192,11 @@ def main(argv: list[str] | None = None) -> int:
         help="append Chrome-compatible span events to this JSONL trace log",
     )
     parser.add_argument(
+        "--insight-out", default=None, metavar="PATH",
+        help="record sampled decision telemetry during the run and write"
+        " the repro.obs.insight/v1 artifact here (render with 'obs report')",
+    )
+    parser.add_argument(
         "--run-id", default=None, metavar="ID",
         help="correlation id stamped into metrics/trace/manifest/journal"
         " (default: freshly minted)",
@@ -204,12 +213,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.run_id:
         obs_trace.set_run_id(args.run_id)
     tracer = None
-    if args.metrics_out or args.trace_out:
+    if args.metrics_out or args.trace_out or args.insight_out:
         obs_trace.current_run_id(create=True)
     if args.metrics_out:
         obs_metrics.enable()
     if args.trace_out:
         tracer = obs_trace.install(obs_trace.TraceLog(args.trace_out))
+    recorder = None
 
     # Human-readable output: stdout normally, stderr when stdout is
     # reserved for the machine-parseable snapshot, nowhere under --quiet.
@@ -233,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     cache = ArtifactCache(config, store=args.store)
     subset = _benchmarks(args)
+    if args.insight_out:
+        # The recorder must carry THIS run's LLC geometry (the scaled
+        # hierarchy follows --length): engines check matches() before
+        # reporting, so a default-shaped recorder would record nothing.
+        recorder = obs_insight.enable(config.hierarchy())
 
     supervise = SuperviseConfig(
         task_timeout=args.task_timeout,
@@ -272,6 +287,11 @@ def main(argv: list[str] | None = None) -> int:
             args, config, cache, subset, supervise, journal, runner, emit, reporter
         )
 
+    if recorder is not None:
+        obs_insight.disable()
+        recorder.publish()  # mirror gauges into the snapshot, if enabled
+        obs_insight.save_artifact(args.insight_out, recorder.to_artifact())
+        emit(f"insight artifact -> {args.insight_out}")
     if args.metrics_out:
         snapshot = obs_metrics.registry().snapshot(
             run_id=obs_trace.current_run_id(),

@@ -1,9 +1,11 @@
 """Observability: metrics, tracing, and run introspection.
 
-``repro.obs`` is a *leaf* package — it imports nothing from the rest of
-``repro`` so every other layer (cache, core, ml, robust, perf, eval)
-can depend on it without cycles.  Collection is opt-in and the disabled
-fast path costs one module-attribute check per instrumentation site.
+``repro.obs`` is a *leaf* package — at import time it pulls in nothing
+from the rest of ``repro`` so every other layer (cache, core, ml,
+robust, perf, eval) can depend on it without cycles (``insight`` and
+``report`` defer their cache/traces imports to call time).  Collection
+is opt-in and the disabled fast path costs one module-attribute check
+per instrumentation site.
 
 Typical wiring (what ``python -m repro.eval`` does under
 ``--metrics-out`` / ``--trace-out``)::
@@ -19,6 +21,6 @@ Typical wiring (what ``python -m repro.eval`` does under
     obs.metrics.save_snapshot("metrics.json", snapshot)
 """
 
-from . import instrument, metrics, progress, trace
+from . import insight, instrument, metrics, progress, report, trace
 
-__all__ = ["instrument", "metrics", "progress", "trace"]
+__all__ = ["insight", "instrument", "metrics", "progress", "report", "trace"]

@@ -1,19 +1,28 @@
 """The ``python -m repro.eval obs ...`` subcommand.
 
-Three verbs over snapshot/trace files on disk:
+Four verbs over snapshot/trace/insight files on disk:
 
 ``summarize <snapshot>``
     Validate and render one metrics snapshot as a table (also accepts a
     ``repro.perf.bench/v1`` report, converting it on the fly).
+    Histograms get p50/p90/p99 columns interpolated from their buckets.
 
 ``diff <a> <b> [--only GLOB ...] [--fail-drop PCT]``
-    Per-metric delta table between two snapshots.  ``--fail-drop``
-    turns the diff into a regression gate: exit 1 if any matched metric
-    dropped by more than PCT percent (used by CI against the committed
-    bench baseline).
+    Per-metric delta table between two snapshots.  Metrics present in
+    only one snapshot are reported as ``added``/``removed`` rows, never
+    an error.  ``--fail-drop`` turns the diff into a regression gate:
+    exit 1 if any matched metric dropped by more than PCT percent (used
+    by CI against the committed bench baseline); one-sided rows have no
+    percentage and cannot trip the gate.
 
-``chrome <trace.jsonl> <out.json>``
-    Wrap a JSONL trace into a ``chrome://tracing`` / Perfetto file.
+``chrome <trace.jsonl> [<trace.jsonl> ...] <out.json>``
+    Merge one or more JSONL traces into a single ``chrome://tracing`` /
+    Perfetto file (pass the server's and every shard's trace to get one
+    cross-process timeline).
+
+``report --out <report.html> [--insight F] [--metrics F] [--trace F ...]``
+    Render a self-contained HTML report (inline SVG, no external deps)
+    from any combination of insight/metrics/trace artifacts.
 
 Tables go to stdout; diagnostics to stderr.  Exit codes: 0 ok,
 1 regression gate tripped, 2 schema/usage problems.
@@ -32,6 +41,7 @@ from typing import Any, Sequence
 from .metrics import (
     METRICS_SCHEMA,
     diff_snapshots,
+    histogram_quantiles,
     load_snapshot,
     validate_snapshot,
 )
@@ -99,16 +109,29 @@ def _summarize(args: argparse.Namespace) -> int:
         if entry["type"] == "histogram":
             count = entry["count"]
             mean = entry["sum"] / count if count else None
+            p50, p90, p99 = histogram_quantiles(entry, (0.5, 0.9, 0.99))
             rows.append(
-                {"metric": key, "type": entry["type"], "value": count, "mean": mean}
+                {
+                    "metric": key,
+                    "type": entry["type"],
+                    "value": count,
+                    "mean": mean,
+                    "p50": p50,
+                    "p90": p90,
+                    "p99": p99,
+                }
             )
         else:
             rows.append(
-                {"metric": key, "type": entry["type"], "value": entry["value"], "mean": None}
+                {"metric": key, "type": entry["type"], "value": entry["value"]}
             )
     run_id = snapshot.get("run_id")
     title = f"snapshot {args.snapshot}" + (f" (run {run_id})" if run_id else "")
-    print(_render_table(rows, ["metric", "type", "value", "mean"], title))
+    print(
+        _render_table(
+            rows, ["metric", "type", "value", "mean", "p50", "p90", "p99"], title
+        )
+    )
     return 0
 
 
@@ -123,7 +146,9 @@ def _diff(args: argparse.Namespace) -> int:
         return 0
     print(
         _render_table(
-            rows, ["metric", "a", "b", "delta", "pct"], f"{args.a} -> {args.b}"
+            rows,
+            ["metric", "a", "b", "delta", "pct", "status"],
+            f"{args.a} -> {args.b}",
         )
     )
     if args.fail_drop is not None:
@@ -143,8 +168,44 @@ def _diff(args: argparse.Namespace) -> int:
 
 def _chrome(args: argparse.Namespace) -> int:
     count = export_chrome(args.trace, args.out)
-    print(f"obs: wrote {count} events -> {args.out}", file=sys.stderr)
+    label = args.trace[0] if len(args.trace) == 1 else f"{len(args.trace)} traces"
+    print(f"obs: wrote {count} events from {label} -> {args.out}", file=sys.stderr)
     return 0 if count else 2
+
+
+def _report(args: argparse.Namespace) -> int:
+    from .report import generate_report
+
+    if not (args.insight or args.metrics or args.trace):
+        print("obs: report needs at least one of --insight/--metrics/--trace",
+              file=sys.stderr)
+        return 2
+    if args.insight:
+        from .insight import load_artifact, validate_artifact
+
+        try:
+            artifact = load_artifact(args.insight)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"obs: cannot read {args.insight}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_artifact(artifact)
+        for problem in problems:
+            print(f"obs: {args.insight}: {problem}", file=sys.stderr)
+        if problems:
+            return 2
+    try:
+        out = generate_report(
+            args.out,
+            insight_path=args.insight,
+            metrics_path=args.metrics,
+            trace_paths=args.trace or None,
+            title=args.title,
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"obs: report failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"obs: wrote report -> {out}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,7 +218,22 @@ def main(argv: list[str] | None = None) -> int:
     p_sum.add_argument("snapshot")
     p_sum.set_defaults(fn=_summarize)
 
-    p_diff = sub.add_parser("diff", help="per-metric delta between two snapshots")
+    p_diff = sub.add_parser(
+        "diff",
+        help="per-metric delta between two snapshots",
+        description=(
+            "Per-metric delta table between two snapshots (b minus a). "
+            "Metrics present in only one snapshot are reported with "
+            "status 'added' or 'removed' — never an error."
+        ),
+        epilog=(
+            "exit codes: 0 = diff rendered (including added/removed rows); "
+            "1 = --fail-drop gate tripped by a matched metric dropping more "
+            "than PCT percent; 2 = unreadable file or invalid snapshot "
+            "schema.  One-sided metrics have no percentage and can never "
+            "trip the gate."
+        ),
+    )
     p_diff.add_argument("a")
     p_diff.add_argument("b")
     p_diff.add_argument(
@@ -170,10 +246,34 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_diff.set_defaults(fn=_diff)
 
-    p_chrome = sub.add_parser("chrome", help="export a JSONL trace for chrome://tracing")
-    p_chrome.add_argument("trace")
+    p_chrome = sub.add_parser(
+        "chrome", help="merge JSONL trace(s) into a chrome://tracing file"
+    )
+    p_chrome.add_argument(
+        "trace", nargs="+",
+        help="one or more JSONL trace files (server + shard workers)",
+    )
     p_chrome.add_argument("out")
     p_chrome.set_defaults(fn=_chrome)
+
+    p_report = sub.add_parser(
+        "report", help="render a self-contained HTML run report"
+    )
+    p_report.add_argument(
+        "--out", required=True, help="output HTML path"
+    )
+    p_report.add_argument(
+        "--insight", default=None, help="repro.obs.insight/v1 artifact"
+    )
+    p_report.add_argument(
+        "--metrics", default=None, help="repro.obs.metrics/v1 snapshot"
+    )
+    p_report.add_argument(
+        "--trace", action="append", metavar="JSONL", default=None,
+        help="JSONL trace file (repeatable; all merged into one rollup)",
+    )
+    p_report.add_argument("--title", default=None, help="report title")
+    p_report.set_defaults(fn=_report)
 
     args = parser.parse_args(argv)
     try:

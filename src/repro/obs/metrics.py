@@ -26,6 +26,7 @@ import json
 import math
 import os
 import re
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Iterable, Mapping, Sequence
@@ -43,6 +44,7 @@ __all__ = [
     "enable",
     "gauge",
     "histogram",
+    "histogram_quantiles",
     "live_prometheus",
     "load_snapshot",
     "merge_snapshots",
@@ -85,17 +87,24 @@ def split_key(key: str) -> tuple[str, dict[str, str]]:
 
 
 class Counter:
-    """Monotonically increasing integer counter."""
+    """Monotonically increasing integer counter.
 
-    __slots__ = ("key", "value")
+    Mutations take a per-metric lock: ``+=`` on an attribute is a
+    read-modify-write that can lose increments when threads interleave
+    (the serve stack increments from listener and worker threads).
+    """
+
+    __slots__ = ("key", "value", "_lock")
     kind = "counter"
 
     def __init__(self, key: str) -> None:
         self.key = key
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     # Counters accept the other sinks' verbs so a call site can switch
     # metric kinds without breaking the disabled-path null object.
@@ -106,20 +115,22 @@ class Counter:
 class Gauge:
     """Last-written value (queue depth, learning rate, throughput)."""
 
-    __slots__ = ("key", "value")
+    __slots__ = ("key", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, key: str) -> None:
         self.key = key
         self.value: float | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def max(self, value: float) -> None:
         value = float(value)
-        if self.value is None or value > self.value:
-            self.value = value
+        with self._lock:
+            if self.value is None or value > self.value:
+                self.value = value
 
     def as_dict(self) -> dict:
         return {"type": self.kind, "value": self.value}
@@ -134,7 +145,9 @@ class Histogram:
     Prometheus exporter accumulates them on the way out.
     """
 
-    __slots__ = ("key", "buckets", "counts", "count", "total", "vmin", "vmax")
+    __slots__ = (
+        "key", "buckets", "counts", "count", "total", "vmin", "vmax", "_lock"
+    )
     kind = "histogram"
 
     def __init__(self, key: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
@@ -145,32 +158,35 @@ class Histogram:
         self.total = 0.0
         self.vmin: float | None = None
         self.vmax: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float, n: int = 1) -> None:
         value = float(value)
-        self.count += n
-        self.total += value * n
-        if self.vmin is None or value < self.vmin:
-            self.vmin = value
-        if self.vmax is None or value > self.vmax:
-            self.vmax = value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += n
-                return
-        self.counts[-1] += n
+        with self._lock:
+            self.count += n
+            self.total += value * n
+            if self.vmin is None or value < self.vmin:
+                self.vmin = value
+            if self.vmax is None or value > self.vmax:
+                self.vmax = value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += n
+                    return
+            self.counts[-1] += n
 
     def as_dict(self) -> dict:
-        buckets = {str(b): c for b, c in zip(self.buckets, self.counts)}
-        buckets["+Inf"] = self.counts[-1]
-        return {
-            "type": self.kind,
-            "count": self.count,
-            "sum": self.total,
-            "min": self.vmin,
-            "max": self.vmax,
-            "buckets": buckets,
-        }
+        with self._lock:
+            buckets = {str(b): c for b, c in zip(self.buckets, self.counts)}
+            buckets["+Inf"] = self.counts[-1]
+            return {
+                "type": self.kind,
+                "count": self.count,
+                "sum": self.total,
+                "min": self.vmin,
+                "max": self.vmax,
+                "buckets": buckets,
+            }
 
 
 class _NullSink:
@@ -199,14 +215,21 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # Guards metric *creation* and snapshot iteration.  Two threads
+        # racing _get for a new key must agree on one metric object, or
+        # each keeps its own and one side's increments vanish.
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels: Mapping[str, Any], **kwargs):
         key = _metric_key(name, labels)
         metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(key, **kwargs)
-            self._metrics[key] = metric
-        elif not isinstance(metric, cls):
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(key, **kwargs)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {key!r} already registered as {metric.kind}, "
                 f"not {cls.kind}"
@@ -231,21 +254,27 @@ class MetricsRegistry:
         return key in self._metrics
 
     def clear(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     def snapshot(
         self, run_id: str | None = None, meta: Mapping[str, Any] | None = None
     ) -> dict:
-        """Freeze the registry into a schema-tagged, JSON-safe dict."""
+        """Freeze the registry into a schema-tagged, JSON-safe dict.
+
+        Safe against concurrent writers: the key list is copied under
+        the registry lock and each metric serialises itself under its
+        own lock, so a snapshot taken mid-write sees a consistent value
+        for every metric (never a torn histogram).
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
         return {
             "schema": METRICS_SCHEMA,
             "run_id": run_id,
             "created_unix": time.time(),
             "meta": dict(meta or {}),
-            "metrics": {
-                key: metric.as_dict()
-                for key, metric in sorted(self._metrics.items())
-            },
+            "metrics": {key: metric.as_dict() for key, metric in items},
         }
 
 
@@ -374,11 +403,70 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     }
 
 
-def _scalar(entry: dict) -> float | None:
-    """The comparable scalar of a metric entry (histograms: the count)."""
-    if entry["type"] in ("counter", "gauge"):
-        return entry["value"]
-    return entry["count"]
+def _scalar(entry: Any) -> float | None:
+    """The comparable scalar of a metric entry (histograms: the count).
+
+    Defensive against malformed entries (hand-edited snapshots, older
+    schemas): anything without a usable scalar compares as None rather
+    than raising, so ``obs diff`` can still render the rest.
+    """
+    if not isinstance(entry, dict):
+        return None
+    if entry.get("type") in ("counter", "gauge"):
+        value = entry.get("value")
+    else:
+        value = entry.get("count")
+    return value if isinstance(value, (int, float)) else None
+
+
+def histogram_quantiles(
+    entry: Mapping[str, Any], qs: Sequence[float] = (0.5, 0.9, 0.99)
+) -> list[float | None]:
+    """Quantile estimates from a snapshot histogram entry.
+
+    Linear interpolation inside the (non-cumulative) bucket containing
+    each quantile, using the previous bucket's upper bound as the lower
+    edge; the open ``+Inf`` bucket and the first bucket's lower edge are
+    pinned to the recorded ``max`` / ``min``, and every estimate is
+    clamped to ``[min, max]``.  Returns one value per requested
+    quantile, or None when the histogram is empty.
+    """
+    count = entry.get("count") or 0
+    raw = entry.get("buckets") or {}
+    if count <= 0 or not raw:
+        return [None] * len(qs)
+    bounds: list[tuple[float, int]] = []
+    for bound, c in raw.items():
+        upper = math.inf if str(bound) in ("+Inf", "inf", "Inf") else float(bound)
+        bounds.append((upper, int(c)))
+    bounds.sort(key=lambda item: item[0])
+    vmin = entry.get("min")
+    vmax = entry.get("max")
+    results: list[float | None] = []
+    for q in qs:
+        target = max(0.0, min(1.0, float(q))) * count
+        cumulative = 0
+        lo = vmin if vmin is not None else 0.0
+        value: float | None = None
+        for upper, c in bounds:
+            hi = upper
+            if math.isinf(hi):
+                hi = vmax if vmax is not None else lo
+            if c > 0 and cumulative + c >= target:
+                frac = (target - cumulative) / c
+                value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                break
+            cumulative += c
+            lo = hi
+        if value is None:
+            value = vmax if vmax is not None else lo
+        if value is not None:
+            if vmin is not None:
+                value = max(vmin, value)
+            if vmax is not None:
+                value = min(vmax, value)
+        results.append(value)
+    return results
 
 
 def diff_snapshots(
@@ -388,8 +476,11 @@ def diff_snapshots(
 
     ``only`` is an optional list of ``fnmatch`` patterns over metric
     keys.  Each row carries the two scalar values, the absolute delta,
-    and the percentage change relative to ``a`` (None when undefined —
-    missing metric or zero baseline).
+    the percentage change relative to ``a`` (None when undefined —
+    missing metric or zero baseline), and a ``status``: ``"added"``
+    (present only in ``b``), ``"removed"`` (only in ``a``), or
+    ``"changed"``/``"same"``.  One-sided metrics are reported, never an
+    error — comparing runs with different instrumentation is routine.
     """
     keys = sorted(set(a.get("metrics", {})) | set(b.get("metrics", {})))
     if only:
@@ -398,13 +489,30 @@ def diff_snapshots(
     for key in keys:
         ea = a.get("metrics", {}).get(key)
         eb = b.get("metrics", {}).get(key)
-        va = _scalar(ea) if ea else None
-        vb = _scalar(eb) if eb else None
+        va = _scalar(ea) if ea is not None else None
+        vb = _scalar(eb) if eb is not None else None
         delta = vb - va if va is not None and vb is not None else None
         pct = None
         if delta is not None and va:
             pct = 100.0 * delta / abs(va)
-        rows.append({"metric": key, "a": va, "b": vb, "delta": delta, "pct": pct})
+        if ea is None and eb is not None:
+            status = "added"
+        elif eb is None and ea is not None:
+            status = "removed"
+        elif delta:
+            status = "changed"
+        else:
+            status = "same"
+        rows.append(
+            {
+                "metric": key,
+                "a": va,
+                "b": vb,
+                "delta": delta,
+                "pct": pct,
+                "status": status,
+            }
+        )
     return rows
 
 

@@ -1,0 +1,433 @@
+"""Self-contained HTML run reports (``obs report``).
+
+Renders one run's observability artifacts — an insight artifact
+(:mod:`repro.obs.insight`), a metrics snapshot
+(:mod:`repro.obs.metrics`) and/or a JSONL trace
+(:mod:`repro.obs.trace`) — into a single HTML file with no external
+dependencies: styling is inline CSS and every chart is hand-built SVG,
+so the file opens offline and attaches cleanly to CI runs.
+
+Sections (each present only when its artifact is):
+
+* **Decision quality** — summary cards (online accuracy / precision /
+  coverage / flip rate vs the rolling OPTgen ground truth), the
+  accuracy-over-time line, and per-policy model-drift sparklines.
+* **Per-set heatmap** — sampled sets coloured by misprediction rate,
+  with access/eviction counts in the tooltip.
+* **Worst decisions** — the sampled accesses where the policy evicted a
+  line Belady's OPT would have kept.
+* **Metrics** — counters/gauges and histogram quantiles from a
+  ``repro.obs.metrics/v1`` snapshot.
+* **Trace** — per-span duration rollup from a JSONL trace.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from . import metrics as obs_metrics
+from . import trace as obs_trace
+
+__all__ = ["generate_report", "render_report"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e;
+       background: #fafafa; padding: 0 1rem; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #16324f; padding-bottom: .3rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; color: #16324f; }
+.meta { color: #555; font-size: .85rem; }
+.cards { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+.card { background: #fff; border: 1px solid #ddd; border-radius: 6px;
+        padding: .6rem 1rem; min-width: 7.5rem; }
+.card .v { font-size: 1.3rem; font-weight: 600; }
+.card .k { font-size: .75rem; color: #666; text-transform: uppercase; }
+table { border-collapse: collapse; background: #fff; font-size: .85rem; }
+th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: right; }
+th { background: #f0f3f7; }
+td.l, th.l { text-align: left; }
+svg { background: #fff; border: 1px solid #ddd; border-radius: 4px; }
+.grid { display: grid; grid-template-columns: repeat(16, 1.6rem); gap: 2px; }
+.cell { height: 1.6rem; border-radius: 2px; font-size: 0; }
+.spark { display: inline-block; margin: .3rem .6rem .3rem 0; }
+.spark .t { font-size: .72rem; color: #555; display: block; }
+.empty { color: #888; font-style: italic; }
+"""
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric formatting for table cells and cards."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or value == int(value):
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return html.escape(str(value))
+
+
+def _svg_line(
+    points: Sequence[Sequence[float]],
+    *,
+    width: int = 640,
+    height: int = 160,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    stroke: str = "#16324f",
+) -> str:
+    """A minimal SVG line chart with y-axis labels; no external deps."""
+    if not points:
+        return '<p class="empty">no data points</p>'
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    lo = min(ys) if y_min is None else y_min
+    hi = max(ys) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    pad, axis = 6, 46
+    plot_w = width - axis - pad
+    plot_h = height - 2 * pad - 14
+    coords = []
+    for x, y in zip(xs, ys):
+        px = axis + (x - x_lo) / (x_hi - x_lo) * plot_w
+        py = pad + (1.0 - (y - lo) / (hi - lo)) * plot_h
+        coords.append(f"{px:.1f},{py:.1f}")
+    labels = (
+        f'<text x="{axis - 4}" y="{pad + 8}" text-anchor="end" '
+        f'font-size="10" fill="#666">{_fmt(hi)}</text>'
+        f'<text x="{axis - 4}" y="{pad + plot_h}" text-anchor="end" '
+        f'font-size="10" fill="#666">{_fmt(lo)}</text>'
+        f'<text x="{axis}" y="{height - 2}" font-size="10" '
+        f'fill="#666">{_fmt(x_lo)}</text>'
+        f'<text x="{width - pad}" y="{height - 2}" text-anchor="end" '
+        f'font-size="10" fill="#666">{_fmt(x_hi)}</text>'
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<line x1="{axis}" y1="{pad}" x2="{axis}" y2="{pad + plot_h}" '
+        f'stroke="#ccc"/>'
+        f'<line x1="{axis}" y1="{pad + plot_h}" x2="{width - pad}" '
+        f'y2="{pad + plot_h}" stroke="#ccc"/>'
+        f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+        f'points="{" ".join(coords)}"/>'
+        f"{labels}</svg>"
+    )
+
+
+def _cards(pairs: Iterable[tuple[str, Any]]) -> str:
+    cells = "".join(
+        f'<div class="card"><div class="v">{_fmt(v)}</div>'
+        f'<div class="k">{html.escape(k)}</div></div>'
+        for k, v in pairs
+    )
+    return f'<div class="cards">{cells}</div>'
+
+
+def _heat_color(rate: float) -> str:
+    """White (0) -> red (1) ramp for misprediction rates."""
+    rate = min(1.0, max(0.0, rate))
+    g = int(235 - 175 * rate)
+    return f"rgb(235,{g},{g})"
+
+
+def _insight_sections(insight: dict) -> list[str]:
+    parts: list[str] = []
+    summary = insight.get("summary") or {}
+    geometry = insight.get("geometry") or {}
+    parts.append("<h2>Decision quality (vs rolling OPTgen)</h2>")
+    parts.append(
+        _cards(
+            [
+                ("accuracy", summary.get("accuracy")),
+                ("precision", summary.get("precision")),
+                ("coverage", summary.get("coverage")),
+                ("flip rate", summary.get("flip_rate")),
+                ("scored", summary.get("scored")),
+                ("sampled accesses", summary.get("sampled_accesses")),
+                ("evictions", summary.get("evictions")),
+                ("worst decisions", summary.get("worst_decisions")),
+            ]
+        )
+    )
+    series = insight.get("accuracy_series") or []
+    parts.append("<h3>Online accuracy over time</h3>")
+    parts.append(
+        _svg_line(series, y_min=0.0, y_max=1.0)
+        if series
+        else '<p class="empty">not enough resolved decisions for a series</p>'
+    )
+
+    drift = insight.get("drift") or {}
+    if drift:
+        parts.append("<h3>Model drift</h3>")
+        for policy in sorted(drift):
+            sparks = []
+            for name in sorted(drift[policy]):
+                points = drift[policy][name]
+                if not points:
+                    continue
+                sparks.append(
+                    '<span class="spark">'
+                    f'<span class="t">{html.escape(name)}</span>'
+                    f"{_svg_line(points, width=220, height=80, stroke='#a63d40')}"
+                    "</span>"
+                )
+            if sparks:
+                parts.append(
+                    f"<p><strong>{html.escape(policy)}</strong></p>"
+                    + "".join(sparks)
+                )
+
+    heatmap = insight.get("heatmap") or {}
+    if heatmap:
+        parts.append("<h3>Per-set misprediction heatmap (sampled sets)</h3>")
+        cells = []
+        for set_key in sorted(heatmap, key=lambda s: int(s)):
+            cell = heatmap[set_key]
+            scored = cell.get("scored", 0)
+            mis = cell.get("mispredicted", 0)
+            rate = mis / scored if scored else 0.0
+            tip = (
+                f"set {set_key}: {cell.get('accesses', 0)} accesses, "
+                f"{cell.get('evictions', 0)} evictions, {mis}/{scored} "
+                f"mispredicted"
+            )
+            cells.append(
+                f'<div class="cell" style="background:{_heat_color(rate)}" '
+                f'title="{html.escape(tip)}">{set_key}</div>'
+            )
+        parts.append(f'<div class="grid">{"".join(cells)}</div>')
+        parts.append(
+            '<p class="meta">white = no mispredictions, red = every scored '
+            "prediction wrong; hover a cell for counts</p>"
+        )
+
+    worst = insight.get("worst") or []
+    parts.append("<h3>Worst decisions (evicted, but OPT would have kept)</h3>")
+    if worst:
+        rows = "".join(
+            "<tr>"
+            f"<td>{_fmt(w.get('set'))}</td>"
+            f"<td class='l'><code>0x{int(w.get('line', 0)):x}</code></td>"
+            f"<td class='l'><code>0x{int(w.get('pc', 0)):x}</code></td>"
+            f"<td>{_fmt(w.get('predicted_friendly'))}</td>"
+            f"<td>{_fmt(w.get('signal'))}</td>"
+            f"<td>{_fmt(w.get('inserted_seq'))}</td>"
+            f"<td>{_fmt(w.get('evicted_seq'))}</td>"
+            f"<td>{_fmt(w.get('victim_predicted_friendly'))}</td>"
+            f"<td>{_fmt(w.get('victim_rrpv'))}</td>"
+            "</tr>"
+            for w in worst
+        )
+        parts.append(
+            "<table><tr><th>set</th><th class='l'>line</th>"
+            "<th class='l'>pc</th><th>pred friendly</th><th>signal</th>"
+            "<th>inserted</th><th>evicted</th><th>victim friendly</th>"
+            "<th>victim rrpv</th></tr>"
+            f"{rows}</table>"
+        )
+        total = (insight.get("summary") or {}).get("worst_decisions", len(worst))
+        if total > len(worst):
+            parts.append(
+                f'<p class="meta">showing {len(worst)} of {_fmt(total)} '
+                "recorded worst decisions (bounded sample)</p>"
+            )
+    else:
+        parts.append(
+            '<p class="empty">none recorded — no sampled eviction was '
+            "contradicted by OPT within the window</p>"
+        )
+
+    if geometry:
+        parts.append(
+            f'<p class="meta">geometry: {geometry.get("num_sets")} sets x '
+            f'{geometry.get("associativity")} ways, '
+            f'{len(geometry.get("sampled_sets") or [])} sampled sets</p>'
+        )
+    return parts
+
+
+def _metrics_sections(snapshot: dict) -> list[str]:
+    parts: list[str] = ["<h2>Metrics</h2>"]
+    metrics = snapshot.get("metrics") or {}
+    scalars: list[tuple[str, str, Any]] = []
+    histograms: list[tuple[str, dict]] = []
+    for key in sorted(metrics):
+        entry = metrics[key]
+        kind = entry.get("type")
+        if kind == "histogram":
+            histograms.append((key, entry))
+        elif kind == "counter":
+            scalars.append((key, kind, entry.get("value")))
+        else:
+            scalars.append((key, kind or "?", entry.get("value")))
+    if scalars:
+        rows = "".join(
+            f"<tr><td class='l'><code>{html.escape(k)}</code></td>"
+            f"<td class='l'>{html.escape(kind)}</td><td>{_fmt(v)}</td></tr>"
+            for k, kind, v in scalars
+        )
+        parts.append(
+            "<table><tr><th class='l'>metric</th><th class='l'>type</th>"
+            f"<th>value</th></tr>{rows}</table>"
+        )
+    if histograms:
+        parts.append("<h3>Histograms</h3>")
+        rows = []
+        for key, entry in histograms:
+            quantiles = obs_metrics.histogram_quantiles(entry, (0.5, 0.9, 0.99))
+            rows.append(
+                f"<tr><td class='l'><code>{html.escape(key)}</code></td>"
+                f"<td>{_fmt(entry.get('count'))}</td>"
+                f"<td>{_fmt(entry.get('sum'))}</td>"
+                f"<td>{_fmt(quantiles[0])}</td>"
+                f"<td>{_fmt(quantiles[1])}</td>"
+                f"<td>{_fmt(quantiles[2])}</td></tr>"
+            )
+        parts.append(
+            "<table><tr><th class='l'>histogram</th><th>count</th>"
+            "<th>sum</th><th>p50</th><th>p90</th><th>p99</th></tr>"
+            f"{''.join(rows)}</table>"
+        )
+    if not scalars and not histograms:
+        parts.append('<p class="empty">snapshot contains no metrics</p>')
+    return parts
+
+
+def _trace_sections(events: list[dict]) -> list[str]:
+    parts: list[str] = ["<h2>Trace</h2>"]
+    spans: dict[str, list[float]] = {}
+    instants = 0
+    pids = set()
+    for ev in events:
+        pids.add(ev.get("pid"))
+        if ev.get("ph") == "X":
+            spans.setdefault(ev.get("name", "?"), []).append(
+                float(ev.get("dur", 0.0))
+            )
+        elif ev.get("ph") == "i":
+            instants += 1
+    if not spans and not instants:
+        parts.append('<p class="empty">trace contains no events</p>')
+        return parts
+    parts.append(
+        f'<p class="meta">{sum(len(v) for v in spans.values())} spans, '
+        f"{instants} instants across {len(pids)} process(es)</p>"
+    )
+    rows = []
+    for name in sorted(spans, key=lambda n: -sum(spans[n])):
+        durations = sorted(spans[name])
+        total = sum(durations)
+        p50 = durations[len(durations) // 2]
+        rows.append(
+            f"<tr><td class='l'><code>{html.escape(name)}</code></td>"
+            f"<td>{len(durations):,}</td>"
+            f"<td>{total / 1e3:,.2f}</td>"
+            f"<td>{p50 / 1e3:,.3f}</td>"
+            f"<td>{durations[-1] / 1e3:,.3f}</td></tr>"
+        )
+    parts.append(
+        "<table><tr><th class='l'>span</th><th>count</th>"
+        "<th>total ms</th><th>p50 ms</th><th>max ms</th></tr>"
+        f"{''.join(rows)}</table>"
+    )
+    return parts
+
+
+def render_report(
+    *,
+    insight: dict | None = None,
+    metrics: dict | None = None,
+    trace_events: list[dict] | None = None,
+    title: str = "repro run report",
+) -> str:
+    """Render the artifacts into one self-contained HTML document."""
+    run_id = None
+    if insight:
+        run_id = insight.get("run_id")
+    if run_id is None and metrics:
+        run_id = metrics.get("run_id")
+    labels = (insight or {}).get("labels") or {}
+    meta_bits = []
+    if run_id:
+        meta_bits.append(f"run <code>{html.escape(str(run_id))}</code>")
+    if labels:
+        meta_bits.append(
+            ", ".join(
+                f"{html.escape(str(k))}={html.escape(str(v))}"
+                for k, v in sorted(labels.items())
+            )
+        )
+    if metrics and metrics.get("created_unix"):
+        meta_bits.append(f"snapshot t={_fmt(metrics['created_unix'])}")
+    body: list[str] = [
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="meta">{" &middot; ".join(meta_bits)}</p>'
+        if meta_bits
+        else "",
+    ]
+    if insight:
+        body.extend(_insight_sections(insight))
+    if metrics:
+        body.extend(_metrics_sections(metrics))
+    if trace_events:
+        body.extend(_trace_sections(trace_events))
+    if not insight and not metrics and not trace_events:
+        body.append('<p class="empty">no artifacts supplied</p>')
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"{''.join(body)}</body></html>"
+    )
+
+
+def generate_report(
+    out_path: str | Path,
+    *,
+    insight_path: str | Path | None = None,
+    metrics_path: str | Path | None = None,
+    trace_paths: Sequence[str | Path] | None = None,
+    title: str | None = None,
+) -> Path:
+    """Load artifacts from disk and write the HTML report atomically."""
+    from ..traces.io import atomic_write_text
+
+    if insight_path is None and metrics_path is None and not trace_paths:
+        raise ValueError(
+            "generate_report needs at least one of "
+            "insight_path / metrics_path / trace_paths"
+        )
+
+    insight = None
+    if insight_path is not None:
+        with open(insight_path, "r", encoding="utf-8") as handle:
+            insight = json.load(handle)
+    metrics = None
+    if metrics_path is not None:
+        metrics = obs_metrics.load_snapshot(metrics_path)
+    events: list[dict] = []
+    for path in trace_paths or ():
+        events.extend(obs_trace.read_events(path))
+    out_path = Path(out_path)
+    html_text = render_report(
+        insight=insight,
+        metrics=metrics,
+        trace_events=events or None,
+        title=title or "repro run report",
+    )
+    atomic_write_text(out_path, html_text)
+    return out_path

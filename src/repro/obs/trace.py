@@ -107,6 +107,26 @@ class TraceLog:
                 }
             )
 
+    def complete(self, name: str, start_us: float, dur_us: float, **args: Any) -> None:
+        """Emit an after-the-fact ``"X"`` complete event.
+
+        For spans whose start was recorded elsewhere (e.g. a request
+        dispatched in one thread and resolved in another): ``start_us``
+        is an epoch-microsecond wall timestamp, matching :meth:`span`.
+        """
+        self._emit(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": start_us,
+                "dur": dur_us,
+                "pid": os.getpid(),
+                "tid": threading.get_ident() % 100_000,
+                "run_id": self.run_id,
+                "args": args,
+            }
+        )
+
     def event(self, name: str, **args: Any) -> None:
         """Emit an instant event (a point in time, not a duration)."""
         self._emit(
@@ -186,12 +206,24 @@ def read_events(path: str | os.PathLike) -> list[dict]:
     return events
 
 
-def export_chrome(jsonl_path: str | os.PathLike, out_path: str | os.PathLike) -> int:
-    """Convert a JSONL trace into a ``chrome://tracing`` JSON file.
+def export_chrome(jsonl_path, out_path: str | os.PathLike) -> int:
+    """Convert JSONL trace(s) into one ``chrome://tracing`` JSON file.
 
-    Returns the number of events exported.
+    ``jsonl_path`` may be a single path or a sequence of paths; events
+    from every file are merged into one timeline, sorted by timestamp.
+    Each process writes its own trace file with a distinct ``pid``, so
+    merging the server's and the shard workers' logs yields a single
+    cross-process view in which request spans nest under the worker
+    spans that executed them.  Returns the number of events exported.
     """
-    events = read_events(jsonl_path)
+    if isinstance(jsonl_path, (str, os.PathLike)):
+        paths = [jsonl_path]
+    else:
+        paths = list(jsonl_path)
+    events: list[dict] = []
+    for path in paths:
+        events.extend(read_events(path))
+    events.sort(key=lambda ev: ev.get("ts", 0))
     payload = {"traceEvents": events, "displayTimeUnit": "ms"}
     out_path = Path(out_path)
     out_path.parent.mkdir(parents=True, exist_ok=True)

@@ -17,6 +17,7 @@ from typing import Sequence
 
 from ..cache.block import AccessType, CacheLine, CacheRequest
 from ..cache.policy import ReplacementPolicy
+from ..obs import insight as obs_insight
 from ..optgen.sampler import OptGenSampler
 
 #: policy_state keys shared by Hawkeye-structured policies.
@@ -50,6 +51,10 @@ class HawkeyePredictor:
 
     def predict_friendly(self, pc: int) -> bool:
         return self.table[self._index(pc)] >= (self.counter_max + 1) // 2
+
+    def counter(self, pc: int) -> int:
+        """The raw saturating-counter value backing ``pc``'s prediction."""
+        return self.table[self._index(pc)]
 
     def reset(self) -> None:
         self.table = [(self.counter_max + 1) // 2] * len(self.table)
@@ -124,7 +129,16 @@ class HawkeyePolicy(ReplacementPolicy):
         if self.sampler is None or request.access_type is AccessType.WRITEBACK:
             return
         line = request.address >> 6
-        for event in self.sampler.access(line, request.pc, self._context(request)):
+        context = self._context(request)
+        recorder = obs_insight.get_recorder()
+        if recorder is not None:
+            recorder.on_demand_access(
+                line,
+                request.pc,
+                context,
+                counter=self.predictor.counter(request.pc),
+            )
+        for event in self.sampler.access(line, request.pc, context):
             self._train(event.pc, event.context, event.label)
 
     def on_hit(self, set_index: int, way: int, request: CacheRequest) -> None:
@@ -143,15 +157,28 @@ class HawkeyePolicy(ReplacementPolicy):
         if invalid is not None:
             return invalid
         # Prefer cache-averse lines (RRPV == MAX_RRPV).
+        victim_way = None
         for way, line in enumerate(ways):
             if line.policy_state.get(RRPV_KEY, MAX_RRPV) >= MAX_RRPV:
-                return way
-        # No averse line: evict the oldest friendly line (highest RRPV) and
-        # detrain the PC that last touched it — MIN would not have kept it.
-        victim_way = max(
-            range(len(ways)), key=lambda w: ways[w].policy_state.get(RRPV_KEY, 0)
-        )
-        self.predictor.train(ways[victim_way].pc, cache_friendly=False)
+                victim_way = way
+                break
+        if victim_way is None:
+            # No averse line: evict the oldest friendly line (highest RRPV)
+            # and detrain the PC that last touched it — MIN would not have
+            # kept it.
+            victim_way = max(
+                range(len(ways)), key=lambda w: ways[w].policy_state.get(RRPV_KEY, 0)
+            )
+            self.predictor.train(ways[victim_way].pc, cache_friendly=False)
+        recorder = obs_insight.get_recorder()
+        if recorder is not None:
+            line = ways[victim_way]
+            recorder.on_eviction(
+                self.cache.line_address(set_index, line.tag) >> 6,
+                predicted_friendly=line.policy_state.get(FRIENDLY_KEY),
+                rrpv=line.policy_state.get(RRPV_KEY),
+                pc=line.pc,
+            )
         return victim_way
 
     def on_fill(self, set_index: int, way: int, request: CacheRequest) -> None:

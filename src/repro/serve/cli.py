@@ -77,6 +77,16 @@ def _add_server_flags(parser: argparse.ArgumentParser) -> None:
         "--chaos-delay-ms", type=float, default=0.0,
         help="fault injection: artificial per-request compute delay in shards",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="write per-process JSONL span traces into --store and merge "
+        "them into one chrome://tracing file at drain",
+    )
+    parser.add_argument(
+        "--insight", action="store_true",
+        help="per-shard decision telemetry (online accuracy vs OPTgen), "
+        "live on /metrics and written as artifacts into --store at drain",
+    )
 
 
 def _config_from(args) -> ServeConfig:
@@ -95,11 +105,19 @@ def _config_from(args) -> ServeConfig:
         breaker_threshold=args.breaker_threshold,
         store_dir=args.store,
         chaos_delay_ms=args.chaos_delay_ms,
+        trace=args.trace,
+        insight=args.insight,
     )
 
 
-def _add_load_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace", default="astar", help="workload name to replay")
+def _add_load_flags(parser: argparse.ArgumentParser, trace_alias: bool = False) -> None:
+    # ``--trace`` stays as a compatibility alias on ``serve load`` only;
+    # on ``serve bench`` it would collide with the span-tracing flag.
+    workload_flags = ["--workload"] + (["--trace"] if trace_alias else [])
+    parser.add_argument(
+        *workload_flags, dest="workload", default="astar",
+        help="workload name to replay",
+    )
     parser.add_argument("--requests", type=int, default=2000)
     parser.add_argument("--qps", type=float, default=2000.0)
     parser.add_argument("--connections", type=int, default=4)
@@ -111,9 +129,14 @@ def _add_load_flags(parser: argparse.ArgumentParser) -> None:
         "--predict-ratio", type=float, default=0.0,
         help="fraction of requests sent as idempotent 'predict'",
     )
+    parser.add_argument(
+        "--trace-context", default=None, metavar="CTX",
+        help="client span-context root attached to every request "
+        "(rides into the server's and shards' trace spans)",
+    )
 
 
-def _load_config(args, port: int) -> LoadConfig:
+def _load_config(args, port: int, trace_context: str | None = None) -> LoadConfig:
     return LoadConfig(
         host=args.host,
         port=port,
@@ -122,10 +145,37 @@ def _load_config(args, port: int) -> LoadConfig:
         connections=args.connections,
         deadline_ms=args.request_deadline_ms,
         predict_ratio=args.predict_ratio,
+        trace_context=trace_context or args.trace_context,
+    )
+
+
+def _merge_traces(args) -> None:
+    """Merge the per-process JSONL traces a run left in ``--store``."""
+    if not (args.trace and args.store):
+        return
+    from pathlib import Path
+
+    from ..obs.trace import export_chrome
+
+    store = Path(args.store)
+    jsonls = sorted(store.glob("serve-trace-*.jsonl"))
+    if not jsonls:
+        return
+    out = store / "serve-trace.chrome.json"
+    count = export_chrome(jsonls, out)
+    print(
+        f"serve: merged {len(jsonls)} trace files ({count} events) -> {out}",
+        flush=True,
     )
 
 
 def _cmd_run(args) -> int:
+    if (args.trace or args.insight) and not args.store:
+        print(
+            "serve: note: --trace/--insight artifacts land in the store dir; "
+            "without --store they are deleted at drain",
+            file=sys.stderr,
+        )
     server = PredictionServer(_config_from(args))
     server.start()
     if not server.wait_ready(timeout=30.0):
@@ -147,6 +197,7 @@ def _cmd_run(args) -> int:
     stop.wait()
     print("serve: draining", flush=True)
     summary = server.drain()
+    _merge_traces(args)
     counters = summary.get("stats", {}).get("counters", {})
     print(
         "serve: drained clean={clean} decisions={d} errors={e}".format(
@@ -160,7 +211,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_load(args) -> int:
-    trace = get_trace(args.trace, length=max(args.requests, 1000))
+    trace = get_trace(args.workload, length=max(args.requests, 1000))
     report = run_load(trace, _load_config(args, args.port))
     problems = validate_bench_serve(report)
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -185,7 +236,7 @@ def _cmd_load(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    trace = get_trace(args.trace, length=max(args.requests * 2, 1000))
+    trace = get_trace(args.workload, length=max(args.requests * 2, 1000))
     server = PredictionServer(_config_from(args))
     server.start()
     try:
@@ -193,8 +244,11 @@ def _cmd_bench(args) -> int:
             print("serve bench: shards failed to become ready", file=sys.stderr)
             return 1
         phases: dict[str, dict] = {}
+        trace_context = server.run_id if args.trace else None
         print(f"serve bench: healthy phase ({args.requests} requests)")
-        phases["healthy"] = run_load(trace, _load_config(args, server.port))
+        phases["healthy"] = run_load(
+            trace, _load_config(args, server.port, trace_context)
+        )
         if args.chaos != "none":
             chaos_thread = threading.Thread(
                 target=_chaos_injector,
@@ -206,10 +260,13 @@ def _cmd_bench(args) -> int:
                 f"{args.requests} requests)"
             )
             chaos_thread.start()
-            phases["chaos"] = run_load(trace, _load_config(args, server.port))
+            phases["chaos"] = run_load(
+                trace, _load_config(args, server.port, trace_context)
+            )
             chaos_thread.join(timeout=10.0)
     finally:
         summary = server.drain()
+    _merge_traces(args)
     report = {
         "schema": "repro.serve.bench/v1",
         "chaos_mode": args.chaos,
@@ -270,7 +327,7 @@ def main(argv: list[str] | None = None) -> int:
     load_parser = sub.add_parser("load", help="replay a trace against a server")
     load_parser.add_argument("--host", default="127.0.0.1")
     load_parser.add_argument("--port", type=int, required=True)
-    _add_load_flags(load_parser)
+    _add_load_flags(load_parser, trace_alias=True)
     load_parser.add_argument("--out", default="BENCH_serve.json")
 
     bench_parser = sub.add_parser(

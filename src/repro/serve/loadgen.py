@@ -46,6 +46,10 @@ class LoadConfig:
     deadline_ms: float | None = None
     predict_ratio: float = 0.0  # fraction of requests sent as 'predict'
     timeout_s: float = 30.0  # overall wait for outstanding responses
+    #: Client-side span context root.  When set, every request carries
+    #: ``trace = "<trace_context>/<request-id>"`` so server and shard
+    #: spans in a merged chrome trace join back to this load run.
+    trace_context: str | None = None
 
 
 class _ConnState:
@@ -93,6 +97,8 @@ def _writer(
         }
         if config.deadline_ms is not None:
             msg["deadline_ms"] = config.deadline_ms
+        if config.trace_context:
+            msg["trace"] = f"{config.trace_context}/{request_id}"
         with state.lock:
             state.sent.add(request_id)
             state.sent_at[request_id] = time.monotonic()

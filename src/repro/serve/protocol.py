@@ -24,6 +24,11 @@ Request kinds:
     per-shard pids and restart counts (the chaos harness uses it to
     pick a victim).
 
+Any request may carry an optional scalar ``trace`` field — opaque
+client span context (conventionally ``"<client-run-id>/<req-id>"``)
+that rides along into the server's and the owning shard's trace spans,
+so one merged chrome trace covers client, dispatcher, and worker.
+
 Failure taxonomy — **every** submitted request terminates in exactly
 one response, either a decision (``ok: true``) or one of these typed
 errors (``ok: false``), mirroring the batch pipeline's crash-journal
@@ -128,6 +133,10 @@ class Request:
     write: bool = False
     core: int = 0
     deadline_ms: float | None = None
+    #: Optional client span context (e.g. ``"<client-run-id>/<req-id>"``);
+    #: propagated verbatim into the server's and shard's trace spans so a
+    #: merged chrome trace can be joined back to the client's own logs.
+    trace: str | None = None
     # -- dispatcher-internal routing state (never on the wire) --
     rid: int = field(default=-1, compare=False)
     shard: int = field(default=-1, compare=False)
@@ -178,6 +187,11 @@ def parse_request(line: str | bytes) -> Request:
         if deadline_ms <= 0:
             raise ProtocolError("deadline_ms must be positive", request_id)
     request = Request(id=request_id, kind=kind, deadline_ms=deadline_ms)
+    trace = obj.get("trace")
+    if trace is not None:
+        if isinstance(trace, (dict, list, bool)):
+            raise ProtocolError("field 'trace' must be a scalar", request_id)
+        request.trace = str(trace)
     if kind in ("access", "predict"):
         request.pc = _require_int(obj, "pc", request_id)
         request.address = _require_int(obj, "address", request_id)

@@ -55,6 +55,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..robust.retry import RetryPolicy
 from ..robust.supervise import CrashJournal, sweep_stale_run_dirs
 from .breaker import CircuitBreaker
@@ -124,6 +125,15 @@ class ServeConfig:
     client_queue_depth: int = 1024
     journal_max_bytes: int = 4_000_000
     chaos_delay_ms: float = 0.0  # fault injection: per-request compute delay
+    #: Span tracing: the server and every shard worker write per-process
+    #: JSONL traces into ``store_dir``, all bound to one server run id —
+    #: ``obs chrome`` merges them into a single cross-process timeline.
+    trace: bool = False
+    #: Per-shard decision telemetry: each worker runs a
+    #: :class:`repro.obs.insight.DecisionRecorder` labelled ``shard=N``,
+    #: mirrored live onto the admin ``/metrics`` endpoint and written as
+    #: insight artifacts into ``store_dir`` at drain.
+    insight: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -322,6 +332,8 @@ class PredictionServer:
         self._store_dir: Path | None = None
         self._own_store = False
         self.run_dir: str | None = None
+        self.run_id: str | None = None
+        self._tracer: obs_trace.TraceLog | None = None
         # Address routing: line -> set of the logical cache -> shard.
         self._line_shift = (cfg.line_size - 1).bit_length()
         self._set_mask = cfg.cache_sets - 1
@@ -357,6 +369,15 @@ class PredictionServer:
         )
         sweep_stale_run_dirs(prefix=SERVE_RUN_DIR_PREFIX, journal=self.journal)
         self.run_dir = tempfile.mkdtemp(prefix=SERVE_RUN_DIR_PREFIX)
+        if cfg.trace or cfg.insight:
+            # One correlation id for the whole service: the server's and
+            # every worker's spans/artifacts carry it, so the per-process
+            # files merge into a single cross-process view.
+            self.run_id = obs_trace.current_run_id(create=True)
+        if cfg.trace:
+            self._tracer = obs_trace.TraceLog(
+                self._store_dir / "serve-trace-server.jsonl", run_id=self.run_id
+            )
         self.started_at = time.monotonic()
         for shard_id in range(cfg.shards):
             handle = ShardHandle(
@@ -375,6 +396,17 @@ class PredictionServer:
                     cfg.batch_budget_ms / 1000.0 if cfg.batch_budget_ms else None
                 ),
                 chaos_delay_s=cfg.chaos_delay_ms / 1000.0,
+                trace_path=(
+                    str(self._store_dir / f"serve-trace-shard-{shard_id}.jsonl")
+                    if cfg.trace
+                    else None
+                ),
+                run_id=self.run_id,
+                insight_path=(
+                    str(self._store_dir / f"serve-insight-shard-{shard_id}.json")
+                    if cfg.insight
+                    else None
+                ),
             )
             self.shards.append(handle)
             self.breakers.append(
@@ -397,6 +429,7 @@ class PredictionServer:
             port=self.port,
             admin_port=self.admin_port,
             pid=os.getpid(),
+            run_id=self.run_id,
         )
 
     def wait_ready(self, timeout: float | None = None) -> bool:
@@ -530,6 +563,7 @@ class PredictionServer:
             "write": request.write,
             "core": request.core,
             "deadline": request.deadline,
+            "trace": request.trace,
         }
         with self._lock:
             self._pending[request.rid] = entry
@@ -619,6 +653,26 @@ class PredictionServer:
                 )
         elif ctrl.get("ctrl") == "drained":
             handle.drained.set()
+        elif ctrl.get("ctrl") == "insight":
+            # Rolling per-shard decision-quality summary from the worker's
+            # recorder; mirrored as shard-labelled gauges so the admin
+            # /metrics endpoint carries live model quality per shard.
+            summary = ctrl.get("summary")
+            if isinstance(summary, dict) and obs_metrics.ENABLED:
+                for key in (
+                    "accuracy",
+                    "precision",
+                    "coverage",
+                    "flip_rate",
+                    "scored",
+                    "sampled_accesses",
+                    "evictions",
+                ):
+                    value = summary.get(key)
+                    if isinstance(value, (int, float)):
+                        obs_metrics.gauge(
+                            f"insight.{key}", shard=handle.shard_id
+                        ).set(value)
 
     def _resolve(self, rid: int, response: dict, handle: ShardHandle) -> None:
         with self._lock:
@@ -634,9 +688,24 @@ class PredictionServer:
             self._count("errors_total", error=error_type)
             if error_type == ERR_TIMEOUT:
                 self._count("timeout_total")
-        self._observe_latency(
-            entry.request.kind, time.monotonic() - entry.submitted
-        )
+        latency = time.monotonic() - entry.submitted
+        self._observe_latency(entry.request.kind, latency)
+        if self._tracer is not None:
+            # Dispatcher-side view of the same request the worker traced:
+            # start is reconstructed from the dispatch time so the span
+            # covers queueing + compute + collection.
+            dur_us = latency * 1e6
+            self._tracer.complete(
+                "serve.request",
+                time.time() * 1e6 - dur_us,
+                dur_us,
+                rid=rid,
+                id=entry.request.id,
+                kind=entry.request.kind,
+                shard=handle.shard_id,
+                ok=bool(response.get("ok")),
+                trace=entry.request.trace,
+            )
         entry.conn.send(response)
 
     def _sweeper_loop(self) -> None:
@@ -857,6 +926,8 @@ class PredictionServer:
         if self._admin is not None:
             self._admin.shutdown()
             self._admin.server_close()
+        if self._tracer is not None:
+            self._tracer.close()
         # 4. Final metrics snapshot + journal summary.
         summary = {
             "stats": self.stats(),

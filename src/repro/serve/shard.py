@@ -150,6 +150,9 @@ def shard_worker_main(
     batch_max: int,
     batch_budget_s: float | None,
     chaos_delay_s: float = 0.0,
+    trace_path: str | None = None,
+    run_id: str | None = None,
+    insight_path: str | None = None,
 ) -> None:
     """Entry point of one shard worker process.
 
@@ -157,8 +160,45 @@ def shard_worker_main(
     :mod:`repro.robust.faults`: it inserts an artificial per-request
     compute delay so chaos tests can provoke queue-full storms and
     deadline expiries at low, deterministic request rates.
+
+    ``trace_path`` enables span tracing: every handled request becomes a
+    ``shard.request`` span, and at drain a ``shard.worker`` span covering
+    the worker's whole lifetime is emitted so the request spans nest
+    under it in a merged chrome trace.  All spans carry the *server's*
+    ``run_id``, making the per-process JSONL files joinable.
+
+    ``insight_path`` enables a per-shard decision recorder (labelled
+    ``shard=<id>``): the reference policy hooks report into it, the
+    worker ships rolling summaries to the parent as ``insight`` control
+    messages (for live per-shard ``/metrics`` gauges), and the full
+    artifact is written at drain.
     """
     start_heartbeat(run_dir, heartbeat_interval)
+    tracer = None
+    worker_start_us = 0.0
+    if trace_path:
+        from ..obs.trace import TraceLog
+
+        tracer = TraceLog(trace_path, run_id=run_id)
+        worker_start_us = time.time() * 1e6
+    recorder = None
+    if insight_path:
+        from ..obs import insight as obs_insight
+
+        recorder = obs_insight.enable(
+            CacheConfig(**cache_params), labels={"shard": shard_id}
+        )
+
+    def publish_insight() -> None:
+        if recorder is None:
+            return
+        try:
+            out_q.put(
+                {"ctrl": "insight", "shard": shard_id, "summary": recorder.summary()}
+            )
+        except Exception:  # noqa: BLE001 — telemetry is best-effort
+            pass
+
     store = SnapshotStore(snapshot_path) if snapshot_path else None
     engine: ShardEngine | None = None
     warm = False
@@ -225,7 +265,18 @@ def shard_worker_main(
                 if chaos_delay_s > 0:
                     time.sleep(chaos_delay_s)
                 try:
-                    response = engine.handle(msg)
+                    if tracer is None:
+                        response = engine.handle(msg)
+                    else:
+                        with tracer.span(
+                            "shard.request",
+                            rid=msg["rid"],
+                            id=msg["id"],
+                            kind=msg["kind"],
+                            shard=shard_id,
+                            trace=msg.get("trace"),
+                        ):
+                            response = engine.handle(msg)
                 except Exception as error:  # noqa: BLE001 — typed, never fatal
                     response = error_response(
                         msg["id"],
@@ -239,9 +290,32 @@ def shard_worker_main(
         since_snapshot += len(batch)
         if snapshot_every and since_snapshot >= snapshot_every:
             save_snapshot()
+            publish_insight()
             since_snapshot = 0
         if draining:
             save_snapshot()
+            publish_insight()
+            if recorder is not None:
+                try:
+                    from ..obs import insight as obs_insight
+
+                    obs_insight.save_artifact(
+                        insight_path, recorder.to_artifact(run_id=run_id)
+                    )
+                except Exception:  # noqa: BLE001 — telemetry is best-effort
+                    pass
+            if tracer is not None:
+                # Lifetime span: request spans emitted above fall inside
+                # this window, so they nest under the worker in chrome.
+                tracer.complete(
+                    "shard.worker",
+                    worker_start_us,
+                    time.time() * 1e6 - worker_start_us,
+                    shard=shard_id,
+                    pid=os.getpid(),
+                    policy=policy,
+                )
+                tracer.close()
             out_q.put({"ctrl": "drained", "shard": shard_id, "pid": os.getpid()})
             return
 
@@ -270,6 +344,9 @@ class ShardHandle:
         batch_max: int,
         batch_budget_s: float | None,
         chaos_delay_s: float = 0.0,
+        trace_path: str | None = None,
+        run_id: str | None = None,
+        insight_path: str | None = None,
     ) -> None:
         self.shard_id = shard_id
         self._ctx = mp_context
@@ -284,6 +361,9 @@ class ShardHandle:
             batch_max=batch_max,
             batch_budget_s=batch_budget_s,
             chaos_delay_s=chaos_delay_s,
+            trace_path=trace_path,
+            run_id=run_id,
+            insight_path=insight_path,
         )
         self.run_dir = run_dir
         self.queue_depth = queue_depth
@@ -326,6 +406,9 @@ class ShardHandle:
                 k["batch_max"],
                 k["batch_budget_s"],
                 k["chaos_delay_s"],
+                k["trace_path"],
+                k["run_id"],
+                k["insight_path"],
             ),
         )
         self.process.start()

@@ -97,6 +97,11 @@ def _cmd_replay(args) -> int:
         from ...robust.store import ArtifactStore
 
         store = ArtifactStore(args.store)
+    recorder = None
+    if args.insight_out:
+        from ...obs import insight as obs_insight
+
+        recorder = obs_insight.enable()
     try:
         result = stream_replay(
             args.path,
@@ -116,6 +121,20 @@ def _cmd_replay(args) -> int:
     except IngestError as error:
         print(f"ingest error [{type(error).__name__}]: {error}", file=sys.stderr)
         return 2
+    finally:
+        if recorder is not None:
+            from ...obs import insight as obs_insight
+
+            obs_insight.disable()
+    if recorder is not None:
+        from ...obs import insight as obs_insight
+
+        obs_insight.save_artifact(args.insight_out, recorder.to_artifact())
+        print(
+            f"  insight: accuracy={recorder.accuracy:.4f}"
+            f" scored={recorder.scored} -> {args.insight_out}",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
     else:
@@ -212,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument(
         "--resume", action="store_true",
         help="continue from the latest checkpoint under --run-key",
+    )
+    replay.add_argument(
+        "--insight-out", default=None, metavar="PATH",
+        help="record sampled decision telemetry (online accuracy vs OPTgen,"
+        " drift, worst decisions) and write the insight artifact here",
     )
     replay.set_defaults(func=_cmd_replay)
 

@@ -41,6 +41,7 @@ import numpy as np
 from ...cache.fastsim import StreamingLLCFilter, make_stream_kernel
 from ...cache.hierarchy import HierarchyConfig
 from ...cache.stats import CacheStats
+from ...obs import insight as obs_insight
 from ...obs import metrics as obs_metrics
 from .adapters import IngestStats, open_adapter
 
@@ -252,6 +253,13 @@ def stream_replay(
         )
 
     stats = kernel.finish()
+    # Decision telemetry: the chunk-feedable kernels report into an
+    # installed insight recorder access-by-access; after the stream is
+    # exhausted, mirror the recorder's quality gauges into the metrics
+    # registry so ingest snapshots carry them.
+    recorder = obs_insight.get_recorder()
+    if recorder is not None:
+        recorder.publish()
     return StreamReplayResult(
         path=str(path),
         format=adapter.format,

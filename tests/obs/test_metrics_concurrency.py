@@ -1,0 +1,131 @@
+"""MetricsRegistry under concurrent writers.
+
+The registry is shared by the serve dispatcher's collector threads, the
+sweeper, and every connection reader, so the contract is: no lost
+increments, no torn histogram state, and snapshots taken mid-write are
+always well-formed (they may lag, they may not corrupt).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+
+THREADS = 8
+PER_THREAD = 5000
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    metrics.disable()
+    metrics.registry().clear()
+    yield
+    metrics.disable()
+    metrics.registry().clear()
+
+
+def _hammer(n_threads, worker) -> None:
+    start = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def run(tid: int) -> None:
+        try:
+            start.wait()
+            worker(tid)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+class TestConcurrentWriters:
+    def test_counter_loses_no_increments(self):
+        reg = metrics.MetricsRegistry()
+        counter = reg.counter("hits")
+
+        _hammer(THREADS, lambda tid: [counter.inc() for _ in range(PER_THREAD)])
+        assert counter.value == THREADS * PER_THREAD
+
+    def test_counter_creation_race_yields_one_instrument(self):
+        # All threads race _get on the same key: they must all land on
+        # the same Counter, not clobber each other's instances.
+        reg = metrics.MetricsRegistry()
+
+        _hammer(
+            THREADS,
+            lambda tid: [reg.counter("raced").inc() for _ in range(PER_THREAD)],
+        )
+        assert reg.counter("raced").value == THREADS * PER_THREAD
+        assert len(reg) == 1
+
+    def test_gauge_max_is_monotone_under_races(self):
+        reg = metrics.MetricsRegistry()
+        gauge = reg.gauge("peak")
+
+        _hammer(
+            THREADS,
+            lambda tid: [gauge.max(tid * PER_THREAD + i) for i in range(PER_THREAD)],
+        )
+        assert gauge.value == (THREADS - 1) * PER_THREAD + PER_THREAD - 1
+
+    def test_histogram_count_sum_and_buckets_consistent(self):
+        reg = metrics.MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+
+        _hammer(
+            THREADS,
+            lambda tid: [hist.observe((i % 5) + 0.5) for i in range(PER_THREAD)],
+        )
+        snap = hist.as_dict()
+        total = THREADS * PER_THREAD
+        assert snap["count"] == total
+        assert snap["sum"] == pytest.approx(THREADS * sum((i % 5) + 0.5 for i in range(PER_THREAD)))
+        assert sum(snap["buckets"].values()) == total
+        assert snap["min"] == 0.5 and snap["max"] == 4.5
+
+
+class TestSnapshotDuringWrites:
+    def test_snapshots_are_always_well_formed(self):
+        """Snapshot continuously while writers hammer a mix of metrics."""
+        reg = metrics.MetricsRegistry()
+        stop = threading.Event()
+        problems: list[str] = []
+
+        def snapshotter() -> None:
+            while not stop.is_set():
+                snap = reg.snapshot()
+                found = metrics.validate_snapshot(snap)
+                if found:
+                    problems.extend(found)
+                    return
+                for entry in snap["metrics"].values():
+                    if entry["type"] == "histogram":
+                        if sum(entry["buckets"].values()) != entry["count"]:
+                            problems.append("torn histogram in snapshot")
+                            return
+
+        snap_thread = threading.Thread(target=snapshotter)
+        snap_thread.start()
+
+        def worker(tid: int) -> None:
+            for i in range(PER_THREAD):
+                reg.counter("c", t=str(tid % 2)).inc()
+                reg.gauge("g").set(i)
+                reg.histogram("h", buckets=(10.0, 100.0)).observe(i % 200)
+
+        _hammer(4, worker)
+        stop.set()
+        snap_thread.join()
+        assert problems == []
+        final = reg.snapshot()
+        by_key = final["metrics"]
+        assert by_key["c{t=0}"]["value"] + by_key["c{t=1}"]["value"] == 4 * PER_THREAD
+        assert by_key["h"]["count"] == 4 * PER_THREAD

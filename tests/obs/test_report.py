@@ -1,0 +1,97 @@
+"""The self-contained HTML run report: renders from any combination of
+insight/metrics/trace artifacts, with zero external dependencies."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import insight, metrics, report, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    insight.disable()
+    metrics.disable()
+    metrics.registry().clear()
+    yield
+    insight.disable()
+    metrics.disable()
+    metrics.registry().clear()
+
+
+def _insight_artifact() -> dict:
+    rec = insight.DecisionRecorder(4, 2, num_sampled_sets=4)
+    for i in range(400):
+        rec.on_demand_access(i % 4, pc=8 + 4 * (i % 3), predicted_friendly=True)
+        if i % 7 == 0:
+            rec.on_eviction(i % 4, predicted_friendly=False, rrpv=7)
+    rec.record_model_state("glider", isvm_weight_norm=10.0)
+    rec.record_model_state("glider", isvm_weight_norm=12.0)
+    return rec.to_artifact(run_id="r1")
+
+
+def _metrics_snapshot() -> dict:
+    reg = metrics.MetricsRegistry()
+    reg.counter("serve.decisions_total").inc(42)
+    reg.histogram("serve.latency_ms", buckets=(1.0, 10.0)).observe(3.0)
+    return reg.snapshot(run_id="r1")
+
+
+class TestRenderReport:
+    def test_insight_sections(self):
+        html = report.render_report(insight=_insight_artifact(), title="t").lower()
+        assert "<!doctype html>" in html
+        assert "accuracy" in html
+        assert "<svg" in html  # accuracy-over-time chart
+        assert "worst decisions" in html
+        assert "drift" in html
+
+    def test_metrics_sections_include_percentiles(self):
+        html = report.render_report(metrics=_metrics_snapshot())
+        assert "serve.decisions_total" in html
+        assert "p99" in html
+
+    def test_trace_rollup(self):
+        events = [
+            {"name": "shard.request", "ph": "X", "ts": 0, "dur": 1000, "pid": 1},
+            {"name": "shard.request", "ph": "X", "ts": 2000, "dur": 3000, "pid": 1},
+        ]
+        html = report.render_report(trace_events=events)
+        assert "shard.request" in html
+
+    def test_self_contained(self):
+        html = report.render_report(
+            insight=_insight_artifact(), metrics=_metrics_snapshot()
+        )
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script src" not in html
+
+
+class TestGenerateReport:
+    def test_from_files(self, tmp_path):
+        insight_path = tmp_path / "insight.json"
+        insight.save_artifact(insight_path, _insight_artifact())
+        metrics_path = tmp_path / "metrics.json"
+        metrics.save_snapshot(metrics_path, _metrics_snapshot())
+        trace_path = tmp_path / "trace.jsonl"
+        with trace.TraceLog(trace_path, run_id="r1") as log:
+            with log.span("phase"):
+                pass
+        out = report.generate_report(
+            tmp_path / "report.html",
+            insight_path=insight_path,
+            metrics_path=metrics_path,
+            trace_paths=[trace_path],
+            title="combined",
+        )
+        html = out.read_text().lower()
+        assert "combined" in html
+        assert "accuracy" in html
+        assert "phase" in html
+
+    def test_needs_at_least_one_source(self, tmp_path):
+        with pytest.raises(ValueError):
+            report.generate_report(tmp_path / "r.html")

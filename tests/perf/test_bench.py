@@ -37,6 +37,17 @@ def test_report_covers_every_fast_path_policy(report):
         )
 
 
+def test_report_records_insight_overhead(report):
+    assert sorted(report["insight"]) == ["glider", "hawkeye"]
+    for entry in report["insight"].values():
+        assert entry["baseline_s"] > 0
+        assert entry["disabled_s"] > 0 and entry["sampled_s"] > 0
+        assert entry["scored"] >= 0
+        assert entry["sampled_overhead_pct"] == pytest.approx(
+            (entry["sampled_s"] / entry["disabled_s"] - 1.0) * 100.0
+        )
+
+
 def test_report_records_matrix_grid(report):
     matrix = report["matrix"]
     assert matrix["jobs"] >= 2

@@ -1,0 +1,127 @@
+"""End-to-end decision provenance across the serving stack.
+
+One serve run with tracing + insight enabled must yield: a single run id
+shared by the server and every shard worker, a merged chrome trace whose
+``shard.request`` spans nest under the correct ``shard.worker`` lifetime
+span, client span context carried verbatim into both server and worker
+spans, per-shard insight artifacts, and per-shard ``insight.*`` gauges
+in the final metrics snapshot.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import insight, metrics as obs_metrics, trace as obs_trace
+from repro.serve.server import PredictionServer, ServeConfig
+
+pytestmark = pytest.mark.slow
+
+N_REQUESTS = 400
+
+
+def _drive(server, client) -> dict[str, int]:
+    """Pipeline N_REQUESTS traced accesses; return id -> address."""
+    addresses = {}
+    for i in range(N_REQUESTS):
+        rid = f"r{i}"
+        address = (i % 48) * 64
+        addresses[rid] = address
+        client.send(
+            id=rid,
+            kind="access",
+            pc=(i % 7) * 4,
+            address=address,
+            trace=f"clientrun/{rid}",
+        )
+    for rid in addresses:
+        assert client.recv_for(rid)["ok"]
+    return addresses
+
+
+def test_two_shard_run_produces_one_nested_provenance_trace(
+    tmp_path, make_server, make_client
+):
+    server = make_server(
+        policy="hawkeye",
+        shards=2,
+        cache_sets=64,
+        cache_ways=4,
+        store_dir=str(tmp_path),
+        trace=True,
+        insight=True,
+        snapshot_every=64,
+    )
+    client = make_client(server)
+    addresses = _drive(server, client)
+    expected_shard = {rid: server.route(addr) for rid, addr in addresses.items()}
+    client.close()
+    server.drain(timeout=30.0)
+
+    # -- one run id, three trace files, one merged timeline --------------
+    trace_paths = sorted(tmp_path.glob("serve-trace-*.jsonl"))
+    assert [p.name for p in trace_paths] == [
+        "serve-trace-server.jsonl",
+        "serve-trace-shard-0.jsonl",
+        "serve-trace-shard-1.jsonl",
+    ]
+    events = [e for p in trace_paths for e in obs_trace.read_events(p)]
+    run_ids = {e["run_id"] for e in events}
+    assert run_ids == {server.run_id}
+
+    merged = tmp_path / "merged.chrome.json"
+    obs_trace.export_chrome(trace_paths, merged)
+    chrome = json.loads(merged.read_text())["traceEvents"]
+    stamps = [e["ts"] for e in chrome]
+    assert stamps == sorted(stamps)
+
+    # -- request spans nest under the right worker's lifetime span -------
+    workers = [e for e in chrome if e["name"] == "shard.worker"]
+    assert len(workers) == 2
+    worker_by_shard = {w["args"]["shard"]: w for w in workers}
+    shard_requests = [e for e in chrome if e["name"] == "shard.request"]
+    serve_requests = [e for e in chrome if e["name"] == "serve.request"]
+    assert len(shard_requests) == N_REQUESTS
+    assert len(serve_requests) == N_REQUESTS
+    for span in shard_requests:
+        rid = span["args"]["id"]
+        worker = worker_by_shard[expected_shard[rid]]
+        assert span["args"]["shard"] == expected_shard[rid]
+        # Nesting in the chrome model: same process/thread lane, and the
+        # request interval contained in the worker's lifetime interval.
+        assert span["pid"] == worker["pid"]
+        assert span["tid"] == worker["tid"]
+        assert worker["ts"] <= span["ts"]
+        assert span["ts"] + span["dur"] <= worker["ts"] + worker["dur"]
+        # Client span context rides through to the worker span.
+        assert span["args"]["trace"] == f"clientrun/{rid}"
+    for span in serve_requests:
+        rid = span["args"]["id"]
+        assert span["args"]["shard"] == expected_shard[rid]
+        assert span["args"]["trace"] == f"clientrun/{rid}"
+
+    # -- per-shard insight artifacts -------------------------------------
+    for shard_id in (0, 1):
+        artifact = insight.load_artifact(
+            tmp_path / f"serve-insight-shard-{shard_id}.json"
+        )
+        assert insight.validate_artifact(artifact) == []
+        assert artifact["run_id"] == server.run_id
+        assert artifact["labels"] == {"shard": shard_id}
+        assert artifact["summary"]["sampled_accesses"] > 0
+
+    # -- per-shard model-quality gauges in the final snapshot ------------
+    snap = obs_metrics.load_snapshot(tmp_path / "serve-metrics-final.json")
+    for shard_id in (0, 1):
+        for key in ("accuracy", "scored", "sampled_accesses"):
+            assert f"insight.{key}{{shard={shard_id}}}" in snap["metrics"]
+
+
+def test_trace_field_survives_the_wire_even_untraced(make_server, make_client):
+    """A client may always send span context; the server must accept it."""
+    server = make_server()
+    client = make_client(server)
+    response = client.call(
+        id="x1", kind="access", pc=4, address=128, trace="run/x1"
+    )
+    assert response["ok"]
