@@ -94,7 +94,8 @@ FAST_PATH_POLICIES = (
 
 #: Registry names that deliberately have *no* fast-path kernel: policies
 #: whose victim choice depends on hook-level state the flat kernels do
-#: not model (dead-block/perceptron samplers with their own bookkeeping).
+#: not model (dead-block/perceptron samplers with their own bookkeeping,
+#: and the per-set reuse-distance heads of the frd family).
 #: Every registered policy must appear in exactly one of
 #: FAST_PATH_POLICIES or this tuple — enforced by the conformance
 #: registry-drift guard — so a newly registered policy cannot silently
@@ -103,6 +104,9 @@ REFERENCE_ONLY_POLICIES = (
     "sdbp",
     "perceptron",
     "mpppb",
+    "frd",
+    "mustache",
+    "deap",
 )
 
 #: Event tuple layout: (hit, bypassed, way, evicted_tag, evicted_dirty).

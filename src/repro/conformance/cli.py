@@ -50,7 +50,11 @@ def _parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--jobs", type=int, default=1, help="worker processes")
     p_fuzz.add_argument(
         "--policies", default=None,
-        help="comma-separated policy subset (default: all registry policies)",
+        help=(
+            "comma-separated policy subset (default: all "
+            f"{len(default_policies())} registry policies: "
+            f"{','.join(default_policies())})"
+        ),
     )
     p_fuzz.add_argument(
         "--max-cases", type=int, default=None, help="stop after N cases"

@@ -241,48 +241,58 @@ def seed_corpus(corpus_dir: str | Path | None = None, length: int = 400) -> list
 
 #: Generator family most likely to exercise each learned policy's
 #: decision machinery (duelling sets for DRRIP, signature reuse skew
-#: for SHiP, scan-resistance for SHiP++/Hawkeye/Glider).
+#: for SHiP, scan-resistance for SHiP++/Hawkeye/Glider, reuse-distance
+#: regression for frd, periodic gaps for mustache, dead-on-admission
+#: bypass for deap).  Fast-path names come first so their seed-scan
+#: indices — and therefore the checked-in sentinel bytes — are stable
+#: as reference-only names are appended.
 _POLICY_SENTINEL_FAMILY = {
     "drrip": "set-camp",
     "ship": "zipf",
     "ship++": "mix",
     "hawkeye": "pointer-chase",
     "glider": "scan",
+    "frd": "zipf",
+    "mustache": "scan",
+    "deap": "thrash",
 }
 
 
 def seed_policy_sentinels(
     corpus_dir: str | Path | None = None, length: int = 400
 ) -> list[Path]:
-    """One ddmin-shrunk sentinel per learned fast-path policy.
+    """One ddmin-shrunk sentinel per learned policy.
 
     Each entry is the (near-)minimal substream on which the policy's
     replay still *distinguishes itself* from plain LRU — so the
     sentinel pins policy-specific decision paths (set duelling, SHCT
-    training, OPTgen verdicts, ISVM sums), not just generic cache
-    bookkeeping.  The tier-1 corpus test replays every one of them
-    through ``verify_parity``, access-by-access, on both engines.
+    training, OPTgen verdicts, ISVM sums, reuse-distance buckets), not
+    just generic cache bookkeeping.  The tier-1 corpus test replays
+    every one of them: fast-path policies through ``verify_parity``,
+    access-by-access, on both engines; reference-only policies (the frd
+    family among them) through the invariant-checked reference replay.
 
     Deterministic and idempotent like :func:`seed_corpus`: fixed specs,
     a pure predicate, and ddmin's deterministic schedule always produce
     the same minimized bytes and store keys.
     """
-    from ..cache.fastsim import replay
+    from ..cache.fastsim import REFERENCE_ONLY_POLICIES, replay
     from .generators import generate_stream, spec_config
     from .shrink import shrink_stream
 
     corpus_dir = Path(corpus_dir or default_corpus_dir())
     paths = []
-    for i, policy in enumerate(
+    sentinel_policies = [
         p for p in FAST_PATH_POLICIES if p in _POLICY_SENTINEL_FAMILY
-    ):
+    ] + [p for p in REFERENCE_ONLY_POLICIES if p in _POLICY_SENTINEL_FAMILY]
+    for i, policy in enumerate(sentinel_policies):
         family = _POLICY_SENTINEL_FAMILY[policy]
 
         def distinguishes(sub, policy=policy):
             if len(sub) == 0:
                 return False
-            ours = replay(sub, policy, config, engine="fast")
-            lru = replay(sub, "lru", config, engine="fast")
+            ours = replay(sub, policy, config, engine="auto")
+            lru = replay(sub, "lru", config, engine="auto")
             return (ours.demand_hits, ours.evictions) != (
                 lru.demand_hits,
                 lru.evictions,

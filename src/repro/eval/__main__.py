@@ -141,6 +141,12 @@ def main(argv: list[str] | None = None) -> int:
         help="bench: where to write the timing report",
     )
     parser.add_argument("--benchmarks", default=None, help="comma-separated subset")
+    parser.add_argument(
+        "--policies", default=None,
+        help="fig11: comma-separated contender policies over the LRU "
+        "baseline (default: hawkeye,mpppb,ship++,glider; any registry "
+        "name works, e.g. frd,mustache,deap)",
+    )
     parser.add_argument("--epochs", type=int, default=None, help="LSTM epochs")
     parser.add_argument("--mixes", type=int, default=8, help="fig13 mix count")
     parser.add_argument("--no-lstm", action="store_true", help="skip LSTM curves")
@@ -344,10 +350,14 @@ def _dispatch(args, config, cache, subset, supervise, journal, runner, emit, rep
         emit(format_table([r.as_row() for r in rows], "Figure 10"))
     elif args.experiment == "fig11":
         names = subset or config.suite
+        contender_kwargs = (
+            {"policies": tuple(args.policies.split(","))} if args.policies else {}
+        )
         results = miss_rate_reduction(
             config, benchmarks=subset, include_belady=True, cache=cache,
             runner=runner, jobs=args.jobs, supervise=supervise, journal=journal,
             progress=reporter(len(names), "benchmarks"),
+            **contender_kwargs,
         )
         emit(format_table([r.as_row() for r in results], "Figure 11"))
         emit(format_table(summarize_by_group(results)))

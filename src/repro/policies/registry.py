@@ -7,9 +7,12 @@ from typing import Callable
 
 from ..cache.policy import ReplacementPolicy
 from ..core.glider import GliderConfig, GliderPolicy
+from .deap import DEAPPolicy
+from .frd import FRDPolicy
 from .hawkeye import HawkeyePolicy
 from .lru import LRUPolicy, MRUPolicy
 from .mpppb import MPPPBPolicy
+from .mustache import MustachePolicy
 from .perceptron import PerceptronPolicy
 from .random_policy import RandomPolicy
 from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
@@ -30,6 +33,9 @@ _FACTORIES: dict[str, Callable[[], ReplacementPolicy]] = {
     "mpppb": MPPPBPolicy,
     "hawkeye": HawkeyePolicy,
     "glider": lambda: GliderPolicy(GliderConfig()),
+    "frd": FRDPolicy,
+    "mustache": MustachePolicy,
+    "deap": DEAPPolicy,
 }
 
 #: The policies compared in the paper's online evaluation (Figures 11-13).

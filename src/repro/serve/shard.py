@@ -59,8 +59,14 @@ class ShardEngine:
 
     # -- reuse prediction -----------------------------------------------------
 
-    def _predict_friendly(self, pc: int, core: int) -> dict | None:
+    def _predict_friendly(self, pc: int, core: int, address: int) -> dict | None:
         """Duck-typed reuse prediction from whatever predictor the policy has."""
+        reuse = getattr(self.policy, "predict_reuse", None)
+        if reuse is not None:  # frd family: quantized reuse-distance head
+            try:
+                return reuse(pc, address)
+            except Exception:  # noqa: BLE001 — prediction is best-effort extra
+                return None
         predictor = getattr(self.policy, "predictor", None)
         if predictor is not None and hasattr(predictor, "predict_friendly"):
             return {"friendly": bool(predictor.predict_friendly(pc))}
@@ -89,7 +95,7 @@ class ShardEngine:
                 msg["id"],
                 "predict",
                 shard=self.shard_id,
-                prediction=self._predict_friendly(pc, core),
+                prediction=self._predict_friendly(pc, core, address),
                 cached=self.cache.probe(address),
             )
         request = CacheRequest(
@@ -118,7 +124,7 @@ class ShardEngine:
             way=result.way,
             bypassed=result.bypassed,
             evicted=evicted,
-            prediction=self._predict_friendly(pc, core),
+            prediction=self._predict_friendly(pc, core, address),
         )
 
 

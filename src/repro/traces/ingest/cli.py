@@ -210,7 +210,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(replay)
     replay.add_argument(
         "--policy", default="lru",
-        help="replacement policy name (e.g. lru, srrip, ship, hawkeye, glider)",
+        help="replacement policy name (e.g. lru, srrip, ship, hawkeye, "
+        "glider, frd, mustache, deap)",
     )
     replay.add_argument(
         "--engine", default="auto", choices=("auto", "fast", "reference"),

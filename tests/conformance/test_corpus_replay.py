@@ -36,16 +36,38 @@ def test_corpus_is_shipped_and_covers_every_family():
         )
 
 
-def test_corpus_has_a_sentinel_per_learned_fast_path_policy():
-    """Each learned policy's fast kernel is pinned by a ddmin-shrunk
-    sentinel of its own (beyond the family sentinels that parity-check
-    every fast-path policy)."""
+def test_corpus_has_a_sentinel_per_learned_policy():
+    """Each learned policy is pinned by a ddmin-shrunk sentinel of its
+    own (beyond the family sentinels that parity-check every fast-path
+    policy): the fast-path five plus the reference-only reuse-distance
+    family."""
     names = {benchmark for benchmark, _ in ENTRIES}
-    for policy in ("drrip", "ship", "ship++", "hawkeye", "glider"):
+    for policy in (
+        "drrip", "ship", "ship++", "hawkeye", "glider",
+        "frd", "mustache", "deap",
+    ):
         assert f"sentinel-{policy}" in names, (
-            f"no ddmin-shrunk corpus sentinel for fast-path policy "
+            f"no ddmin-shrunk corpus sentinel for learned policy "
             f"{policy!r} — run `python -m repro.eval conformance corpus seed`"
         )
+
+
+def test_reuse_distance_sentinels_are_small():
+    """The frd-family sentinels must stay ddmin-tight (<= 32 accesses):
+    a fat sentinel means the shrinker regressed or the divergence
+    predicate went flaky."""
+    for policy in ("frd", "mustache", "deap"):
+        matches = [
+            (b, d) for b, d in ENTRIES if b == f"sentinel-{policy}"
+        ]
+        assert matches, f"sentinel-{policy} missing from {CORPUS_DIR}"
+        for benchmark, digest in matches:
+            entry = load_entry(CORPUS_DIR, benchmark, digest)
+            assert entry is not None
+            assert entry.length <= 32, (
+                f"{benchmark} has {entry.length} accesses; expected a "
+                "ddmin-shrunk stream of at most 32"
+            )
 
 
 @pytest.mark.parametrize(
@@ -63,8 +85,9 @@ def test_seeding_is_idempotent(tmp_path):
     first = seed_corpus(tmp_path, length=120)
     second = seed_corpus(tmp_path, length=120)
     assert sorted(p.name for p in first) == sorted(p.name for p in second)
-    # One sentinel per generator family plus one per learned policy.
-    assert len(list_entries(tmp_path)) == len(GENERATOR_FAMILIES) + 5
+    # One sentinel per generator family plus one per learned policy
+    # (five fast-path + the three reference-only reuse-distance names).
+    assert len(list_entries(tmp_path)) == len(GENERATOR_FAMILIES) + 8
 
 
 def test_roundtrip_preserves_stream_and_geometry(tmp_path):

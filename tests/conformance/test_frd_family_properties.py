@@ -1,0 +1,189 @@
+"""Hypothesis properties for the forward reuse-distance policy family.
+
+Four contracts keep frd/mustache/deap honest beyond the generic
+registry-wide checks:
+
+1. Belady's MIN upper-bounds each of the three on *every* fuzz
+   generator family (random seeds, full six-family coverage — the
+   loads-only streams of ``test_properties.py`` never exercise
+   writebacks or the generators' phase structure).
+2. ``quantize_distance`` is monotone and round-trips bucket midpoints —
+   the property that makes "largest predicted bucket" a faithful proxy
+   for "largest predicted distance".
+3. deap's admission bypass can never push occupancy above capacity, and
+   a bypassed access leaves occupancy exactly unchanged.
+4. mustache's multi-step head extends its single-step head: element 0
+   of ``predict_steps`` equals ``predict_next``, steps ascend strictly,
+   and all land strictly in the future.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import AccessType, CacheRequest
+from repro.cache.cache import SetAssociativeCache
+from repro.conformance.generators import (
+    GENERATOR_FAMILIES,
+    CaseSpec,
+    generate_stream,
+    spec_config,
+)
+from repro.conformance.invariants import checked_replay
+from repro.optgen.belady import simulate_belady
+from repro.policies import make_policy
+from repro.policies.frd import (
+    DEAD_BUCKET,
+    NUM_BUCKETS,
+    bucket_midpoint,
+    quantize_distance,
+)
+
+FAMILY_POLICIES = ("frd", "mustache", "deap")
+
+
+# -- 1. Belady bound on all six generator families ---------------------------
+
+
+@pytest.mark.parametrize("policy", FAMILY_POLICIES)
+@pytest.mark.parametrize("family", GENERATOR_FAMILIES)
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_belady_upper_bounds_family_on_every_generator(policy, family, seed):
+    spec = CaseSpec(family=family, seed=seed, length=300)
+    stream = generate_stream(spec)
+    config = spec_config(spec)
+    stats = checked_replay(stream, policy, config, every=32)
+    lines = (stream.addresses // np.uint64(stream.line_size)).astype(np.int64)
+    optimum = simulate_belady(
+        lines, config.num_sets, config.associativity
+    ).num_hits
+    total = stats.demand_hits + stats.writeback_hits
+    assert total <= optimum, (
+        f"{policy} beat Belady MIN on {family}/seed={seed}: "
+        f"{total} > {optimum}"
+    )
+
+
+# -- 2. quantizer monotonicity ------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    d1=st.integers(min_value=1, max_value=1 << 20),
+    d2=st.integers(min_value=1, max_value=1 << 20),
+)
+def test_quantize_distance_is_monotone(d1, d2):
+    lo, hi = sorted((d1, d2))
+    assert quantize_distance(lo) <= quantize_distance(hi), (
+        f"quantizer not monotone: q({lo}) > q({hi})"
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(distance=st.integers(min_value=-5, max_value=1 << 30))
+def test_quantize_distance_stays_in_range(distance):
+    bucket = quantize_distance(distance)
+    assert 0 <= bucket < NUM_BUCKETS
+
+
+def test_bucket_midpoints_round_trip_and_ascend():
+    mids = [bucket_midpoint(b) for b in range(NUM_BUCKETS)]
+    assert mids == sorted(mids) and len(set(mids)) == NUM_BUCKETS
+    for bucket in range(DEAD_BUCKET):
+        assert quantize_distance(bucket_midpoint(bucket)) == bucket
+    # The open-ended dead bucket sits beyond every bounded midpoint.
+    assert quantize_distance(mids[DEAD_BUCKET]) == DEAD_BUCKET
+
+
+# -- 3. deap occupancy safety --------------------------------------------------
+
+accesses_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=31),  # cache line
+        st.booleans(),  # store?
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(accesses=accesses_strategy)
+def test_deap_bypass_never_exceeds_capacity(accesses):
+    num_sets, associativity = 4, 2
+    capacity = num_sets * associativity
+    from repro.cache.config import CacheConfig
+
+    cache = SetAssociativeCache(
+        CacheConfig("LLC", capacity * 64, associativity, latency=1),
+        make_policy("deap"),
+    )
+    for i, (line, store) in enumerate(accesses):
+        before = cache.occupancy
+        result = cache.access(
+            CacheRequest(
+                pc=0x400000 + (line % 7) * 4,
+                address=line * 64,
+                access_type=AccessType.STORE if store else AccessType.LOAD,
+            )
+        )
+        assert 0 <= cache.occupancy <= capacity, (
+            f"occupancy {cache.occupancy} outside [0, {capacity}] "
+            f"after access {i}"
+        )
+        if result.bypassed:
+            assert cache.occupancy == before, (
+                f"bypass changed occupancy at access {i}: "
+                f"{before} -> {cache.occupancy}"
+            )
+    assert cache.stats.bypasses >= 0
+
+
+# -- 4. mustache multi-step consistency ---------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    accesses=st.lists(
+        st.integers(min_value=0, max_value=15), min_size=1, max_size=120
+    ),
+    steps=st.integers(min_value=1, max_value=8),
+)
+def test_mustache_multi_step_extends_single_step(accesses, steps):
+    num_sets, associativity = 4, 2
+    from repro.cache.config import CacheConfig
+
+    policy = make_policy("mustache")
+    cache = SetAssociativeCache(
+        CacheConfig("LLC", num_sets * associativity * 64, associativity, latency=1),
+        policy,
+    )
+    for line in accesses:
+        cache.access(
+            CacheRequest(
+                pc=0x400000 + (line % 5) * 4,
+                address=line * 64,
+                access_type=AccessType.LOAD,
+            )
+        )
+    for set_index, ways in enumerate(cache.sets):
+        clock = policy._state(set_index).clock
+        for line in ways:
+            if not line.valid:
+                continue
+            predicted = policy.predict_steps(set_index, line, steps)
+            assert len(predicted) == steps
+            assert predicted[0] == policy.predict_next(set_index, line), (
+                "multi-step head disagrees with single-step head"
+            )
+            assert all(t > clock for t in predicted), (
+                f"predicted access not in the future: {predicted} vs {clock}"
+            )
+            assert all(
+                later > earlier
+                for earlier, later in zip(predicted, predicted[1:])
+            ), f"steps not strictly ascending: {predicted}"

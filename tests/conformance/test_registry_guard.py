@@ -11,9 +11,16 @@ both routes put the policy under differential fuzz coverage.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cache.fastsim import FAST_PATH_POLICIES, REFERENCE_ONLY_POLICIES
 from repro.conformance.differential import default_policies
-from repro.policies.registry import available_policies
+from repro.policies.lru import LRUPolicy
+from repro.policies.registry import (
+    _FACTORIES,
+    available_policies,
+    register_policy,
+)
 
 
 def test_every_registry_policy_is_classified():
@@ -42,6 +49,33 @@ def test_classifications_are_disjoint():
 
 def test_fuzzer_default_covers_whole_registry():
     assert set(default_policies()) == set(available_policies())
+
+
+def test_reuse_distance_family_is_reference_classified():
+    """The frd family ships without fast kernels: its per-set predictor
+    heads live entirely in hook-level state, so the reference engine
+    (plus invariant checks) is its conformance story."""
+    missing = sorted({"frd", "mustache", "deap"} - set(REFERENCE_ONLY_POLICIES))
+    assert not missing, (
+        f"reuse-distance policies missing from REFERENCE_ONLY_POLICIES: "
+        f"{missing}"
+    )
+
+
+def test_unclassified_registration_fails_loudly():
+    """Registering a policy without a conformance classification must
+    trip the drift guard — the failure mode this file exists to catch
+    cannot itself regress silently."""
+    register_policy("totally-unclassified", LRUPolicy)
+    try:
+        assert "totally-unclassified" in available_policies()
+        assert "totally-unclassified" not in default_policies()
+        with pytest.raises(AssertionError, match="unclassified"):
+            test_every_registry_policy_is_classified()
+        with pytest.raises(AssertionError):
+            test_fuzzer_default_covers_whole_registry()
+    finally:
+        _FACTORIES.pop("totally-unclassified")
 
 
 def test_learned_policies_stay_fast_pathed():
